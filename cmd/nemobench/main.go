@@ -1,0 +1,66 @@
+// Command nemobench regenerates the paper's tables and figures against the
+// simulated flash device.
+//
+// Usage:
+//
+//	nemobench -list
+//	nemobench -exp fig12a [-scale small|medium|large] [-ops N] [-seed S]
+//	nemobench -all [-scale medium]
+//
+// Each experiment prints the rows or series of the corresponding paper
+// artifact; EXPERIMENTS.md records reference output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nemo/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every registered experiment")
+		list  = flag.Bool("list", false, "list experiments")
+		scale = flag.String("scale", "medium", "device/workload scale: small, medium, large")
+		ops   = flag.Int("ops", 0, "override request count (0 = scale default)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{Scale: *scale, Ops: *ops, Seed: *seed, Out: os.Stdout}
+	switch {
+	case *all:
+		for _, e := range experiments.Registry {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			start := time.Now()
+			if err := e.Run(opts); err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *exp != "":
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := e.Run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,67 @@
+// Command nemomodel prints the paper's analytic models without running any
+// simulation: the §3.2 hierarchical write-amplification equations, Table 6's
+// metadata costs, and the Appendix A PBFG trade-off.
+//
+// Usage:
+//
+//	nemomodel                      # paper-parameter summary
+//	nemomodel -flash 360 -log 5 -op 5 -obj 246
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nemo/internal/wamodel"
+)
+
+func main() {
+	var (
+		flashGB = flag.Float64("flash", 360, "flash capacity in GB")
+		logPct  = flag.Float64("log", 5, "HLog share in percent")
+		opPct   = flag.Float64("op", 5, "HSet over-provisioning in percent")
+		objSize = flag.Float64("obj", 246, "average object size in bytes")
+		p       = flag.Float64("p", 0.25, "passive migration fraction")
+	)
+	flag.Parse()
+
+	totalPages := int(*flashGB * 1024 * 1024 * 1024 / 4096)
+	logPages := int(float64(totalPages) * *logPct / 100)
+	cfg := wamodel.HierarchicalConfig{
+		PageSize:        4096,
+		ObjSize:         *objSize,
+		LogPages:        logPages,
+		SetPages:        totalPages - logPages,
+		OPRatio:         *opPct / 100,
+		HotColdDivision: true,
+	}
+	fmt.Printf("Hierarchical WA model (§3.2) — flash %.0f GB, log %.0f%%, OP %.0f%%, obj %.0f B\n",
+		*flashGB, *logPct, *opPct, *objSize)
+	fmt.Printf("  usable sets N'      : %.0f\n", cfg.UsableSets())
+	fmt.Printf("  hash range (FW)     : %.0f\n", cfg.HashRange())
+	fmt.Printf("  E(L_i)              : %.2f objects\n", cfg.ExpectedListLen())
+	fmt.Printf("  L2SWA(P)  (Eq. 6)   : %.2f\n", cfg.L2SWAPassive())
+	fmt.Printf("  L2SWA(A)            : %.2f\n", cfg.L2SWAActive())
+	fmt.Printf("  L2SWA(p=%.2f) (Eq.8): %.2f\n", *p, cfg.L2SWA(*p))
+	fmt.Printf("  total WA (Eq. 1)    : %.2f\n", cfg.TotalWA(1.0, *p))
+
+	kg := cfg
+	kg.HotColdDivision = false
+	fmt.Printf("  Kangaroo L2SWA(P)   : %.2f (no hot/cold division)\n\n", kg.L2SWAPassive())
+
+	fmt.Println("Table 6 — metadata bits per object:")
+	for _, r := range wamodel.Table6(wamodel.DefaultTable6()) {
+		fmt.Printf("  %-12s %6.1f bits/obj\n", r.Name, r.Total)
+	}
+	fmt.Println()
+
+	pc := wamodel.PBFGCostConfig{NumSGs: 350, TargetObjsPerSet: 40, PageSize: 4096}
+	fmt.Println("Appendix A — PBFG lookup cost (N=350):")
+	for _, fpr := range []float64{0.01, 0.001, 0.0001} {
+		pages, objs, total := wamodel.PBFGCost(pc, fpr)
+		fmt.Printf("  FPR %7.3f%%: %2.0f PBFG pages + %.2f object reads = %.2f\n",
+			fpr*100, pages, objs, total)
+	}
+	best, cost := wamodel.OptimalFPR(pc, nil)
+	fmt.Printf("  optimal FPR %.3f%% (cost %.2f)\n", best*100, cost)
+}

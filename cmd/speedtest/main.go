@@ -1,0 +1,52 @@
+// Command speedtest is a quick per-engine throughput and write-amplification
+// probe on a small simulated device — useful for spotting performance
+// regressions in any engine without running the full experiment suite.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nemo"
+)
+
+func main() {
+	builds := []struct {
+		name string
+		mk   func(*nemo.Device) (nemo.Engine, error)
+	}{
+		{"Nemo", func(d *nemo.Device) (nemo.Engine, error) { return nemo.New(nemo.DefaultConfig(d, 48)) }},
+		{"Log", func(d *nemo.Device) (nemo.Engine, error) { return nemo.NewLogCache(nemo.LogCacheConfig{Device: d}) }},
+		{"Set", func(d *nemo.Device) (nemo.Engine, error) {
+			return nemo.NewSetCache(nemo.SetCacheConfig{Device: d, OPRatio: 0.5})
+		}},
+		{"FW", func(d *nemo.Device) (nemo.Engine, error) { return nemo.NewFairyWREN(nemo.FairyWRENConfig{Device: d}) }},
+		{"KG", func(d *nemo.Device) (nemo.Engine, error) { return nemo.NewKangaroo(nemo.KangarooConfig{Device: d}) }},
+	}
+	for _, b := range builds {
+		dev := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 32, Zones: 56})
+		e, err := b.mk(dev)
+		if err != nil {
+			panic(err)
+		}
+		w, err := nemo.NewWorkload(dev.CapacityBytes()*14/10/4, 7)
+		if err != nil {
+			panic(err)
+		}
+		var req nemo.Request
+		start := time.Now()
+		ops := 50000
+		for i := 0; i < ops; i++ {
+			w.Next(&req)
+			if _, hit := e.Get(req.Key); !hit {
+				if err := e.Set(req.Key, req.Value); err != nil {
+					panic(err)
+				}
+			}
+		}
+		el := time.Since(start)
+		st := e.Stats()
+		fmt.Printf("%-5s %8.0f ops/s  ALWA=%6.2f totalWA=%6.2f miss=%4.1f%%\n",
+			b.name, float64(ops)/el.Seconds(), st.ALWA(), st.TotalWA(), st.MissRatio()*100)
+	}
+}

@@ -1,0 +1,74 @@
+// Command tracegen writes synthetic workload traces in the repository's
+// binary trace format, so experiments can replay byte-identical request
+// streams across engines and runs.
+//
+// Usage:
+//
+//	tracegen -out trace.bin -ops 1000000 [-cluster cluster14] [-wss 64MiB-bytes] [-seed 1]
+//	tracegen -out mix.bin -ops 1000000 -cluster all -wss 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nemo/internal/trace"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output file (required)")
+		ops     = flag.Int("ops", 1_000_000, "number of requests")
+		cluster = flag.String("cluster", "all", "cluster14|cluster29|cluster34|cluster52|all (interleaved)")
+		wss     = flag.Int64("wss", 64<<20, "target working-set size in bytes (per cluster for 'all')")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var stream trace.Stream
+	if *cluster == "all" {
+		s, err := trace.DefaultInterleaved(*wss, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		stream = s
+	} else {
+		cfg, err := trace.ClusterByName(*cluster)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Seed += *seed * 1000003
+		stream = trace.NewZipf(cfg.Scaled(*wss))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	var req trace.Request
+	for i := 0; i < *ops; i++ {
+		stream.Next(&req)
+		if err := w.Write(&req); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d requests to %s\n", w.Count(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

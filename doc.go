@@ -1,0 +1,34 @@
+// Package nemo is a from-scratch Go reproduction of "Nemo: A
+// Low-Write-Amplification Cache for Tiny Objects on Log-Structured Flash
+// Devices" (ASPLOS '26).
+//
+// Nemo is a flash cache for tiny (~250 B) objects that reaches near-ideal
+// write amplification by rearchitecting set-associative caching around
+// Set-Groups: many 4 KB sets hashed over a small range, aggregated in
+// memory, flushed as whole erase units, and evicted FIFO. An on-flash Bloom
+// filter index (PBFG) keeps memory at ~8 bits per object, and hybrid 1-bit
+// hotness tracking feeds writeback so hot objects survive eviction.
+//
+// The package exposes:
+//
+//   - The Nemo cache itself (New, Config, DefaultConfig).
+//   - The simulated zoned flash device it runs on (NewDevice) — the
+//     substitution for the paper's ZNS SSD, with full write/read/erase
+//     accounting and a virtual-time latency model.
+//   - The paper's four baselines as interchangeable engines
+//     (NewLogCache, NewSetCache, NewKangaroo, NewFairyWREN).
+//   - Workload generators parameterized like the paper's Twitter traces
+//     (NewWorkload, Clusters) and a replay harness (Replay).
+//
+// A minimal session:
+//
+//	dev := nemo.NewDevice(nemo.DeviceConfig{})          // 64 MB simulated ZNS
+//	cache, err := nemo.New(nemo.DefaultConfig(dev, 56)) // 56-zone SG pool
+//	if err != nil { ... }
+//	cache.Set([]byte("user:1234"), []byte("tiny object"))
+//	v, hit := cache.Get([]byte("user:1234"))
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results, and cmd/nemobench to regenerate every table
+// and figure.
+package nemo

@@ -1,0 +1,75 @@
+// Devicecompat demonstrates §6 of the paper ("Device compatibility"): the
+// same Nemo cache running on three device personalities —
+//
+//  1. a large-zone ZNS SSD (ZN540-like: one SG per zone, 14 open zones max),
+//  2. a small-zone ZNS SSD (PM1731a-like: an SG composed of 4 zones),
+//  3. a conventional namespace (no open-zone limit, FIFO writes only).
+//
+// Nemo's coarse-grained FIFO write pattern needs no code changes across
+// them — only the SG-to-erase-unit mapping differs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nemo"
+)
+
+type personality struct {
+	name       string
+	device     nemo.DeviceConfig
+	zonesPerSG int
+}
+
+func main() {
+	personalities := []personality{
+		{
+			name:       "large-zone ZNS (ZN540-like)",
+			device:     nemo.DeviceConfig{PagesPerZone: 128, Zones: 72, MaxOpenZones: 14},
+			zonesPerSG: 1,
+		},
+		{
+			name:       "small-zone ZNS (PM1731a-like)",
+			device:     nemo.DeviceConfig{PagesPerZone: 32, Zones: 288, MaxOpenZones: 14},
+			zonesPerSG: 4,
+		},
+		{
+			name:       "conventional namespace",
+			device:     nemo.DeviceConfig{PagesPerZone: 128, Zones: 72},
+			zonesPerSG: 1,
+		},
+	}
+	fmt.Printf("%-30s %10s %8s %8s %12s\n", "device", "fill", "WA", "miss", "zone resets")
+	for _, p := range personalities {
+		dev := nemo.NewDevice(p.device)
+		dataZones := dev.Zones() - 8*p.zonesPerSG
+		dataZones -= dataZones % p.zonesPerSG
+		cfg := nemo.DefaultConfig(dev, dataZones)
+		cfg.ZonesPerSG = p.zonesPerSG
+		cache, err := nemo.New(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		workload, err := nemo.NewWorkload(dev.CapacityBytes()*3/4, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nemo.Replay(cache, workload, nemo.ReplayConfig{
+			Ops:          1_200_000,
+			InterArrival: 10 * time.Microsecond,
+			Clock:        dev.Clock(),
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		fmt.Printf("%-30s %9.1f%% %8.2f %7.1f%% %12d\n",
+			p.name, cache.MeanFillRate()*100, cache.PaperWA(),
+			res.Final.MissRatio()*100, dev.Stats().ZoneResets)
+		cache.Close()
+	}
+	fmt.Println("\nSame engine, same write pattern — only the SG↔erase-unit mapping changes (§6).")
+	fmt.Println("On FDP SSDs the mapping inverts (several SGs per reclaim unit); the FIFO pool")
+	fmt.Println("ensures SGs sharing a reclaim unit die together, so DLWA stays ≈1 there too.")
+}

@@ -1,0 +1,60 @@
+// Tuning sweeps Nemo's two user-facing knobs the paper studies in its
+// sensitivity analysis: the flush threshold p_th (Figure 18 — later flushes
+// raise SG fill and lower WA, at the cost of sacrificed objects) and the
+// cached-PBFG ratio (Figure 19b — more index memory, fewer on-flash index
+// reads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nemo"
+)
+
+func run(ops int, mutate func(*nemo.Config)) (*nemo.Cache, nemo.ReplayResult) {
+	dev := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 64, Zones: 80})
+	cfg := nemo.DefaultConfig(dev, dev.Zones()-nemo.IndexZonesFor(dev.Zones()-4, 50)-1)
+	mutate(&cfg)
+	cache, err := nemo.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload, err := nemo.NewWorkload(dev.CapacityBytes()*3/4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nemo.Replay(cache, workload, nemo.ReplayConfig{
+		Ops: ops, InterArrival: 10 * time.Microsecond, Clock: dev.Clock(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cache, res
+}
+
+func main() {
+	ops := flag.Int("ops", 400_000, "requests per configuration")
+	flag.Parse()
+
+	fmt.Println("p_th sweep (Figure 18): flush threshold vs fill rate and WA")
+	fmt.Printf("%8s %10s %8s %12s\n", "p_th", "fill", "WA", "sacrificed")
+	for _, pth := range []int{1, 4, 16, 64, 256} {
+		cache, _ := run(*ops, func(c *nemo.Config) { c.FlushThreshold = pth })
+		fmt.Printf("%8d %9.1f%% %8.2f %12d\n",
+			pth, cache.MeanFillRate()*100, cache.PaperWA(), cache.Extra().Sacrificed)
+		cache.Close()
+	}
+
+	fmt.Println("\ncached-PBFG ratio sweep (Figure 19b): index memory vs index-pool reads")
+	fmt.Printf("%8s %12s %14s\n", "cached", "PBFG miss", "mem bits/obj")
+	for _, ratio := range []float64{0.2, 0.3, 0.4, 0.5, 0.6} {
+		cache, _ := run(*ops, func(c *nemo.Config) { c.CachedPBFGRatio = ratio })
+		_, _, miss := cache.PBFGStats()
+		fmt.Printf("%7.0f%% %11.2f%% %14.1f\n",
+			ratio*100, miss*100, cache.MemoryOverhead().TotalBitsPerObj)
+		cache.Close()
+	}
+}

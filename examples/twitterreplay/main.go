@@ -1,0 +1,63 @@
+// Twitterreplay drives Nemo with the paper's benchmark workload: the four
+// Table 5 Twitter-like clusters, Zipf-skewed and proportionally interleaved,
+// under enough working-set pressure to trigger SG eviction — then reports
+// the paper's three headline metrics (write amplification, miss ratio, read
+// latency percentiles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nemo"
+)
+
+func main() {
+	ops := flag.Int("ops", 1_500_000, "number of GET requests (misses demand-fill)")
+	flag.Parse()
+
+	dev := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 96, Zones: 120})
+	dataZones := 120 - nemo.IndexZonesFor(114, 50) - 1
+	cache, err := nemo.New(nemo.DefaultConfig(dev, dataZones))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+
+	// Working set ≈ 1.4× cache capacity, split over the four clusters.
+	wssPerCluster := dev.CapacityBytes() * 14 / 10 / 4
+	workload, err := nemo.NewWorkload(wssPerCluster, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replaying %d ops of the 4-cluster Twitter-like mix...\n", *ops)
+	res, err := nemo.Replay(cache, workload, nemo.ReplayConfig{
+		Ops:          *ops,
+		InterArrival: 10 * time.Microsecond,
+		Clock:        dev.Clock(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nwrite amplification : %.2f (paper: 1.56)\n", cache.PaperWA())
+	fmt.Printf("mean SG fill rate   : %.1f%% (paper: 89.3%%)\n", cache.MeanFillRate()*100)
+	fmt.Printf("miss ratio          : %.1f%%\n", res.Final.MissRatio()*100)
+	fmt.Printf("read latency        : p50=%v p99=%v p9999=%v\n",
+		res.Latency.P50, res.Latency.P99, res.Latency.P9999)
+	ex := cache.Extra()
+	fmt.Printf("SGs flushed         : %d (writeback objects: %d, sacrificed: %d)\n",
+		ex.SGsFlushed, ex.WriteBackObjs, ex.Sacrificed)
+	_, _, pbfgMiss := cache.PBFGStats()
+	fmt.Printf("PBFG cache misses   : %.1f%% of index lookups (paper: <8%% at 50%% cached)\n", pbfgMiss*100)
+
+	fmt.Println("\nWA timeline:")
+	for i, tp := range res.Timeline {
+		if i%8 == 0 {
+			fmt.Printf("  %9d ops  WA=%5.2f  miss=%5.1f%%\n", tp.Ops, tp.ALWA, tp.MissRatio*100)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package admission implements flash-cache admission policies. Admission is
+// the other lever (besides cache architecture, the paper's subject) that
+// production deployments use against write amplification: rejecting objects
+// unlikely to be re-read keeps them off flash entirely. CacheLib ships
+// probabilistic ("dynamic random") and reject-first policies; both are
+// provided here so experiments can combine them with any engine.
+package admission
+
+import (
+	"math/rand"
+	"sync"
+
+	"nemo/internal/hashing"
+)
+
+// Policy decides whether an object may be written to flash.
+type Policy interface {
+	// Admit reports whether the object should be inserted. Implementations
+	// may maintain state (e.g. seen-before sketches) and must be safe for
+	// concurrent use.
+	Admit(key []byte, size int) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// AdmitAll accepts everything — the default for the paper's experiments.
+type AdmitAll struct{}
+
+// Admit implements Policy.
+func (AdmitAll) Admit([]byte, int) bool { return true }
+
+// Name implements Policy.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Random admits each insert with a fixed probability, CacheLib's
+// "dynamic random" admission in its static form: flash write volume scales
+// down by the ratio at a hit-ratio cost.
+type Random struct {
+	P   float64
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a policy admitting with probability p (clamped to
+// [0, 1]), deterministic under seed.
+func NewRandom(p float64, seed int64) *Random {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &Random{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Admit implements Policy.
+func (r *Random) Admit([]byte, int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64() < r.P
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// RejectFirst admits an object only on its second appearance within the
+// sketch window ("reject first hit" / TinyLFU-style doorkeeper): one-hit
+// wonders — the majority of a Zipf tail — never reach flash.
+type RejectFirst struct {
+	mu    sync.Mutex
+	seen  []uint64 // fingerprint ring; zero means empty
+	mask  uint64
+	clock int
+}
+
+// NewRejectFirst returns a doorkeeper remembering roughly window recent
+// keys (rounded up to a power of two).
+func NewRejectFirst(window int) *RejectFirst {
+	size := 1
+	for size < window {
+		size *= 2
+	}
+	return &RejectFirst{seen: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// Admit implements Policy.
+func (rf *RejectFirst) Admit(key []byte, _ int) bool {
+	fp := hashing.Fingerprint(key)
+	if fp == 0 {
+		fp = 1
+	}
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	slot := fp & rf.mask
+	if rf.seen[slot] == fp {
+		return true // second appearance: admit
+	}
+	rf.seen[slot] = fp
+	return false
+}
+
+// Name implements Policy.
+func (rf *RejectFirst) Name() string { return "reject-first" }
+
+// SizeCap rejects objects larger than Max bytes (key+value), protecting
+// tiny-object caches from head-of-line blocking by large outliers.
+type SizeCap struct {
+	Max  int
+	Next Policy // consulted when the size check passes; nil admits
+}
+
+// Admit implements Policy.
+func (s SizeCap) Admit(key []byte, size int) bool {
+	if size > s.Max {
+		return false
+	}
+	if s.Next == nil {
+		return true
+	}
+	return s.Next.Admit(key, size)
+}
+
+// Name implements Policy.
+func (s SizeCap) Name() string { return "size-cap" }

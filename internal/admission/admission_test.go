@@ -1,0 +1,86 @@
+package admission
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAdmitAll(t *testing.T) {
+	var p AdmitAll
+	if !p.Admit([]byte("k"), 100) {
+		t.Fatal("AdmitAll rejected")
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestRandomProbability(t *testing.T) {
+	p := NewRandom(0.25, 1)
+	admitted := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if p.Admit(nil, 0) {
+			admitted++
+		}
+	}
+	got := float64(admitted) / float64(n)
+	if got < 0.23 || got > 0.27 {
+		t.Fatalf("admission rate %v, want ≈0.25", got)
+	}
+}
+
+func TestRandomClamped(t *testing.T) {
+	if NewRandom(-1, 1).Admit(nil, 0) {
+		t.Fatal("p<0 should admit nothing")
+	}
+	if !NewRandom(2, 1).Admit(nil, 0) {
+		t.Fatal("p>1 should admit everything")
+	}
+}
+
+func TestRejectFirstAdmitsSecondTouch(t *testing.T) {
+	p := NewRejectFirst(1024)
+	k := []byte("hot-key")
+	if p.Admit(k, 0) {
+		t.Fatal("first touch admitted")
+	}
+	if !p.Admit(k, 0) {
+		t.Fatal("second touch rejected")
+	}
+}
+
+func TestRejectFirstFiltersOneHitWonders(t *testing.T) {
+	p := NewRejectFirst(1 << 16)
+	admitted := 0
+	for i := 0; i < 10000; i++ {
+		if p.Admit([]byte(fmt.Sprintf("one-hit-%d", i)), 0) {
+			admitted++
+		}
+	}
+	// Unique keys should essentially never be admitted (hash collisions in
+	// the doorkeeper allow a tiny leak).
+	if admitted > 100 {
+		t.Fatalf("%d/10000 one-hit wonders admitted", admitted)
+	}
+}
+
+func TestSizeCap(t *testing.T) {
+	p := SizeCap{Max: 100}
+	if !p.Admit([]byte("k"), 100) {
+		t.Fatal("at-limit object rejected")
+	}
+	if p.Admit([]byte("k"), 101) {
+		t.Fatal("oversized object admitted")
+	}
+	chained := SizeCap{Max: 100, Next: NewRejectFirst(64)}
+	if chained.Admit([]byte("x"), 50) {
+		t.Fatal("chained policy ignored")
+	}
+	if !chained.Admit([]byte("x"), 50) {
+		t.Fatal("chained second touch rejected")
+	}
+	if chained.Name() == "" {
+		t.Fatal("empty name")
+	}
+}

@@ -1,0 +1,192 @@
+// Package bloom implements the fixed-size Bloom filters that back Nemo's
+// Parallel Bloom Filter Groups (PBFGs).
+//
+// Each cache set gets one filter sized for a target false-positive rate and
+// an expected object count; the filters for the same intra-SG offset across
+// the SGs of an index group are queried together with a shared, precomputed
+// probe set (the paper's "each hash function is computed once and the
+// results are shared across all filters", §5.5).
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"nemo/internal/hashing"
+)
+
+// ln2sq is (ln 2)^2, the constant in the optimal Bloom sizing formula.
+const ln2sq = 0.4804530139182014
+
+// SizeBits returns the optimal number of bits for n items at the target
+// false-positive rate, rounded up to a multiple of 64 so filters serialize
+// on word boundaries. n must be ≥ 1 and 0 < fpr < 1.
+func SizeBits(n int, fpr float64) int {
+	if n < 1 {
+		n = 1
+	}
+	if fpr <= 0 || fpr >= 1 {
+		panic(fmt.Sprintf("bloom: false-positive rate %v out of range (0,1)", fpr))
+	}
+	m := math.Ceil(-float64(n) * math.Log(fpr) / ln2sq)
+	bits := int(m)
+	if rem := bits % 64; rem != 0 {
+		bits += 64 - rem
+	}
+	return bits
+}
+
+// NumHashes returns the optimal probe count for the target false-positive
+// rate: k = log2(1/fpr), rounded to the nearest integer and at least 1.
+func NumHashes(fpr float64) int {
+	k := int(math.Round(-math.Log2(fpr)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// BitsPerObject returns the memory cost in bits per object of a filter with
+// the target false-positive rate (the 14.4 bits/object the paper reports for
+// 0.1%).
+func BitsPerObject(fpr float64) float64 {
+	return -math.Log2(fpr) / math.Ln2
+}
+
+// Filter is a fixed-size Bloom filter. Filters are created by New (fresh)
+// or FromBytes (deserialized from a flash page). The zero value is unusable.
+type Filter struct {
+	words []uint64
+	mbits uint64
+	k     int
+}
+
+// New returns an empty filter sized by SizeBits(n, fpr) with
+// NumHashes(fpr) probes.
+func New(n int, fpr float64) *Filter {
+	bits := SizeBits(n, fpr)
+	return &Filter{
+		words: make([]uint64, bits/64),
+		mbits: uint64(bits),
+		k:     NumHashes(fpr),
+	}
+}
+
+// Params returns the filter geometry (bit count and probe count).
+func (f *Filter) Params() (mbits int, k int) { return int(f.mbits), f.k }
+
+// SizeBytes returns the serialized size of the filter in bytes.
+func (f *Filter) SizeBytes() int { return len(f.words) * 8 }
+
+// Add inserts a fingerprint.
+func (f *Filter) Add(fp uint64) {
+	h1 := hashing.SplitMix64(fp ^ 0x51afd7ed558ccd9b)
+	h2 := hashing.SplitMix64(fp^0xc4ceb9fe1a85ec53) | 1
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.mbits
+		f.words[pos>>6] |= 1 << (pos & 63)
+	}
+}
+
+// Test reports whether fp may have been added (with the configured
+// false-positive probability) or definitely has not (false).
+func (f *Filter) Test(fp uint64) bool {
+	h1 := hashing.SplitMix64(fp ^ 0x51afd7ed558ccd9b)
+	h2 := hashing.SplitMix64(fp^0xc4ceb9fe1a85ec53) | 1
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.mbits
+		if f.words[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all bits, returning the filter to its empty state.
+func (f *Filter) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+}
+
+// AppendBytes serializes the filter's bit array (little-endian words) onto
+// dst and returns the extended slice. Geometry is not serialized; the reader
+// must know (n, fpr) from configuration, as Nemo's index pages do.
+func (f *Filter) AppendBytes(dst []byte) []byte {
+	for _, w := range f.words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}
+
+// FromBytes reconstructs a filter with the given geometry from a serialized
+// bit array produced by AppendBytes. The slice length must equal
+// SizeBits(n, fpr)/8.
+func FromBytes(b []byte, n int, fpr float64) (*Filter, error) {
+	bits := SizeBits(n, fpr)
+	if len(b) != bits/8 {
+		return nil, fmt.Errorf("bloom: serialized size %d does not match geometry %d bytes", len(b), bits/8)
+	}
+	f := &Filter{
+		words: make([]uint64, bits/64),
+		mbits: uint64(bits),
+		k:     NumHashes(fpr),
+	}
+	for i := range f.words {
+		off := i * 8
+		f.words[i] = uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 |
+			uint64(b[off+3])<<24 | uint64(b[off+4])<<32 | uint64(b[off+5])<<40 |
+			uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+	}
+	return f, nil
+}
+
+// TestRaw tests fp directly against a serialized filter without
+// materializing a Filter, using the shared probe positions ps. This is the
+// hot path for querying a packed PBFG page: one probe-set computation is
+// shared across tens of filters.
+func TestRaw(raw []byte, ps *ProbeSet) bool {
+	for _, pos := range ps.pos {
+		if raw[pos>>3]&(1<<(pos&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProbeSet holds precomputed probe positions for one fingerprint against a
+// fixed filter geometry, shared across all filters in a PBFG.
+type ProbeSet struct {
+	pos []uint64
+}
+
+// NewProbeSet computes the probe positions for fp against filters of mbits
+// bits with k probes.
+func NewProbeSet(fp uint64, mbits, k int) *ProbeSet {
+	ps := &ProbeSet{pos: make([]uint64, k)}
+	ps.Reuse(fp, mbits)
+	return ps
+}
+
+// Reuse recomputes the positions in place for a new fingerprint, avoiding
+// allocation on the lookup path.
+func (ps *ProbeSet) Reuse(fp uint64, mbits int) {
+	h1 := hashing.SplitMix64(fp ^ 0x51afd7ed558ccd9b)
+	h2 := hashing.SplitMix64(fp^0xc4ceb9fe1a85ec53) | 1
+	for i := range ps.pos {
+		ps.pos[i] = (h1 + uint64(i)*h2) % uint64(mbits)
+	}
+}
+
+// TestFilter applies the probe set to a materialized filter. The filter must
+// have the geometry the probe set was computed for.
+func (ps *ProbeSet) TestFilter(f *Filter) bool {
+	for _, pos := range ps.pos {
+		if f.words[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}

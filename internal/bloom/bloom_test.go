@@ -1,0 +1,167 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nemo/internal/hashing"
+)
+
+func TestSizeBitsMatchesPaper(t *testing.T) {
+	// §5.1: 0.1% FPR ⇒ 14.4 bits/obj; 40 objects ⇒ 576 bits = 72 bytes.
+	bits := SizeBits(40, 0.001)
+	if bits != 576 {
+		t.Fatalf("SizeBits(40, 0.001) = %d, want 576", bits)
+	}
+	if got := BitsPerObject(0.001); math.Abs(got-14.4) > 0.05 {
+		t.Fatalf("BitsPerObject(0.001) = %v, want ≈14.4", got)
+	}
+	// 1% FPR ⇒ ≈9.6 bits/obj (§4.1).
+	if got := BitsPerObject(0.01); math.Abs(got-9.585) > 0.05 {
+		t.Fatalf("BitsPerObject(0.01) = %v, want ≈9.6", got)
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(40, 0.001)
+	fps := make([]uint64, 40)
+	for i := range fps {
+		fps[i] = hashing.SplitMix64(uint64(i) + 1)
+		f.Add(fps[i])
+	}
+	for _, fp := range fps {
+		if !f.Test(fp) {
+			t.Fatalf("false negative for %x", fp)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(40, 0.001)
+	for i := 0; i < 40; i++ {
+		f.Add(hashing.SplitMix64(uint64(i) + 1))
+	}
+	trials := 200000
+	falsePos := 0
+	for i := 0; i < trials; i++ {
+		if f.Test(hashing.SplitMix64(uint64(i) + 1000000)) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / float64(trials)
+	if rate > 0.003 {
+		t.Fatalf("false-positive rate %v far above configured 0.001", rate)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f := New(40, 0.001)
+	for i := 0; i < 30; i++ {
+		f.Add(hashing.SplitMix64(uint64(i) * 3))
+	}
+	raw := f.AppendBytes(nil)
+	if len(raw) != f.SizeBytes() {
+		t.Fatalf("serialized %d bytes, want %d", len(raw), f.SizeBytes())
+	}
+	g, err := FromBytes(raw, 40, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if !g.Test(hashing.SplitMix64(uint64(i) * 3)) {
+			t.Fatalf("deserialized filter lost element %d", i)
+		}
+	}
+}
+
+func TestFromBytesRejectsWrongSize(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 10), 40, 0.001); err == nil {
+		t.Fatal("expected error for wrong serialized size")
+	}
+}
+
+func TestTestRawMatchesFilter(t *testing.T) {
+	mbits := SizeBits(40, 0.001)
+	k := NumHashes(0.001)
+	f := func(adds []uint64, probe uint64) bool {
+		filt := New(40, 0.001)
+		for _, a := range adds {
+			filt.Add(a)
+		}
+		raw := filt.AppendBytes(nil)
+		ps := NewProbeSet(probe, mbits, k)
+		return TestRaw(raw, ps) == filt.Test(probe) && ps.TestFilter(filt) == filt.Test(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeSetReuse(t *testing.T) {
+	mbits := SizeBits(40, 0.001)
+	k := NumHashes(0.001)
+	ps := NewProbeSet(1, mbits, k)
+	filt := New(40, 0.001)
+	filt.Add(12345)
+	ps.Reuse(12345, mbits)
+	if !ps.TestFilter(filt) {
+		t.Fatal("reused probe set missed an added element")
+	}
+	ps.Reuse(99999, mbits)
+	fresh := NewProbeSet(99999, mbits, k)
+	for i := range fresh.pos {
+		if fresh.pos[i] != ps.pos[i] {
+			t.Fatal("Reuse produced different positions than NewProbeSet")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(40, 0.01)
+	f.Add(7)
+	f.Reset()
+	if f.Test(7) {
+		t.Fatal("Reset did not clear the filter")
+	}
+}
+
+func TestPaperPBFGPagePacking(t *testing.T) {
+	// §5.1: 72-byte filters, 50 per 4 KB page ("each index group stores
+	// bloom filters for 50 SGs").
+	bf := SizeBits(40, 0.001) / 8
+	if bf*50 > 4096 {
+		t.Fatalf("50 filters of %d bytes do not fit a 4 KB page", bf)
+	}
+}
+
+// BenchmarkPBFGLookup1000 reproduces the §5.5 microbenchmark: computing the
+// candidate SGs through a PBFG of 1000 set-level Bloom filters with shared
+// probes (the paper measures ≈1 µs on GoogleTest).
+func BenchmarkPBFGLookup1000(b *testing.B) {
+	const filters = 1000
+	mbits := SizeBits(40, 0.001)
+	k := NumHashes(0.001)
+	raws := make([][]byte, filters)
+	for i := range raws {
+		f := New(40, 0.001)
+		for j := 0; j < 40; j++ {
+			f.Add(hashing.SplitMix64(uint64(i*40 + j)))
+		}
+		raws[i] = f.AppendBytes(nil)
+	}
+	ps := NewProbeSet(0, mbits, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.Reuse(hashing.SplitMix64(uint64(i)), mbits)
+		hits := 0
+		for _, raw := range raws {
+			if TestRaw(raw, ps) {
+				hits++
+			}
+		}
+		if hits < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package cachelib
+
+import (
+	"testing"
+
+	"nemo/internal/admission"
+)
+
+func TestReplayWithAdmissionPolicy(t *testing.T) {
+	// A never-admit policy must produce zero fills while misses still count.
+	e := newFake()
+	res, err := Replay(e, testStream(), ReplayConfig{
+		Ops:       2000,
+		Admission: admission.NewRandom(0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Sets != 0 {
+		t.Fatalf("never-admit policy allowed %d fills", res.Final.Sets)
+	}
+	if res.Final.MissRatio() != 1 {
+		t.Fatalf("miss ratio %v, want 1 with an empty cache", res.Final.MissRatio())
+	}
+}
+
+func TestReplayRejectFirstReducesFills(t *testing.T) {
+	withPolicy := func(p admission.Policy) uint64 {
+		e := newFake()
+		res, err := Replay(e, testStream(), ReplayConfig{Ops: 20000, Admission: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final.Sets
+	}
+	all := withPolicy(nil)
+	doorkept := withPolicy(admission.NewRejectFirst(1 << 14))
+	if doorkept >= all {
+		t.Fatalf("reject-first should reduce fills: %d vs %d", doorkept, all)
+	}
+	if doorkept == 0 {
+		t.Fatal("reject-first blocked everything; popular keys should pass")
+	}
+}

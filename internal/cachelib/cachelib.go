@@ -1,0 +1,101 @@
+// Package cachelib defines the engine contract every cache design in this
+// repository implements, plus the request replayer used by all experiments.
+// It plays the role CacheLib plays in the paper: a neutral harness that
+// feeds identical request streams to interchangeable flash-cache engines
+// and collects the paper's metrics (write amplification, miss ratio, read
+// latency).
+package cachelib
+
+import (
+	"time"
+
+	"nemo/internal/metrics"
+)
+
+// Engine is a flash cache engine. Implementations are safe for concurrent
+// use unless documented otherwise; the replayer drives them
+// single-threaded for determinism.
+type Engine interface {
+	// Name identifies the engine in reports ("Nemo", "Log", "Set", "KG", "FW").
+	Name() string
+	// Get returns the cached value (a fresh copy) and whether it hit.
+	Get(key []byte) (value []byte, hit bool)
+	// Set inserts or updates an object. Engines may reject objects that
+	// exceed their admission limits, returning an error.
+	Set(key, value []byte) error
+	// Stats returns cumulative counters.
+	Stats() Stats
+	// ReadLatency is the engine-maintained histogram of per-GET virtual
+	// latencies.
+	ReadLatency() *metrics.Histogram
+	// Close releases resources.
+	Close() error
+}
+
+// Stats is the common counter set. Engines fill the fields that apply;
+// the write-amplification definitions follow §5.2 of the paper.
+type Stats struct {
+	Gets uint64
+	Hits uint64
+	Sets uint64
+
+	// LogicalBytes counts user object bytes admitted — for Nemo, new
+	// objects only (writeback excluded, sacrificed objects included).
+	LogicalBytes uint64
+	// FlashBytesWritten counts application-level flash writes (ALWA
+	// numerator). For host-FTL engines this already includes GC traffic.
+	FlashBytesWritten uint64
+	// DeviceBytesWritten additionally includes device-internal GC
+	// (conventional-SSD engines); equals FlashBytesWritten otherwise.
+	DeviceBytesWritten uint64
+	// FlashBytesRead counts all flash reads (objects, index, writeback).
+	FlashBytesRead uint64
+	// FlashReadOps counts page read operations.
+	FlashReadOps uint64
+	// Evictions counts objects dropped from the cache.
+	Evictions uint64
+}
+
+// ALWA returns application-level write amplification (1 when no writes).
+func (s Stats) ALWA() float64 {
+	if s.LogicalBytes == 0 {
+		return 1
+	}
+	return float64(s.FlashBytesWritten) / float64(s.LogicalBytes)
+}
+
+// TotalWA returns end-to-end write amplification including device GC.
+func (s Stats) TotalWA() float64 {
+	if s.LogicalBytes == 0 {
+		return 1
+	}
+	dev := s.DeviceBytesWritten
+	if dev < s.FlashBytesWritten {
+		dev = s.FlashBytesWritten
+	}
+	return float64(dev) / float64(s.LogicalBytes)
+}
+
+// MissRatio returns 1 - hits/gets (0 when no gets).
+func (s Stats) MissRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return 1 - float64(s.Hits)/float64(s.Gets)
+}
+
+// ReadAmplification returns flash bytes read per hit byte served; the §5.5
+// comparison uses the ratio between engines.
+func (s Stats) ReadAmplification() float64 {
+	if s.Hits == 0 {
+		return 0
+	}
+	return float64(s.FlashBytesRead) / float64(s.Hits)
+}
+
+// Clock abstracts the virtual clock the replayer advances; satisfied by
+// *vtime.Clock.
+type Clock interface {
+	Now() time.Duration
+	Advance(time.Duration) time.Duration
+}

@@ -1,0 +1,147 @@
+package cachelib
+
+import (
+	"testing"
+	"time"
+
+	"nemo/internal/metrics"
+	"nemo/internal/trace"
+	"nemo/internal/vtime"
+)
+
+// fakeEngine is an unbounded map cache for exercising the replayer.
+type fakeEngine struct {
+	m    map[string][]byte
+	st   Stats
+	hist metrics.Histogram
+}
+
+func newFake() *fakeEngine { return &fakeEngine{m: make(map[string][]byte)} }
+
+func (f *fakeEngine) Name() string { return "fake" }
+func (f *fakeEngine) Get(key []byte) ([]byte, bool) {
+	f.st.Gets++
+	v, ok := f.m[string(key)]
+	if ok {
+		f.st.Hits++
+	}
+	f.hist.Record(time.Microsecond)
+	return v, ok
+}
+func (f *fakeEngine) Set(key, value []byte) error {
+	f.st.Sets++
+	f.st.LogicalBytes += uint64(len(key) + len(value))
+	f.st.FlashBytesWritten += uint64(len(key) + len(value))
+	f.m[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+func (f *fakeEngine) Stats() Stats                    { return f.st }
+func (f *fakeEngine) ReadLatency() *metrics.Histogram { return &f.hist }
+func (f *fakeEngine) Close() error                    { return nil }
+
+func testStream() trace.Stream {
+	return trace.NewZipf(trace.ClusterConfig{
+		Name: "t", KeySize: 16, ValueMean: 50, ValueStd: 10,
+		Keys: 500, ZipfAlpha: 1.3, Seed: 2,
+	})
+}
+
+func TestReplayDemandFill(t *testing.T) {
+	e := newFake()
+	res, err := Replay(e, testStream(), ReplayConfig{Ops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Gets != 10_000 {
+		t.Fatalf("gets = %d", res.Final.Gets)
+	}
+	// Every miss must have been filled.
+	if res.Final.Sets != res.Final.Gets-res.Final.Hits {
+		t.Fatalf("sets %d != misses %d", res.Final.Sets, res.Final.Gets-res.Final.Hits)
+	}
+	// With 500 keys and an unbounded cache, misses are only compulsory.
+	if res.Final.Sets > 500 {
+		t.Fatalf("more fills (%d) than distinct keys", res.Final.Sets)
+	}
+	if res.Final.MissRatio() > 0.2 {
+		t.Fatalf("miss ratio %v too high for unbounded cache", res.Final.MissRatio())
+	}
+}
+
+func TestReplayRawAllSets(t *testing.T) {
+	e := newFake()
+	res, err := ReplayRaw(e, testStream(), ReplayConfig{Ops: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Sets != 1000 || res.Final.Gets != 0 {
+		t.Fatalf("raw replay should only Set: %+v", res.Final)
+	}
+}
+
+func TestReplayAdvancesClock(t *testing.T) {
+	e := newFake()
+	clk := &vtime.Clock{}
+	_, err := Replay(e, testStream(), ReplayConfig{
+		Ops: 100, InterArrival: time.Millisecond, Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 100*time.Millisecond {
+		t.Fatalf("clock = %v, want 100ms", clk.Now())
+	}
+}
+
+func TestReplayTimelineAndMissSeries(t *testing.T) {
+	e := newFake()
+	res, err := Replay(e, testStream(), ReplayConfig{Ops: 6400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	last := res.Timeline[len(res.Timeline)-1]
+	if last.Ops != 6400 {
+		t.Fatalf("last sample at %d ops", last.Ops)
+	}
+	if res.Miss.Len() == 0 {
+		t.Fatal("no miss-ratio windows")
+	}
+	// Miss ratio should decline as the unbounded cache warms.
+	first, lastMiss := res.Miss.Y[0], res.Miss.Y[res.Miss.Len()-1]
+	if lastMiss > first {
+		t.Fatalf("miss ratio rose from %v to %v on an unbounded cache", first, lastMiss)
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-9 && d > -1e-9
+	}
+	s := Stats{Gets: 100, Hits: 80, LogicalBytes: 1000, FlashBytesWritten: 1560,
+		DeviceBytesWritten: 3120, FlashBytesRead: 8000}
+	if got := s.MissRatio(); !approx(got, 0.2) {
+		t.Fatalf("miss = %v", got)
+	}
+	if got := s.ALWA(); !approx(got, 1.56) {
+		t.Fatalf("ALWA = %v", got)
+	}
+	if got := s.TotalWA(); !approx(got, 3.12) {
+		t.Fatalf("TotalWA = %v", got)
+	}
+	if got := s.ReadAmplification(); got != 100 {
+		t.Fatalf("readamp = %v", got)
+	}
+	var zero Stats
+	if zero.ALWA() != 1 || zero.MissRatio() != 0 || zero.TotalWA() != 1 {
+		t.Fatal("zero-value stats should degrade gracefully")
+	}
+	// DeviceBytesWritten below FlashBytesWritten clamps up.
+	s2 := Stats{LogicalBytes: 100, FlashBytesWritten: 200, DeviceBytesWritten: 0}
+	if s2.TotalWA() != 2 {
+		t.Fatalf("TotalWA clamp = %v", s2.TotalWA())
+	}
+}

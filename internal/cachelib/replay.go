@@ -1,0 +1,130 @@
+package cachelib
+
+import (
+	"time"
+
+	"nemo/internal/admission"
+	"nemo/internal/metrics"
+	"nemo/internal/trace"
+)
+
+// ReplayConfig controls a replay run.
+type ReplayConfig struct {
+	// Ops is the number of GET requests to issue.
+	Ops int
+	// InterArrival is the virtual time advanced between requests
+	// (default 10 µs ≈ 100 K req/s, enough to expose write interference).
+	InterArrival time.Duration
+	// MissFill, when true (the default via Replay), issues Set(key, value)
+	// after every GET miss — the demand-fill pattern of a look-aside cache.
+	MissFill bool
+	// WindowOps is the miss-ratio window size in requests (default Ops/64).
+	WindowOps uint64
+	// SampleEveryOps is the timeline sampling period (default Ops/64).
+	SampleEveryOps int
+	// Clock, when set, is advanced by InterArrival per request.
+	Clock Clock
+	// Admission gates demand fills; nil admits everything.
+	Admission admission.Policy
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.InterArrival == 0 {
+		c.InterArrival = 10 * time.Microsecond
+	}
+	if c.WindowOps == 0 {
+		if c.Ops >= 64 {
+			c.WindowOps = uint64(c.Ops / 64)
+		} else {
+			c.WindowOps = 1
+		}
+	}
+	if c.SampleEveryOps == 0 {
+		c.SampleEveryOps = c.Ops / 64
+		if c.SampleEveryOps == 0 {
+			c.SampleEveryOps = 1
+		}
+	}
+	return c
+}
+
+// TimelinePoint is one periodic sample of engine state during replay.
+type TimelinePoint struct {
+	Ops               uint64
+	VTime             time.Duration
+	ALWA              float64
+	TotalWA           float64
+	MissRatio         float64 // cumulative
+	FlashBytesWritten uint64
+}
+
+// ReplayResult aggregates everything an experiment needs from one run.
+type ReplayResult struct {
+	Engine   string
+	Final    Stats
+	Miss     *metrics.Series // windowed miss ratio vs ops
+	Timeline []TimelinePoint
+	Latency  metrics.Snapshot
+}
+
+// Replay issues cfg.Ops GET requests from the stream against the engine,
+// demand-filling on miss, and collects the standard metrics.
+func Replay(e Engine, s trace.Stream, cfg ReplayConfig) (ReplayResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.MissFill = true
+	return replay(e, s, cfg)
+}
+
+// ReplayRaw is Replay without forcing demand-fill (used by insert-only
+// experiments, where every request is a Set).
+func ReplayRaw(e Engine, s trace.Stream, cfg ReplayConfig) (ReplayResult, error) {
+	cfg = cfg.withDefaults()
+	return replay(e, s, cfg)
+}
+
+func replay(e Engine, s trace.Stream, cfg ReplayConfig) (ReplayResult, error) {
+	res := ReplayResult{Engine: e.Name()}
+	missWin := metrics.NewRatioWindow(cfg.WindowOps)
+	var req trace.Request
+	for i := 0; i < cfg.Ops; i++ {
+		if cfg.Clock != nil {
+			cfg.Clock.Advance(cfg.InterArrival)
+		}
+		s.Next(&req)
+		if cfg.MissFill {
+			_, hit := e.Get(req.Key)
+			missWin.Observe(!hit)
+			if !hit {
+				if cfg.Admission != nil && !cfg.Admission.Admit(req.Key, len(req.Key)+len(req.Value)) {
+					continue
+				}
+				if err := e.Set(req.Key, req.Value); err != nil {
+					return res, err
+				}
+			}
+		} else {
+			if err := e.Set(req.Key, req.Value); err != nil {
+				return res, err
+			}
+		}
+		if (i+1)%cfg.SampleEveryOps == 0 {
+			st := e.Stats()
+			var vt time.Duration
+			if cfg.Clock != nil {
+				vt = cfg.Clock.Now()
+			}
+			res.Timeline = append(res.Timeline, TimelinePoint{
+				Ops:               uint64(i + 1),
+				VTime:             vt,
+				ALWA:              st.ALWA(),
+				TotalWA:           st.TotalWA(),
+				MissRatio:         st.MissRatio(),
+				FlashBytesWritten: st.FlashBytesWritten,
+			})
+		}
+	}
+	res.Final = e.Stats()
+	res.Miss = missWin.Series()
+	res.Latency = e.ReadLatency().Snapshot()
+	return res, nil
+}

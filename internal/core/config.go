@@ -1,0 +1,175 @@
+// Package core implements Nemo, the paper's contribution: a flash cache for
+// tiny objects that reaches near-ideal write amplification by rearchitecting
+// set-associative caching around Set-Groups (SGs) with a small hash space,
+// an on-flash Bloom-filter index (PBFG) with an in-memory FIFO index cache,
+// and hybrid 1-bit hotness tracking (§4 of the paper).
+package core
+
+import (
+	"fmt"
+
+	"nemo/internal/flashsim"
+)
+
+// Config configures a Nemo cache. DefaultConfig gives the Table 3 defaults
+// scaled to the device geometry.
+type Config struct {
+	// Device is the zoned flash device. One SG occupies exactly one zone;
+	// the set size equals the device page size and SetsPerSG equals the
+	// device's pages per zone.
+	Device *flashsim.Device
+
+	// DataZones is the on-flash SG pool capacity in zones. The remaining
+	// zones host the index pool; New validates that enough exist.
+	DataZones int
+
+	// ZonesPerSG makes one SG span several zones (default 1). This is the
+	// §6 small-zone ZNS deployment ("an SG is composed of multiple
+	// zones"): the logical SG stays erase-unit aligned while each
+	// constituent zone is appended and reset individually. DataZones must
+	// be a multiple of ZonesPerSG.
+	ZonesPerSG int
+
+	// InMemSGs is the number of buffered in-memory SGs (Table 3: 2).
+	InMemSGs int
+
+	// FlushThreshold is p_th: the number of sacrificed (early-evicted)
+	// objects tolerated before the front SG is flushed. The shipped system
+	// uses a count-based threshold (Table 3 note).
+	FlushThreshold int
+
+	// RearFullRatio flushes the front SG when the rear SG's fill rate
+	// reaches this fraction (the "rear SG is nearly full" trigger, §4.2).
+	RearFullRatio float64
+
+	// SGsPerIndexGroup is the number of SGs whose set-level Bloom filters
+	// form one index group (Table 3: 50; each PBFG page then packs the
+	// filters of one intra-SG offset across the group's SGs).
+	SGsPerIndexGroup int
+
+	// BloomFPR is the PBFG false-positive rate (Table 3: 0.001).
+	BloomFPR float64
+
+	// TargetObjsPerSet sizes each set-level Bloom filter (§5.1: 40).
+	TargetObjsPerSet int
+
+	// CachedPBFGRatio is the fraction of PBFG pages kept in the in-memory
+	// FIFO index cache (Table 3: 0.5).
+	CachedPBFGRatio float64
+
+	// HotTrackTailRatio restricts hotness bitmaps to SGs in the oldest
+	// fraction of the pool (Table 3: "last 30% of cache" = 0.3).
+	HotTrackTailRatio float64
+
+	// CoolingWriteRatio triggers a cooling pass every time this fraction
+	// of pool capacity has been written (Table 3: every 10% = 0.1).
+	CoolingWriteRatio float64
+
+	// BufferedSGs enables technique B (buffered in-memory SGs). When
+	// false, a single in-memory SG is used and there is no rear-full
+	// trigger — the "naïve" flush-on-collision behaviour of Figure 17.
+	BufferedSGs bool
+
+	// DelayedFlush enables technique P (sacrifice-based delayed flushing).
+	DelayedFlush bool
+
+	// Writeback enables technique W (hotness-aware writeback on eviction).
+	Writeback bool
+}
+
+// DefaultConfig returns Table 3 defaults scaled to the device: 2 in-memory
+// SGs, count-based flush threshold proportional to SG size, 50 SGs per
+// index group, 0.1% Bloom FPR, 50% cached PBFGs, hotness tracked over the
+// last 30% of the pool, cooling every 10% of capacity written, and all
+// three fill-rate techniques enabled.
+func DefaultConfig(dev *flashsim.Device, dataZones int) Config {
+	setsPerSG := dev.PagesPerZone()
+	pth := setsPerSG / 16
+	if pth < 8 {
+		pth = 8
+	}
+	return Config{
+		Device:            dev,
+		DataZones:         dataZones,
+		ZonesPerSG:        1,
+		InMemSGs:          2,
+		FlushThreshold:    pth,
+		RearFullRatio:     0.95,
+		SGsPerIndexGroup:  50,
+		BloomFPR:          0.001,
+		TargetObjsPerSet:  40,
+		CachedPBFGRatio:   0.5,
+		HotTrackTailRatio: 0.3,
+		CoolingWriteRatio: 0.1,
+		BufferedSGs:       true,
+		DelayedFlush:      true,
+		Writeback:         true,
+	}
+}
+
+// IndexZonesFor returns the number of index-pool zones New reserves for a
+// pool of dataZones single-zone SGs grouped by sgsPerGroup: one zone per
+// live group plus slack for the group being sealed while the oldest drains.
+// Multi-zone-SG configurations use Config.IndexZones.
+func IndexZonesFor(dataZones, sgsPerGroup int) int {
+	return (dataZones+sgsPerGroup-1)/sgsPerGroup + 2
+}
+
+// IndexZones returns the index-pool reservation for this configuration:
+// each index group occupies one SG worth of zones.
+func (c Config) IndexZones() int {
+	zps := c.ZonesPerSG
+	if zps < 1 {
+		zps = 1
+	}
+	dataSGs := c.DataZones / zps
+	return ((dataSGs+c.SGsPerIndexGroup-1)/c.SGsPerIndexGroup + 2) * zps
+}
+
+func (c Config) validate() error {
+	if c.Device == nil {
+		return fmt.Errorf("core: nil device")
+	}
+	if c.ZonesPerSG < 1 {
+		return fmt.Errorf("core: ZonesPerSG %d must be at least 1", c.ZonesPerSG)
+	}
+	if c.DataZones < 2*c.ZonesPerSG {
+		return fmt.Errorf("core: DataZones %d must hold at least 2 SGs of %d zones", c.DataZones, c.ZonesPerSG)
+	}
+	if c.DataZones%c.ZonesPerSG != 0 {
+		return fmt.Errorf("core: DataZones %d not a multiple of ZonesPerSG %d", c.DataZones, c.ZonesPerSG)
+	}
+	if c.InMemSGs < 1 {
+		return fmt.Errorf("core: InMemSGs %d must be at least 1", c.InMemSGs)
+	}
+	if c.FlushThreshold < 1 {
+		return fmt.Errorf("core: FlushThreshold %d must be at least 1", c.FlushThreshold)
+	}
+	if c.RearFullRatio <= 0 || c.RearFullRatio > 1 {
+		return fmt.Errorf("core: RearFullRatio %v out of range (0,1]", c.RearFullRatio)
+	}
+	if c.SGsPerIndexGroup < 1 {
+		return fmt.Errorf("core: SGsPerIndexGroup %d must be at least 1", c.SGsPerIndexGroup)
+	}
+	if c.BloomFPR <= 0 || c.BloomFPR >= 1 {
+		return fmt.Errorf("core: BloomFPR %v out of range (0,1)", c.BloomFPR)
+	}
+	if c.TargetObjsPerSet < 1 {
+		return fmt.Errorf("core: TargetObjsPerSet %d must be at least 1", c.TargetObjsPerSet)
+	}
+	if c.CachedPBFGRatio < 0 || c.CachedPBFGRatio > 1 {
+		return fmt.Errorf("core: CachedPBFGRatio %v out of range [0,1]", c.CachedPBFGRatio)
+	}
+	if c.HotTrackTailRatio < 0 || c.HotTrackTailRatio > 1 {
+		return fmt.Errorf("core: HotTrackTailRatio %v out of range [0,1]", c.HotTrackTailRatio)
+	}
+	if c.CoolingWriteRatio <= 0 {
+		return fmt.Errorf("core: CoolingWriteRatio %v must be positive", c.CoolingWriteRatio)
+	}
+	need := c.DataZones + c.IndexZones()
+	if need > c.Device.Zones() {
+		return fmt.Errorf("core: need %d zones (%d data + %d index) but device has %d",
+			need, c.DataZones, c.IndexZones(), c.Device.Zones())
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nemo/internal/bloom"
+)
+
+// flashSG describes one immutable on-flash Set-Group in the FIFO pool.
+type flashSG struct {
+	id    uint64 // monotonically increasing flush sequence number
+	zones []int  // data zones holding the SG (len == Config.ZonesPerSG)
+	group *idxGroup
+	slot  int // position of this SG's filters within the group
+
+	setCounts []uint16 // objects per set at flush time
+	slotBase  []uint32 // prefix sums over setCounts (len SetsPerSG+1)
+	objCount  int
+	fill      float64 // aggregate fill rate at flush
+	dead      bool
+
+	// bits is the 1-bit-per-object hotness bitmap, allocated lazily once
+	// the SG enters the tracked tail of the pool (§4.4).
+	bits []uint64
+}
+
+func (sg *flashSG) ensureBases() {
+	if sg.slotBase != nil {
+		return
+	}
+	sg.slotBase = make([]uint32, len(sg.setCounts)+1)
+	var run uint32
+	for i, c := range sg.setCounts {
+		sg.slotBase[i] = run
+		run += uint32(c)
+	}
+	sg.slotBase[len(sg.setCounts)] = run
+}
+
+// bitIndex returns the bitmap position of (set o, slot s).
+func (sg *flashSG) bitIndex(o, s int) uint32 {
+	sg.ensureBases()
+	return sg.slotBase[o] + uint32(s)
+}
+
+func (sg *flashSG) ensureBits() {
+	if sg.bits == nil {
+		sg.bits = make([]uint64, (sg.objCount+63)/64)
+	}
+}
+
+func (sg *flashSG) setBit(o, s int) {
+	sg.ensureBits()
+	i := sg.bitIndex(o, s)
+	sg.bits[i>>6] |= 1 << (i & 63)
+}
+
+func (sg *flashSG) bit(o, s int) bool {
+	if sg.bits == nil {
+		return false
+	}
+	i := sg.bitIndex(o, s)
+	return sg.bits[i>>6]&(1<<(i&63)) != 0
+}
+
+// clearSet clears all hotness bits of set o (cooling, §4.4).
+func (sg *flashSG) clearSet(o int) {
+	if sg.bits == nil {
+		return
+	}
+	sg.ensureBases()
+	for i := sg.slotBase[o]; i < sg.slotBase[o+1]; i++ {
+		sg.bits[i>>6] &^= 1 << (i & 63)
+	}
+}
+
+// idxGroup aggregates the set-level Bloom filters of up to SGsPerIndexGroup
+// SGs (§4.3). While unsealed, the filters live in the in-memory index-group
+// buffer; sealing packs them into PBFG pages (one per intra-SG offset, each
+// holding the filters of that offset across all member SGs) and writes them
+// to an index-pool zone.
+type idxGroup struct {
+	id        int
+	zones     []int // index zones once sealed, nil before
+	sealed    bool
+	members   []*flashSG
+	liveCount int
+	// slotBF[s] holds member s's filters: SetsPerSG filters of bfBytes
+	// each, concatenated by set offset. Retained until sealing; the page
+	// for offset o is assembled by gathering slice o from every member.
+	slotBF [][]byte
+}
+
+// pageFor assembles the PBFG page for intra-SG offset o from the unsealed
+// buffer (used at seal time).
+func (g *idxGroup) pageFor(o, bfBytes, pageSize int) []byte {
+	page := make([]byte, 0, pageSize)
+	for _, bf := range g.slotBF {
+		page = append(page, bf[o*bfBytes:(o+1)*bfBytes]...)
+	}
+	return page
+}
+
+// pbfgKey identifies one PBFG page: the filters of intra-SG offset Set
+// across index group Group's SGs.
+type pbfgKey struct {
+	group int
+	set   int
+}
+
+// pbfgCache is the FIFO in-memory index cache (§5.1: "The index cache is
+// FIFO-style, which reduces lock contention ... compared to LRU").
+type pbfgCache struct {
+	capacity int
+	queue    []pbfgKey
+	head     int // index of the oldest entry within queue
+	pages    map[pbfgKey][]byte
+
+	lookups uint64 // sealed-group PBFG queries
+	misses  uint64 // queries requiring a flash fetch
+}
+
+func newPBFGCache(capacity int) *pbfgCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &pbfgCache{capacity: capacity, pages: make(map[pbfgKey][]byte)}
+}
+
+func (pc *pbfgCache) has(k pbfgKey) bool {
+	_, ok := pc.pages[k]
+	return ok
+}
+
+func (pc *pbfgCache) get(k pbfgKey) ([]byte, bool) {
+	p, ok := pc.pages[k]
+	return p, ok
+}
+
+func (pc *pbfgCache) put(k pbfgKey, page []byte) {
+	if pc.capacity == 0 {
+		return
+	}
+	if _, ok := pc.pages[k]; ok {
+		return
+	}
+	for len(pc.pages) >= pc.capacity {
+		old := pc.queue[pc.head]
+		pc.head++
+		if _, ok := pc.pages[old]; ok {
+			delete(pc.pages, old)
+		}
+		pc.maybeCompact()
+	}
+	pc.pages[k] = page
+	pc.queue = append(pc.queue, k)
+}
+
+// dropGroup purges a dead group's pages so stale entries stop consuming
+// capacity.
+func (pc *pbfgCache) dropGroup(group int) {
+	for k := range pc.pages {
+		if k.group == group {
+			delete(pc.pages, k)
+		}
+	}
+	// Queue entries for deleted keys are skipped on eviction.
+}
+
+func (pc *pbfgCache) maybeCompact() {
+	if pc.head > len(pc.queue)/2 && pc.head > 1024 {
+		pc.queue = append([]pbfgKey(nil), pc.queue[pc.head:]...)
+		pc.head = 0
+	}
+}
+
+// getPBFG returns the raw PBFG page for (group, set o), consulting the
+// unsealed buffer, the index cache, or flash in that order. The returned
+// completion time is zero unless a flash read was issued.
+func (c *Cache) getPBFG(g *idxGroup, o int) (raw []byte, done time.Duration, err error) {
+	return c.fetchPBFG(g, o, true)
+}
+
+// fetchPBFG implements getPBFG; countStats distinguishes lookup-path
+// queries (counted in the Figure 19b index-cache miss ratio) from
+// eviction-path shadow checks (flash reads still accounted, but not as
+// index-cache traffic).
+func (c *Cache) fetchPBFG(g *idxGroup, o int, countStats bool) (raw []byte, done time.Duration, err error) {
+	if !g.sealed {
+		return nil, 0, nil // caller tests unsealed filters per slot
+	}
+	k := pbfgKey{group: g.id, set: o}
+	if countStats {
+		c.icache.lookups++
+	}
+	if page, ok := c.icache.get(k); ok {
+		return page, 0, nil
+	}
+	if countStats {
+		c.icache.misses++
+	}
+	page := make([]byte, c.pageSize)
+	d, err := c.dev.ReadPage(c.pageAddrIn(g.zones, o), page)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: reading PBFG page: %w", err)
+	}
+	c.stats.FlashReadOps++
+	c.stats.FlashBytesRead += uint64(c.pageSize)
+	c.icache.put(k, page)
+	return page, d, nil
+}
+
+// pbfgResident reports whether the PBFG covering (group, set o) is in
+// memory — cached, or still in the unsealed index-group buffer. This is the
+// recency half of the hybrid hotness signal (§4.4) and must not trigger I/O.
+func (c *Cache) pbfgResident(g *idxGroup, o int) bool {
+	if !g.sealed {
+		return true
+	}
+	return c.icache.has(pbfgKey{group: g.id, set: o})
+}
+
+// testMember tests member slot s of group g for fp at offset o using the
+// assembled page (sealed) or the buffer (unsealed).
+func (c *Cache) testMember(g *idxGroup, page []byte, s, o int, ps *bloom.ProbeSet) bool {
+	if g.sealed {
+		return bloom.TestRaw(page[s*c.bfBytes:(s+1)*c.bfBytes], ps)
+	}
+	bf := g.slotBF[s]
+	return bloom.TestRaw(bf[o*c.bfBytes:(o+1)*c.bfBytes], ps)
+}

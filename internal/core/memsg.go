@@ -1,0 +1,109 @@
+package core
+
+import "nemo/internal/setblock"
+
+// memSG is a mutable in-memory Set-Group: SetsPerSG page-sized set blocks
+// aggregating incoming objects until flush (§4.1 "an SG begins as a mutable
+// in-memory structure").
+type memSG struct {
+	sets []*setblock.Block
+	// newBytes counts user bytes inserted into this SG, including objects
+	// later sacrificed by delayed flushing (the paper's WA denominator,
+	// §5.2); writeback bytes are tracked separately and excluded.
+	newBytes uint64
+	wbBytes  uint64
+	newObjs  int
+	wbObjs   int
+	used     int // Σ set Used(), maintained incrementally
+}
+
+func newMemSG(setsPerSG, setSize int) *memSG {
+	sg := &memSG{sets: make([]*setblock.Block, setsPerSG)}
+	for i := range sg.sets {
+		sg.sets[i] = setblock.New(setSize)
+		sg.used += sg.sets[i].Used()
+	}
+	return sg
+}
+
+// fillRate returns the SG's aggregate fill rate in [0, 1].
+func (sg *memSG) fillRate() float64 {
+	if len(sg.sets) == 0 {
+		return 0
+	}
+	return float64(sg.used) / float64(len(sg.sets)*sg.sets[0].Size())
+}
+
+// insert places the entry in set o if it fits, updating accounting.
+// writeback marks re-inserted (evicted-SG) objects whose bytes do not count
+// as logical writes.
+func (sg *memSG) insert(o int, fp uint64, key, value []byte, writeback bool) bool {
+	blk := sg.sets[o]
+	before := blk.Used()
+	// A replace may free room even when CanFit on the raw size fails, so
+	// attempt the insert and let the block decide.
+	if !blk.Insert(fp, key, value) {
+		sg.used += blk.Used() - before
+		return false
+	}
+	sg.used += blk.Used() - before
+	if writeback {
+		sg.wbBytes += uint64(len(key) + len(value))
+		sg.wbObjs++
+	} else {
+		sg.newBytes += uint64(len(key) + len(value))
+		sg.newObjs++
+	}
+	return true
+}
+
+// canFit reports whether set o can accept the entry, accounting for an
+// existing version that an insert would replace.
+func (sg *memSG) canFit(o int, fp uint64, key []byte, valLen int) bool {
+	blk := sg.sets[o]
+	free := blk.Free()
+	if old, _, ok := blk.Lookup(fp, key); ok {
+		free += setblock.EntrySize(len(key), len(old))
+	}
+	return setblock.EntrySize(len(key), valLen) <= free
+}
+
+// remove deletes (fp, key) from set o if present.
+func (sg *memSG) remove(o int, fp uint64, key []byte) bool {
+	blk := sg.sets[o]
+	before := blk.Used()
+	ok := blk.Remove(fp, key)
+	sg.used += blk.Used() - before
+	return ok
+}
+
+// sacrifice evicts the oldest entries from set o until an entry of the
+// given size fits, returning how many objects were evicted.
+func (sg *memSG) sacrifice(o int, need int) int {
+	blk := sg.sets[o]
+	n := 0
+	for blk.Free() < need {
+		before := blk.Used()
+		if _, ok := blk.EvictOldest(); !ok {
+			break
+		}
+		sg.used += blk.Used() - before
+		n++
+	}
+	return n
+}
+
+// lookup searches set o.
+func (sg *memSG) lookup(o int, fp uint64, key []byte) ([]byte, bool) {
+	v, _, ok := sg.sets[o].Lookup(fp, key)
+	return v, ok
+}
+
+// objCount returns the total number of entries across all sets.
+func (sg *memSG) objCount() int {
+	n := 0
+	for _, b := range sg.sets {
+		n += b.Count()
+	}
+	return n
+}

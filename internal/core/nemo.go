@@ -1,0 +1,620 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nemo/internal/bloom"
+	"nemo/internal/cachelib"
+	"nemo/internal/flashsim"
+	"nemo/internal/hashing"
+	"nemo/internal/metrics"
+	"nemo/internal/setblock"
+)
+
+// Cache is a Nemo flash cache. Safe for concurrent use (coarse lock; the
+// production system's fine-grained locking is a throughput optimization
+// orthogonal to the metrics reproduced here).
+//
+// Consistency model: Get returns the most recent Set for a key as long as
+// that copy is still cached. Because Nemo deliberately has no exact
+// per-object index (§4.3), overwritten copies on flash are not deleted; if
+// the newest copy is dropped early (sacrificed by delayed flushing or
+// evicted), a Get may observe the previous still-cached value until it ages
+// out of the FIFO pool. Hits never return corrupt or cross-key data — every
+// entry carries a fingerprint and full key bytes that are verified on read.
+// Workloads needing strict read-your-writes should treat overwrites as
+// invalidations (delete-then-set at a higher layer), as with the paper's
+// CacheLib deployment.
+type Cache struct {
+	cfg       Config
+	dev       *flashsim.Device
+	pageSize  int
+	setsPerSG int
+	bfBytes   int // serialized bytes of one set-level Bloom filter
+	bfBits    int
+	bfK       int
+
+	mu sync.Mutex
+
+	// Buffered in-memory SGs: memq[0] is the front (next to flush),
+	// memq[len-1] the rear.
+	memq     []*memSG
+	sacCount int
+
+	// On-flash FIFO SG pool, oldest first. IDs are dense and increasing,
+	// so pool position = id - pool[0].id.
+	pool     []*flashSG
+	nextSGID uint64
+
+	groups    []*idxGroup // creation order; open group is the last unsealed
+	nextGroup int
+	icache    *pbfgCache
+
+	freeDataZones  []int
+	freeIndexZones []int
+
+	bytesSinceCool uint64
+
+	stats    cachelib.Stats
+	extra    NemoStats
+	flushLog []FlushRecord
+	hist     metrics.Histogram
+
+	scratch    []byte
+	pageBuf    []byte
+	readBufs   [][]byte // reusable candidate-read buffers (guarded by mu)
+	candidates []*flashSG
+	addrs      []int
+	probes     *bloom.ProbeSet
+	flushing   bool // guards against recursive flush via writeback
+}
+
+// New creates a Nemo cache on the configured device.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dev := cfg.Device
+	bfBits := bloom.SizeBits(cfg.TargetObjsPerSet, cfg.BloomFPR)
+	bfBytes := bfBits / 8
+	if bfBytes*cfg.SGsPerIndexGroup > dev.PageSize() {
+		return nil, fmt.Errorf("core: %d filters of %d bytes exceed the %d-byte PBFG page; lower SGsPerIndexGroup or BloomFPR",
+			cfg.SGsPerIndexGroup, bfBytes, dev.PageSize())
+	}
+	if !cfg.BufferedSGs {
+		cfg.InMemSGs = 1
+	}
+	c := &Cache{
+		cfg:       cfg,
+		dev:       dev,
+		pageSize:  dev.PageSize(),
+		setsPerSG: cfg.ZonesPerSG * dev.PagesPerZone(),
+		bfBytes:   bfBytes,
+		bfBits:    bfBits,
+		bfK:       bloom.NumHashes(cfg.BloomFPR),
+		scratch:   make([]byte, dev.PageSize()),
+		pageBuf:   make([]byte, 0, dev.PageSize()),
+	}
+	c.probes = bloom.NewProbeSet(0, c.bfBits, c.bfK)
+	for i := 0; i < cfg.InMemSGs; i++ {
+		c.memq = append(c.memq, newMemSG(c.setsPerSG, c.pageSize))
+	}
+	for z := cfg.DataZones - 1; z >= 0; z-- {
+		c.freeDataZones = append(c.freeDataZones, z)
+	}
+	idxZones := cfg.IndexZones()
+	for z := cfg.DataZones + idxZones - 1; z >= cfg.DataZones; z-- {
+		c.freeIndexZones = append(c.freeIndexZones, z)
+	}
+	dataSGs := cfg.DataZones / cfg.ZonesPerSG
+	maxGroups := (dataSGs + cfg.SGsPerIndexGroup - 1) / cfg.SGsPerIndexGroup
+	capacity := int(cfg.CachedPBFGRatio * float64((maxGroups+1)*c.setsPerSG))
+	c.icache = newPBFGCache(capacity)
+	return c, nil
+}
+
+// popZones removes n zones from the free list, returning nil when fewer
+// are available.
+func popZones(free *[]int, n int) []int {
+	if len(*free) < n {
+		return nil
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = (*free)[len(*free)-1]
+		*free = (*free)[:len(*free)-1]
+	}
+	return out
+}
+
+// pageAddrIn maps intra-SG offset o onto the SG's (or index group's) zone
+// list: zones hold PagesPerZone consecutive offsets each.
+func (c *Cache) pageAddrIn(zones []int, o int) int {
+	ppz := c.dev.PagesPerZone()
+	return c.dev.PageAddr(zones[o/ppz], o%ppz)
+}
+
+// Name implements cachelib.Engine.
+func (c *Cache) Name() string { return "Nemo" }
+
+// Close implements cachelib.Engine.
+func (c *Cache) Close() error { return nil }
+
+// ReadLatency implements cachelib.Engine.
+func (c *Cache) ReadLatency() *metrics.Histogram { return &c.hist }
+
+// SetsPerSG returns the number of sets in one Set-Group.
+func (c *Cache) SetsPerSG() int { return c.setsPerSG }
+
+// setOf maps a fingerprint to its intra-SG offset. Lane 0 keeps placement
+// independent of the Bloom probe stream.
+func (c *Cache) setOf(fp uint64) int {
+	return int(hashing.Derive(fp, 0) % uint64(c.setsPerSG))
+}
+
+// Set inserts or updates an object (operation ❶, §4.1).
+func (c *Cache) Set(key, value []byte) error {
+	need := setblock.EntrySize(len(key), len(value))
+	if need > c.pageSize-setblock.HeaderSize || len(key) > 255 {
+		return fmt.Errorf("core: object of %d bytes exceeds set size %d", need, c.pageSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fp := hashing.Fingerprint(key)
+	o := c.setOf(fp)
+	if err := c.insertLocked(fp, key, value, o); err != nil {
+		return err
+	}
+	c.stats.Sets++
+	// Rear-full trigger: flush the front once the rear is nearly full so a
+	// fresh SG keeps absorbing inserts (§4.2, buffered in-memory SGs).
+	if c.cfg.BufferedSGs && len(c.memq) > 1 &&
+		c.memq[len(c.memq)-1].fillRate() >= c.cfg.RearFullRatio {
+		return c.flushFrontLocked()
+	}
+	return nil
+}
+
+func (c *Cache) insertLocked(fp uint64, key, value []byte, o int) error {
+	// Remove shadow copies so at most one in-memory version exists.
+	for _, sg := range c.memq {
+		sg.remove(o, fp, key)
+	}
+	for attempt := 0; attempt <= len(c.memq)+2; attempt++ {
+		// Insert into the available SG closest to the front (§4.2 ①).
+		for _, sg := range c.memq {
+			if sg.canFit(o, fp, key, len(value)) {
+				sg.insert(o, fp, key, value, false)
+				c.stats.LogicalBytes += uint64(len(key) + len(value))
+				return nil
+			}
+		}
+		if c.cfg.DelayedFlush {
+			// Technique P: sacrifice the oldest entries of the front SG's
+			// target set instead of flushing (§4.2 ②).
+			front := c.memq[0]
+			n := front.sacrifice(o, setblock.EntrySize(len(key), len(value)))
+			c.sacCount += n
+			c.extra.Sacrificed += uint64(n)
+			c.stats.Evictions += uint64(n)
+			if !front.insert(o, fp, key, value, false) {
+				return fmt.Errorf("core: insert failed after sacrificing %d objects", n)
+			}
+			c.stats.LogicalBytes += uint64(len(key) + len(value))
+			if c.sacCount >= c.cfg.FlushThreshold {
+				return c.flushFrontLocked()
+			}
+			return nil
+		}
+		// Naïve flush-on-collision: flush the front SG and retry.
+		if err := c.flushFrontLocked(); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("core: insert did not converge")
+}
+
+// Get looks up an object (operation ❷, §4.1): in-memory SGs first, then
+// PBFG-identified candidate SGs read in parallel.
+func (c *Cache) Get(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Gets++
+	start := c.dev.Clock().Now()
+	fp := hashing.Fingerprint(key)
+	o := c.setOf(fp)
+
+	// 1. In-memory SGs, front to rear (a key exists in at most one).
+	for _, sg := range c.memq {
+		if v, ok := sg.lookup(o, fp, key); ok {
+			c.stats.Hits++
+			c.hist.Record(time.Microsecond)
+			return append([]byte(nil), v...), true
+		}
+	}
+	if len(c.pool) == 0 {
+		c.hist.Record(time.Microsecond)
+		return nil, false
+	}
+
+	// 2. Identify candidate SGs through the PBFGs (index cache or index
+	// pool), then read candidate set pages in parallel and search them
+	// newest-first so updated objects shadow stale flash copies.
+	c.probes.Reuse(fp, c.bfBits)
+	var maxDone time.Duration
+	candidates := c.candidates[:0]
+	for gi := len(c.groups) - 1; gi >= 0; gi-- {
+		g := c.groups[gi]
+		if g.liveCount == 0 {
+			continue
+		}
+		page, done, err := c.getPBFG(g, o)
+		if err != nil {
+			c.hist.Record(time.Microsecond)
+			return nil, false
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+		for s := len(g.members) - 1; s >= 0; s-- {
+			m := g.members[s]
+			if m.dead || m.setCounts[o] == 0 {
+				continue
+			}
+			if c.testMember(g, page, s, o, c.probes) {
+				candidates = append(candidates, m)
+			}
+		}
+	}
+	c.candidates = candidates
+	if len(candidates) == 0 {
+		c.hist.Record(maxDone - start + time.Microsecond)
+		return nil, false
+	}
+	// Parallel candidate reads (the paper reads all candidate sets at the
+	// hashed offset concurrently; read amplification counts each page).
+	for len(c.readBufs) < len(candidates) {
+		c.readBufs = append(c.readBufs, make([]byte, c.pageSize))
+	}
+	pages := c.readBufs[:len(candidates)]
+	addrs := c.addrs[:0]
+	for _, m := range candidates {
+		addrs = append(addrs, c.pageAddrIn(m.zones, o))
+	}
+	c.addrs = addrs
+	done, err := c.dev.ReadPages(addrs, pages)
+	if err != nil {
+		c.hist.Record(time.Microsecond)
+		return nil, false
+	}
+	if done > maxDone {
+		maxDone = done
+	}
+	c.stats.FlashReadOps += uint64(len(candidates))
+	c.stats.FlashBytesRead += uint64(len(candidates) * c.pageSize)
+	for i, m := range candidates {
+		v, slot, ok := setblock.Scan(pages[i], fp, key)
+		if !ok {
+			c.extra.FalsePositiveReads++
+			continue
+		}
+		c.stats.Hits++
+		c.markHot(m, o, slot)
+		c.hist.Record(maxDone - start + time.Microsecond)
+		return append([]byte(nil), v...), true
+	}
+	c.hist.Record(maxDone - start + time.Microsecond)
+	return nil, false
+}
+
+// markHot records an access bit when the SG is inside the tracked tail of
+// the pool (the object's later-life stage, §4.4).
+func (c *Cache) markHot(sg *flashSG, o, slot int) {
+	if len(c.pool) == 0 || c.cfg.HotTrackTailRatio <= 0 {
+		return
+	}
+	pos := int(sg.id - c.pool[0].id)
+	limit := int(c.cfg.HotTrackTailRatio * float64(len(c.pool)))
+	if limit < 1 {
+		limit = 1
+	}
+	if pos < limit {
+		sg.setBit(o, slot)
+	}
+}
+
+// flushFrontLocked flushes the front in-memory SG to a free data zone
+// (evicting the oldest on-flash SG first when the pool is full), appends
+// its Bloom filters to the open index group, and rotates the queue.
+func (c *Cache) flushFrontLocked() error {
+	if c.flushing {
+		return nil
+	}
+	c.flushing = true
+	defer func() { c.flushing = false }()
+
+	front := c.memq[0]
+	if len(c.freeDataZones) < c.cfg.ZonesPerSG {
+		if err := c.evictOldestLocked(front); err != nil {
+			return err
+		}
+	}
+	zones := popZones(&c.freeDataZones, c.cfg.ZonesPerSG)
+	if zones == nil {
+		return fmt.Errorf("core: no free data zones after eviction")
+	}
+
+	g := c.openGroup()
+	sg := &flashSG{
+		id:        c.nextSGID,
+		zones:     zones,
+		group:     g,
+		slot:      len(g.members),
+		setCounts: make([]uint16, c.setsPerSG),
+		fill:      front.fillRate(),
+	}
+	c.nextSGID++
+
+	// Serialize sets to flash and build this SG's set-level filters.
+	ppz := c.dev.PagesPerZone()
+	bfs := make([]byte, c.setsPerSG*c.bfBytes)
+	filter := bloom.New(c.cfg.TargetObjsPerSet, c.cfg.BloomFPR)
+	for o, blk := range front.sets {
+		c.pageBuf = blk.AppendTo(c.pageBuf[:0])
+		if _, _, err := c.dev.AppendPage(zones[o/ppz], c.pageBuf); err != nil {
+			return fmt.Errorf("core: flushing SG: %w", err)
+		}
+		sg.setCounts[o] = uint16(blk.Count())
+		sg.objCount += blk.Count()
+		filter.Reset()
+		blk.Range(func(_ int, e setblock.Entry) bool {
+			filter.Add(e.FP)
+			return true
+		})
+		copy(bfs[o*c.bfBytes:], filter.AppendBytes(c.pageBuf[:0]))
+	}
+	zoneBytes := uint64(c.setsPerSG * c.pageSize)
+	c.stats.FlashBytesWritten += zoneBytes
+	c.stats.DeviceBytesWritten += zoneBytes
+	c.extra.DataBytesWritten += zoneBytes
+	c.extra.SGsFlushed++
+	c.extra.FillSum += sg.fill
+	c.extra.NewBytes += front.newBytes
+	c.extra.WriteBackBytes += front.wbBytes
+	c.bytesSinceCool += zoneBytes
+	if len(c.flushLog) < maxFlushLog {
+		c.flushLog = append(c.flushLog, FlushRecord{
+			Fill:     sg.fill,
+			NewObjs:  front.newObjs,
+			WBObjs:   front.wbObjs,
+			NewBytes: front.newBytes,
+			WBBytes:  front.wbBytes,
+		})
+	}
+
+	g.members = append(g.members, sg)
+	g.slotBF = append(g.slotBF, bfs)
+	g.liveCount++
+	c.pool = append(c.pool, sg)
+	if len(g.members) == c.cfg.SGsPerIndexGroup {
+		if err := c.sealGroup(g); err != nil {
+			return err
+		}
+	}
+
+	// Rotate: drop the front, add a fresh rear.
+	copy(c.memq, c.memq[1:])
+	c.memq[len(c.memq)-1] = newMemSG(c.setsPerSG, c.pageSize)
+	c.sacCount = 0
+
+	if c.bytesSinceCool >= uint64(c.cfg.CoolingWriteRatio*float64(c.poolCapacityBytes())) {
+		c.coolLocked()
+		c.bytesSinceCool = 0
+	}
+	return nil
+}
+
+func (c *Cache) poolCapacityBytes() int {
+	return c.cfg.DataZones * c.dev.PagesPerZone() * c.pageSize
+}
+
+func (c *Cache) openGroup() *idxGroup {
+	if n := len(c.groups); n > 0 && !c.groups[n-1].sealed &&
+		len(c.groups[n-1].members) < c.cfg.SGsPerIndexGroup {
+		return c.groups[n-1]
+	}
+	g := &idxGroup{id: c.nextGroup}
+	c.nextGroup++
+	c.groups = append(c.groups, g)
+	return g
+}
+
+// sealGroup packs the group's filters into PBFG pages (one per intra-SG
+// offset, §4.3 "packed BF layout") and writes them to an index zone.
+func (c *Cache) sealGroup(g *idxGroup) error {
+	zones := popZones(&c.freeIndexZones, c.cfg.ZonesPerSG)
+	if zones == nil {
+		return fmt.Errorf("core: no free index zones to seal group %d", g.id)
+	}
+	ppz := c.dev.PagesPerZone()
+	for o := 0; o < c.setsPerSG; o++ {
+		page := g.pageFor(o, c.bfBytes, c.pageSize)
+		if _, _, err := c.dev.AppendPage(zones[o/ppz], page); err != nil {
+			return fmt.Errorf("core: sealing index group: %w", err)
+		}
+	}
+	idxBytes := uint64(c.setsPerSG * c.pageSize)
+	c.stats.FlashBytesWritten += idxBytes
+	c.stats.DeviceBytesWritten += idxBytes
+	c.extra.IndexBytesWritten += idxBytes
+	g.zones = zones
+	g.sealed = true
+	g.slotBF = nil // buffer released; filters now live in the index pool
+	return nil
+}
+
+// evictOldestLocked evicts the earliest SG from the pool (operation ❸).
+// With writeback enabled, hot objects — access bit set and PBFG resident
+// (§4.4) — are re-inserted into the to-be-flushed SG dst.
+func (c *Cache) evictOldestLocked(dst *memSG) error {
+	if len(c.pool) == 0 {
+		return fmt.Errorf("core: pool empty but no free data zones")
+	}
+	victim := c.pool[0]
+	c.pool = c.pool[1:]
+
+	if c.cfg.Writeback && victim.objCount > 0 {
+		for o := 0; o < c.setsPerSG; o++ {
+			if victim.setCounts[o] == 0 {
+				continue
+			}
+			resident := c.pbfgResident(victim.group, o)
+			if !resident && victim.bits == nil {
+				// Neither hotness signal can fire: skip the read entirely.
+				c.stats.Evictions += uint64(victim.setCounts[o])
+				continue
+			}
+			if _, err := c.dev.ReadPage(c.pageAddrIn(victim.zones, o), c.scratch); err != nil {
+				return err
+			}
+			c.stats.FlashReadOps++
+			c.stats.FlashBytesRead += uint64(c.pageSize)
+			blk, err := setblock.Parse(c.scratch, c.pageSize)
+			if err != nil {
+				return fmt.Errorf("core: parsing evicted set: %w", err)
+			}
+			var wbErr error
+			blk.Range(func(slot int, e setblock.Entry) bool {
+				hot := resident && victim.bit(o, slot)
+				if hot {
+					shadowed, err := c.shadowedByNewer(e.FP, o, victim.id, e.Key)
+					if err != nil {
+						wbErr = err
+						return false
+					}
+					if !shadowed && dst.canFit(o, e.FP, e.Key, len(e.Value)) {
+						dst.insert(o, e.FP, e.Key, e.Value, true)
+						c.extra.WriteBackObjs++
+						return true
+					}
+				}
+				c.stats.Evictions++
+				return true
+			})
+			if wbErr != nil {
+				return wbErr
+			}
+		}
+	} else {
+		c.stats.Evictions += uint64(victim.objCount)
+	}
+
+	victim.dead = true
+	victim.group.liveCount--
+	if victim.group.liveCount == 0 && victim.group.sealed {
+		for _, z := range victim.group.zones {
+			if _, err := c.dev.ResetZone(z); err != nil {
+				return err
+			}
+			c.freeIndexZones = append(c.freeIndexZones, z)
+		}
+		c.icache.dropGroup(victim.group.id)
+		c.dropDeadGroups()
+	}
+	for _, z := range victim.zones {
+		if _, err := c.dev.ResetZone(z); err != nil {
+			return err
+		}
+		c.freeDataZones = append(c.freeDataZones, z)
+	}
+	return nil
+}
+
+// shadowedByNewer reports whether a newer version of (fp, key) may exist
+// anywhere ahead of the evicted SG: the in-memory SGs are checked exactly,
+// and newer flash SGs through their Bloom filters (fetching PBFG pages on
+// demand — the paper's write-back reads; fetched pages enter the index
+// cache so the cost amortizes over the hot sets). A Bloom positive
+// conservatively suppresses the writeback: an object may be dropped early,
+// but a stale version is never resurrected over a fresh one.
+func (c *Cache) shadowedByNewer(fp uint64, o int, newerThan uint64, key []byte) (bool, error) {
+	for _, sg := range c.memq {
+		if _, ok := sg.lookup(o, fp, key); ok {
+			return true, nil
+		}
+	}
+	c.probes.Reuse(fp, c.bfBits)
+	for gi := len(c.groups) - 1; gi >= 0; gi-- {
+		g := c.groups[gi]
+		if g.liveCount == 0 {
+			continue
+		}
+		newest := g.members[len(g.members)-1]
+		if newest.id <= newerThan {
+			break // groups are ordered; nothing older can shadow
+		}
+		var page []byte
+		if g.sealed {
+			p, _, err := c.fetchPBFG(g, o, false)
+			if err != nil {
+				return false, err
+			}
+			page = p
+		}
+		for s := len(g.members) - 1; s >= 0; s-- {
+			m := g.members[s]
+			if m.dead || m.id <= newerThan || m.setCounts[o] == 0 {
+				continue
+			}
+			if c.testMember(g, page, s, o, c.probes) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// dropDeadGroups trims fully dead groups from the front of the group list.
+func (c *Cache) dropDeadGroups() {
+	i := 0
+	for i < len(c.groups) && c.groups[i].sealed && c.groups[i].liveCount == 0 {
+		i++
+	}
+	if i > 0 {
+		c.groups = append([]*idxGroup(nil), c.groups[i:]...)
+	}
+}
+
+// coolLocked is the periodic cooling pass (§4.4): hotness bits survive only
+// for sets whose PBFG is memory-resident.
+func (c *Cache) coolLocked() {
+	c.extra.CoolingRuns++
+	limit := int(c.cfg.HotTrackTailRatio * float64(len(c.pool)))
+	if limit < 1 && len(c.pool) > 0 {
+		limit = 1
+	}
+	for i := 0; i < limit && i < len(c.pool); i++ {
+		sg := c.pool[i]
+		if sg.bits == nil {
+			continue
+		}
+		for o := 0; o < c.setsPerSG; o++ {
+			if sg.setCounts[o] == 0 {
+				continue
+			}
+			if !c.pbfgResident(sg.group, o) {
+				sg.clearSet(o)
+			}
+		}
+	}
+}
+
+// Flush forces the front in-memory SG to flash (mainly for tests and
+// orderly shutdown in examples).
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushFrontLocked()
+}

@@ -1,0 +1,160 @@
+package core
+
+// Model-based property tests: Nemo is driven by random operation sequences
+// against a reference model. A cache may evict (Get misses are allowed),
+// and — per the documented consistency model — an overwrite whose newest
+// copy was sacrificed or evicted may expose the previous value. What must
+// NEVER happen is a hit returning corrupt or cross-key data, or a value
+// that was never Set for that key. The model therefore tracks the full
+// value history per key.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nemo/internal/flashsim"
+)
+
+func TestPropertyNeverStale(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 14})
+		cfg := DefaultConfig(dev, 8)
+		cfg.SGsPerIndexGroup = 3
+		cfg.TargetObjsPerSet = 8
+		cfg.FlushThreshold = 4
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history := map[string]map[string]bool{}
+		latest := map[string]string{}
+		staleHits, exactHits := 0, 0
+		keys := 150
+		for op := 0; op < 4000; op++ {
+			k := []byte(fmt.Sprintf("pk-%04d-pad", rng.Intn(keys)))
+			if rng.Intn(3) == 0 {
+				v := []byte(fmt.Sprintf("val-%d-%d-padpadpadpad", op, rng.Int63()))
+				if err := c.Set(k, v); err != nil {
+					t.Fatalf("set: %v", err)
+				}
+				if history[string(k)] == nil {
+					history[string(k)] = map[string]bool{}
+				}
+				history[string(k)][string(v)] = true
+				latest[string(k)] = string(v)
+			} else {
+				got, hit := c.Get(k)
+				if !hit {
+					continue // eviction is legal
+				}
+				hist := history[string(k)]
+				if hist == nil {
+					t.Fatalf("hit for never-set key %q", k)
+				}
+				if !hist[string(got)] {
+					t.Fatalf("corrupt value for %q: %q was never written", k, got)
+				}
+				if string(got) == latest[string(k)] {
+					exactHits++
+				} else {
+					staleHits++
+				}
+			}
+		}
+		// Staleness is legal but must be the exception, not the rule.
+		if exactHits == 0 || (staleHits > 0 && staleHits > exactHits) {
+			t.Fatalf("freshness degenerate: %d exact vs %d stale hits", exactHits, staleHits)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 2
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWAInvariant: across random configurations, flash data bytes
+// written equal SGsFlushed × SG size, and PaperWA ≥ 1.
+func TestPropertyWAInvariant(t *testing.T) {
+	f := func(seed int64, pthRaw uint8, memSGsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 14})
+		cfg := DefaultConfig(dev, 8)
+		cfg.SGsPerIndexGroup = 3
+		cfg.TargetObjsPerSet = 8
+		cfg.FlushThreshold = int(pthRaw)%64 + 1
+		cfg.InMemSGs = int(memSGsRaw)%3 + 1
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 3000; op++ {
+			k := []byte(fmt.Sprintf("wa-%05d-pad", rng.Intn(1000)))
+			v := make([]byte, 20+rng.Intn(60))
+			if err := c.Set(k, v); err != nil {
+				t.Fatalf("set: %v", err)
+			}
+		}
+		ex := c.Extra()
+		sgBytes := uint64(dev.PagesPerZone() * dev.PageSize())
+		if ex.DataBytesWritten != ex.SGsFlushed*sgBytes {
+			t.Fatalf("data bytes %d != %d SGs × %d", ex.DataBytesWritten, ex.SGsFlushed, sgBytes)
+		}
+		// Update coalescing in memory and sacrificed bytes can push the
+		// ratio below 1 at toy scale, but it must stay positive and finite.
+		if wa := c.PaperWA(); ex.SGsFlushed > 0 && (wa <= 0 || wa > 1000) {
+			t.Fatalf("WA %v implausible", wa)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPoolBounded: the SG pool never exceeds its configured zone
+// budget no matter the operation mix.
+func TestPropertyPoolBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 12})
+		cfg := DefaultConfig(dev, 6)
+		cfg.SGsPerIndexGroup = 2
+		cfg.TargetObjsPerSet = 8
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 5000; op++ {
+			k := []byte(fmt.Sprintf("pb-%06d-pad", rng.Intn(3000)))
+			v := make([]byte, 30+rng.Intn(40))
+			if err := c.Set(k, v); err != nil {
+				t.Fatalf("set: %v", err)
+			}
+			if rng.Intn(4) == 0 {
+				c.Get(k)
+			}
+			if got := c.PoolLen(); got > 6 {
+				t.Fatalf("pool %d exceeds 6 zones", got)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 6}
+	if testing.Short() {
+		cfg.MaxCount = 2
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"nemo/internal/bloom"
+	"nemo/internal/cachelib"
+)
+
+// NemoStats extends the common counters with the quantities the paper's
+// design-breakdown and overhead sections report.
+type NemoStats struct {
+	// SGsFlushed counts SG flushes; FillSum accumulates their fill rates,
+	// so FillSum/SGsFlushed is the mean flushed-SG fill rate (Figure 17).
+	SGsFlushed uint64
+	FillSum    float64
+
+	// NewBytes counts user bytes newly written into flushed SGs (including
+	// sacrificed objects); WriteBackBytes counts re-inserted eviction
+	// survivors. Nemo's paper WA = DataBytesWritten / NewBytes (§5.2).
+	NewBytes       uint64
+	WriteBackBytes uint64
+	WriteBackObjs  uint64
+	Sacrificed     uint64
+
+	DataBytesWritten  uint64
+	IndexBytesWritten uint64
+
+	FalsePositiveReads uint64
+	CoolingRuns        uint64
+}
+
+// FlushRecord captures one SG flush for the per-SG breakdown experiments
+// (Figures 17 and 18).
+type FlushRecord struct {
+	Fill     float64 // aggregate fill rate at flush
+	NewObjs  int     // objects inserted fresh (sacrificed ones included)
+	WBObjs   int     // objects re-inserted by hotness-aware writeback
+	NewBytes uint64
+	WBBytes  uint64
+}
+
+// maxFlushLog bounds the retained flush history.
+const maxFlushLog = 4096
+
+// FlushLog returns up to the first maxFlushLog per-SG flush records.
+func (c *Cache) FlushLog() []FlushRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]FlushRecord(nil), c.flushLog...)
+}
+
+// Extra returns the Nemo-specific counters plus current index-cache stats.
+func (c *Cache) Extra() NemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.extra
+}
+
+// Stats implements cachelib.Engine.
+func (c *Cache) Stats() cachelib.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// MeanFillRate returns the mean fill rate of flushed SGs (Figure 17).
+func (c *Cache) MeanFillRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.extra.SGsFlushed == 0 {
+		return 0
+	}
+	return c.extra.FillSum / float64(c.extra.SGsFlushed)
+}
+
+// PaperWA returns the paper's write-amplification definition for Nemo
+// (§5.2): SG bytes written divided by newly written object bytes (writeback
+// excluded, sacrificed objects included). Returns 1 before any flush.
+func (c *Cache) PaperWA() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.extra.NewBytes == 0 {
+		return 1
+	}
+	return float64(c.extra.DataBytesWritten) / float64(c.extra.NewBytes)
+}
+
+// PBFGStats reports index-cache effectiveness: total sealed-PBFG lookups
+// and the fraction requiring a flash fetch (Figure 19b's miss ratio).
+func (c *Cache) PBFGStats() (lookups, misses uint64, missRatio float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, m := c.icache.lookups, c.icache.misses
+	if l == 0 {
+		return 0, 0, 0
+	}
+	return l, m, float64(m) / float64(l)
+}
+
+// MemoryOverhead models Nemo's metadata cost in bits per object, following
+// Table 6: cached Bloom-filter bits, tail-restricted 1-bit hotness, and the
+// in-memory index-group buffer amortized over pool objects.
+type MemoryOverhead struct {
+	BloomBitsPerObj  float64 // filter cost × cached ratio
+	HotBitsPerObj    float64 // 1 bit × tail ratio
+	BufferBitsPerObj float64 // index-group buffer / pool objects
+	TotalBitsPerObj  float64
+}
+
+// MemoryOverhead returns the modeled per-object metadata cost.
+func (c *Cache) MemoryOverhead() MemoryOverhead {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bfPerObj := bloom.BitsPerObject(c.cfg.BloomFPR) * c.cfg.CachedPBFGRatio
+	hot := c.cfg.HotTrackTailRatio // 1 bit per object over the tracked tail
+	// One index-group buffer (SetsPerSG × bfBytes per member SG slot,
+	// bounded by one SG worth of filter pages) amortized over pool objects.
+	bufferBits := float64(c.setsPerSG * c.pageSize * 8)
+	poolObjs := float64(c.cfg.DataZones*c.setsPerSG) * float64(c.cfg.TargetObjsPerSet)
+	buffer := bufferBits / poolObjs
+	m := MemoryOverhead{
+		BloomBitsPerObj:  bfPerObj,
+		HotBitsPerObj:    hot,
+		BufferBitsPerObj: buffer,
+	}
+	m.TotalBitsPerObj = m.BloomBitsPerObj + m.HotBitsPerObj + m.BufferBitsPerObj
+	return m
+}
+
+// PoolLen returns the number of live on-flash SGs.
+func (c *Cache) PoolLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pool)
+}
+
+// MemObjects returns the number of objects currently buffered in memory.
+func (c *Cache) MemObjects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, sg := range c.memq {
+		n += sg.objCount()
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallOpts(buf *bytes.Buffer) Options {
+	return Options{Scale: "small", Seed: 1, Out: buf, Ops: 60_000}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be registered.
+	want := []string{
+		"fig4", "fig5", "fig6", "fig8",
+		"fig12a", "fig12b", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19a", "fig19b",
+		"tab3", "tab4", "tab5", "tab6",
+		"sec32", "sec55", "appA",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+// TestCheapExperimentsRun executes the model/table experiments end to end.
+func TestCheapExperimentsRun(t *testing.T) {
+	for _, id := range []string{"tab3", "tab4", "tab5", "tab6", "appA"} {
+		var buf bytes.Buffer
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(smallOpts(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestTab6OutputMatchesPaperNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("tab6")
+	if err := e.Run(smallOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FairyWREN", "Nemo", "8.3", "9.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tab6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("fig8")
+	if err := e.Run(smallOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "set size 4096") {
+		t.Fatalf("fig8 output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestFig17Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay experiment")
+	}
+	var buf bytes.Buffer
+	e, _ := ByID("fig17")
+	if err := e.Run(smallOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, label := range []string{"naive", "B+P+W"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("fig17 output missing %q:\n%s", label, out)
+		}
+	}
+}
+
+func TestFig19bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay experiment")
+	}
+	var buf bytes.Buffer
+	e, _ := ByID("fig19b")
+	if err := e.Run(smallOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DRAM PBFG") {
+		t.Fatalf("fig19b output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestFig12aRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five-engine replay")
+	}
+	var buf bytes.Buffer
+	e, _ := ByID("fig12a")
+	if err := e.Run(smallOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Nemo", "Log", "Set", "FW", "KG"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("fig12a missing engine %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestGeometryScales(t *testing.T) {
+	small := geometryFor(Options{Scale: "small"})
+	med := geometryFor(Options{Scale: "medium"})
+	large := geometryFor(Options{Scale: "large"})
+	if !(small.capacityBytes() < med.capacityBytes() && med.capacityBytes() < large.capacityBytes()) {
+		t.Fatal("scales not monotone")
+	}
+	if g := geometryFor(Options{Scale: "medium", Ops: 123}); g.ops(Options{Ops: 123}) != 123 {
+		t.Fatal("ops override ignored")
+	}
+}
+
+func TestMaxDataZonesLeavesIndexRoom(t *testing.T) {
+	for _, zones := range []int{16, 56, 120, 288} {
+		d := maxDataZones(zones, 50)
+		if d < 2 {
+			t.Fatalf("zones=%d: no data zones", zones)
+		}
+		idx := d + indexZonesForTest(d)
+		if idx > zones {
+			t.Fatalf("zones=%d: data %d + index overflows device", zones, d)
+		}
+	}
+}
+
+func indexZonesForTest(d int) int {
+	return (d+49)/50 + 2
+}

@@ -1,0 +1,397 @@
+// Package flashsim simulates a log-structured (zoned) flash device: zones
+// with append-only write pointers, page-granularity reads, and erase-unit
+// resets.
+//
+// This is the substitute for the Western Digital ZN540 ZNS SSD used by the
+// paper. It enforces the same write-pattern contract — sequential writes
+// within a zone, whole-zone resets, 4 KB page reads — and accounts every
+// byte moved, which is all the write-amplification results depend on. A
+// per-channel virtual-time latency model reproduces the read/write
+// interference that drives the paper's tail-latency comparison without the
+// host-side noise of real direct I/O.
+package flashsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nemo/internal/vtime"
+)
+
+// Config describes the simulated device geometry and latency model.
+type Config struct {
+	// PageSize is the read/program granularity in bytes (default 4096).
+	PageSize int
+	// PagesPerZone is the zone (erase unit) size in pages (default 256,
+	// i.e. 1 MB zones; experiments override this to model large ZNS zones).
+	PagesPerZone int
+	// Zones is the number of zones on the device (default 64).
+	Zones int
+	// Channels is the number of independently scheduled flash channels
+	// (default 8). Page p is serviced by channel p mod Channels.
+	Channels int
+	// ReadLatency is the page read (tR + transfer) latency (default 70 µs).
+	ReadLatency time.Duration
+	// ProgramLatency is the page program latency as observed by the host
+	// (default 25 µs: device-side buffering hides most of tPROG, but the
+	// channel stays busy, which is what creates read interference).
+	ProgramLatency time.Duration
+	// EraseLatency is the zone reset latency (default 2 ms).
+	EraseLatency time.Duration
+	// MaxOpenZones bounds the number of partially written zones, as real
+	// ZNS devices do (the ZN540 allows 14). 0 means unlimited. Opening a
+	// zone beyond the limit fails with ErrTooManyOpenZones.
+	MaxOpenZones int
+	// Clock is the virtual clock; a fresh clock is created when nil so a
+	// device is usable standalone.
+	Clock *vtime.Clock
+}
+
+// ZoneState describes a zone's lifecycle position (§2.2's zoned interface).
+type ZoneState int
+
+// Zone states: empty (reset, unwritten), open (partially written), full
+// (write pointer at capacity).
+const (
+	ZoneEmpty ZoneState = iota
+	ZoneOpen
+	ZoneFull
+)
+
+// String renders the state for diagnostics.
+func (s ZoneState) String() string {
+	switch s {
+	case ZoneEmpty:
+		return "EMPTY"
+	case ZoneOpen:
+		return "OPEN"
+	case ZoneFull:
+		return "FULL"
+	default:
+		return fmt.Sprintf("ZoneState(%d)", int(s))
+	}
+}
+
+// ErrTooManyOpenZones is returned when an append would exceed the device's
+// open-zone limit.
+var ErrTooManyOpenZones = fmt.Errorf("flashsim: open zone limit reached")
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.PagesPerZone == 0 {
+		c.PagesPerZone = 256
+	}
+	if c.Zones == 0 {
+		c.Zones = 64
+	}
+	if c.Channels == 0 {
+		c.Channels = 8
+	}
+	if c.ReadLatency == 0 {
+		c.ReadLatency = 70 * time.Microsecond
+	}
+	if c.ProgramLatency == 0 {
+		c.ProgramLatency = 25 * time.Microsecond
+	}
+	if c.EraseLatency == 0 {
+		c.EraseLatency = 2 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = &vtime.Clock{}
+	}
+	return c
+}
+
+// Stats counts all device activity since creation. Byte counts include only
+// host-visible payloads (full pages).
+type Stats struct {
+	PagesWritten uint64
+	PagesRead    uint64
+	ZoneResets   uint64
+	BytesWritten uint64
+	BytesRead    uint64
+}
+
+// Sub returns s - old, for interval accounting.
+func (s Stats) Sub(old Stats) Stats {
+	return Stats{
+		PagesWritten: s.PagesWritten - old.PagesWritten,
+		PagesRead:    s.PagesRead - old.PagesRead,
+		ZoneResets:   s.ZoneResets - old.ZoneResets,
+		BytesWritten: s.BytesWritten - old.BytesWritten,
+		BytesRead:    s.BytesRead - old.BytesRead,
+	}
+}
+
+type zone struct {
+	wp   int    // next page offset to program within the zone
+	data []byte // lazily allocated zone payload
+}
+
+// Device is a simulated zoned flash device. All methods are safe for
+// concurrent use.
+type Device struct {
+	cfg   Config
+	clock *vtime.Clock
+
+	mu       sync.Mutex
+	zones    []zone
+	chanFree []time.Duration // per-channel busy-until in virtual time
+	stats    Stats
+
+	readFault func(page int) error // fault injection; nil when disabled
+}
+
+// New creates a device with the given configuration (zero fields take
+// defaults).
+func New(cfg Config) *Device {
+	cfg = cfg.withDefaults()
+	return &Device{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		zones:    make([]zone, cfg.Zones),
+		chanFree: make([]time.Duration, cfg.Channels),
+	}
+}
+
+// Clock returns the device's virtual clock.
+func (d *Device) Clock() *vtime.Clock { return d.clock }
+
+// Config returns the effective configuration (defaults applied).
+func (d *Device) Config() Config { return d.cfg }
+
+// PageSize returns the page size in bytes.
+func (d *Device) PageSize() int { return d.cfg.PageSize }
+
+// PagesPerZone returns the zone size in pages.
+func (d *Device) PagesPerZone() int { return d.cfg.PagesPerZone }
+
+// Zones returns the number of zones.
+func (d *Device) Zones() int { return d.cfg.Zones }
+
+// TotalPages returns the device capacity in pages.
+func (d *Device) TotalPages() int { return d.cfg.Zones * d.cfg.PagesPerZone }
+
+// CapacityBytes returns the device capacity in bytes.
+func (d *Device) CapacityBytes() int64 {
+	return int64(d.TotalPages()) * int64(d.cfg.PageSize)
+}
+
+// ZoneOf returns the zone containing the global page index.
+func (d *Device) ZoneOf(page int) int { return page / d.cfg.PagesPerZone }
+
+// PageAddr returns the global page index of offset off within zoneID.
+func (d *Device) PageAddr(zoneID, off int) int {
+	return zoneID*d.cfg.PagesPerZone + off
+}
+
+// OffsetOf returns the intra-zone offset of the global page index.
+func (d *Device) OffsetOf(page int) int { return page % d.cfg.PagesPerZone }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// SetReadFault installs a fault-injection hook invoked with the global page
+// index on every read; a non-nil return aborts the read with that error.
+// Pass nil to disable.
+func (d *Device) SetReadFault(f func(page int) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readFault = f
+}
+
+// schedule books lat on the channel for global page index, returning the
+// completion time. Caller holds d.mu.
+func (d *Device) schedule(page int, lat time.Duration) time.Duration {
+	ch := page % d.cfg.Channels
+	start := d.clock.Now()
+	if d.chanFree[ch] > start {
+		start = d.chanFree[ch]
+	}
+	done := start + lat
+	d.chanFree[ch] = done
+	return done
+}
+
+// ZoneWP returns the write pointer (pages written) of the zone.
+func (d *Device) ZoneWP(zoneID int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.zones[zoneID].wp
+}
+
+// ZoneFull reports whether the zone has no remaining writable pages.
+func (d *Device) ZoneFull(zoneID int) bool {
+	return d.ZoneWP(zoneID) >= d.cfg.PagesPerZone
+}
+
+// ZoneStateOf returns the zone's lifecycle state.
+func (d *Device) ZoneStateOf(zoneID int) ZoneState {
+	switch wp := d.ZoneWP(zoneID); {
+	case wp == 0:
+		return ZoneEmpty
+	case wp >= d.cfg.PagesPerZone:
+		return ZoneFull
+	default:
+		return ZoneOpen
+	}
+}
+
+// OpenZones returns the number of partially written zones.
+func (d *Device) OpenZones() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.openZonesLocked()
+}
+
+func (d *Device) openZonesLocked() int {
+	n := 0
+	for i := range d.zones {
+		if wp := d.zones[i].wp; wp > 0 && wp < d.cfg.PagesPerZone {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendPage programs one page at the zone's write pointer. data longer than
+// a page is an error; shorter data is zero-padded (the full page is still
+// counted as written, which is exactly the fill-rate cost the paper
+// measures). It returns the global page index and the virtual completion
+// time.
+func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if zoneID < 0 || zoneID >= d.cfg.Zones {
+		return 0, 0, fmt.Errorf("flashsim: zone %d out of range [0,%d)", zoneID, d.cfg.Zones)
+	}
+	z := &d.zones[zoneID]
+	if z.wp >= d.cfg.PagesPerZone {
+		return 0, 0, fmt.Errorf("flashsim: zone %d full", zoneID)
+	}
+	if len(data) > d.cfg.PageSize {
+		return 0, 0, fmt.Errorf("flashsim: write of %d bytes exceeds page size %d", len(data), d.cfg.PageSize)
+	}
+	if d.cfg.MaxOpenZones > 0 && z.wp == 0 && d.openZonesLocked() >= d.cfg.MaxOpenZones {
+		return 0, 0, fmt.Errorf("opening zone %d: %w (limit %d)", zoneID, ErrTooManyOpenZones, d.cfg.MaxOpenZones)
+	}
+	if z.data == nil {
+		z.data = make([]byte, d.cfg.PagesPerZone*d.cfg.PageSize)
+	}
+	off := z.wp * d.cfg.PageSize
+	n := copy(z.data[off:off+d.cfg.PageSize], data)
+	for i := off + n; i < off+d.cfg.PageSize; i++ {
+		z.data[i] = 0
+	}
+	page = d.PageAddr(zoneID, z.wp)
+	z.wp++
+	d.stats.PagesWritten++
+	d.stats.BytesWritten += uint64(d.cfg.PageSize)
+	done = d.schedule(page, d.cfg.ProgramLatency)
+	return page, done, nil
+}
+
+// Append programs len(data)/PageSize pages (rounding the tail up to a full
+// page) sequentially into the zone, spreading programs across channels. It
+// returns the first global page index and the completion time of the last
+// page.
+func (d *Device) Append(zoneID int, data []byte) (firstPage int, done time.Duration, err error) {
+	ps := d.cfg.PageSize
+	if len(data) == 0 {
+		return 0, d.clock.Now(), nil
+	}
+	first := -1
+	for off := 0; off < len(data); off += ps {
+		end := off + ps
+		if end > len(data) {
+			end = len(data)
+		}
+		page, t, err := d.AppendPage(zoneID, data[off:end])
+		if err != nil {
+			return 0, 0, err
+		}
+		if first < 0 {
+			first = page
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return first, done, nil
+}
+
+// ReadPage copies the page into dst (which must hold PageSize bytes) and
+// returns the virtual completion time. Reading an unwritten page yields
+// zeroes, matching deallocated-read behaviour of real zoned devices.
+func (d *Device) ReadPage(page int, dst []byte) (done time.Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readPageLocked(page, dst)
+}
+
+func (d *Device) readPageLocked(page int, dst []byte) (time.Duration, error) {
+	if page < 0 || page >= d.TotalPages() {
+		return 0, fmt.Errorf("flashsim: page %d out of range [0,%d)", page, d.TotalPages())
+	}
+	if len(dst) < d.cfg.PageSize {
+		return 0, fmt.Errorf("flashsim: read buffer %d smaller than page size %d", len(dst), d.cfg.PageSize)
+	}
+	if d.readFault != nil {
+		if err := d.readFault(page); err != nil {
+			return 0, err
+		}
+	}
+	z := &d.zones[page/d.cfg.PagesPerZone]
+	off := (page % d.cfg.PagesPerZone) * d.cfg.PageSize
+	if z.data == nil {
+		for i := 0; i < d.cfg.PageSize; i++ {
+			dst[i] = 0
+		}
+	} else {
+		copy(dst[:d.cfg.PageSize], z.data[off:off+d.cfg.PageSize])
+	}
+	d.stats.PagesRead++
+	d.stats.BytesRead += uint64(d.cfg.PageSize)
+	return d.schedule(page, d.cfg.ReadLatency), nil
+}
+
+// ReadPages reads every page into the matching dst buffer, issuing them
+// concurrently across channels, and returns the completion time of the
+// slowest read (the paper's parallel candidate-SG and PBFG reads).
+func (d *Device) ReadPages(pages []int, dst [][]byte) (done time.Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, p := range pages {
+		t, err := d.readPageLocked(p, dst[i])
+		if err != nil {
+			return 0, err
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done, nil
+}
+
+// ResetZone erases the zone, rewinding its write pointer, and returns the
+// virtual completion time.
+func (d *Device) ResetZone(zoneID int) (done time.Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if zoneID < 0 || zoneID >= d.cfg.Zones {
+		return 0, fmt.Errorf("flashsim: zone %d out of range [0,%d)", zoneID, d.cfg.Zones)
+	}
+	z := &d.zones[zoneID]
+	z.wp = 0
+	z.data = nil // freed; reads of a reset zone return zeroes
+	d.stats.ZoneResets++
+	done = d.schedule(d.PageAddr(zoneID, 0), d.cfg.EraseLatency)
+	return done, nil
+}

@@ -1,0 +1,86 @@
+package flashsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestZoneStates(t *testing.T) {
+	d := New(Config{PageSize: 512, PagesPerZone: 2, Zones: 4})
+	if got := d.ZoneStateOf(0); got != ZoneEmpty {
+		t.Fatalf("fresh zone state = %v", got)
+	}
+	d.AppendPage(0, []byte{1})
+	if got := d.ZoneStateOf(0); got != ZoneOpen {
+		t.Fatalf("after one page, state = %v", got)
+	}
+	d.AppendPage(0, []byte{2})
+	if got := d.ZoneStateOf(0); got != ZoneFull {
+		t.Fatalf("after fill, state = %v", got)
+	}
+	d.ResetZone(0)
+	if got := d.ZoneStateOf(0); got != ZoneEmpty {
+		t.Fatalf("after reset, state = %v", got)
+	}
+}
+
+func TestZoneStateString(t *testing.T) {
+	for s, want := range map[ZoneState]string{
+		ZoneEmpty:     "EMPTY",
+		ZoneOpen:      "OPEN",
+		ZoneFull:      "FULL",
+		ZoneState(42): "ZoneState(42)",
+	} {
+		if s.String() != want {
+			t.Fatalf("state %d renders %q", int(s), s.String())
+		}
+	}
+}
+
+func TestMaxOpenZonesEnforced(t *testing.T) {
+	d := New(Config{PageSize: 512, PagesPerZone: 4, Zones: 8, MaxOpenZones: 2})
+	// Open two zones.
+	if _, _, err := d.AppendPage(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.AppendPage(1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.OpenZones(); got != 2 {
+		t.Fatalf("open zones = %d", got)
+	}
+	// A third open must fail.
+	if _, _, err := d.AppendPage(2, []byte{1}); !errors.Is(err, ErrTooManyOpenZones) {
+		t.Fatalf("expected ErrTooManyOpenZones, got %v", err)
+	}
+	// Appending to an already open zone stays legal.
+	if _, _, err := d.AppendPage(0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Filling a zone transitions it out of open, freeing a slot.
+	d.AppendPage(0, []byte{3})
+	d.AppendPage(0, []byte{4})
+	if d.ZoneStateOf(0) != ZoneFull {
+		t.Fatal("zone 0 should be full")
+	}
+	if _, _, err := d.AppendPage(2, []byte{1}); err != nil {
+		t.Fatalf("open after slot freed: %v", err)
+	}
+	// Reset also frees a slot.
+	d.ResetZone(1)
+	if _, _, err := d.AppendPage(3, []byte{1}); err != nil {
+		t.Fatalf("open after reset: %v", err)
+	}
+}
+
+func TestMaxOpenZonesUnlimitedByDefault(t *testing.T) {
+	d := New(Config{PageSize: 512, PagesPerZone: 4, Zones: 16})
+	for z := 0; z < 16; z++ {
+		if _, _, err := d.AppendPage(z, []byte{1}); err != nil {
+			t.Fatalf("zone %d: %v", z, err)
+		}
+	}
+	if d.OpenZones() != 16 {
+		t.Fatalf("open zones = %d", d.OpenZones())
+	}
+}

@@ -1,0 +1,69 @@
+// Package hashing provides the keyed 64-bit hash primitives used across the
+// cache engines: object fingerprints, set-offset derivation, and independent
+// Bloom-filter probe streams.
+//
+// All engines must agree on the fingerprint function so that traces replayed
+// against different engines exercise identical key identities. The functions
+// here are deterministic, seed-stable, and allocation-free.
+package hashing
+
+import "encoding/binary"
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is the standard finalizer-quality mixer from Steele et al. and is used
+// both as a stand-alone PRNG step and as the avalanche stage of Hash64.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix64 combines two words with multiply-xorshift mixing. It is the inner
+// round of Hash64.
+func Mix64(a, b uint64) uint64 {
+	h := (a ^ b) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	return h ^ (h >> 33)
+}
+
+// Hash64 returns a keyed 64-bit hash of b. Distinct seeds yield independent
+// hash functions over the same bytes, which the Bloom filters rely on.
+func Hash64(b []byte, seed uint64) uint64 {
+	h := SplitMix64(seed ^ 0x2545f4914f6cdd1d ^ uint64(len(b)))
+	for len(b) >= 8 {
+		h = Mix64(h, binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * uint(i))
+		}
+		h = Mix64(h, tail|uint64(len(b))<<56)
+	}
+	return SplitMix64(h)
+}
+
+// Fingerprint is the canonical object identity used by every engine: the
+// 64-bit hash of the key bytes under a fixed seed. Engines store the
+// fingerprint in on-flash entries and verify the full key bytes on read.
+func Fingerprint(key []byte) uint64 { return Hash64(key, 0x6e656d6f63616368) }
+
+// Derive expands a fingerprint into the n-th independent 64-bit value.
+// Engines use lane 0 for set placement and lanes 1.. for auxiliary choices
+// so placement and filter bits stay uncorrelated.
+func Derive(fp uint64, lane uint64) uint64 {
+	return SplitMix64(fp + 0x9e3779b97f4a7c15*(lane+1))
+}
+
+// Probes fills dst with Bloom probe positions in [0, m) for the given
+// fingerprint using Kirsch–Mitzenmacher double hashing. m must be > 0.
+func Probes(fp uint64, m uint64, dst []uint64) {
+	h1 := SplitMix64(fp ^ 0x51afd7ed558ccd9b)
+	h2 := SplitMix64(fp^0xc4ceb9fe1a85ec53) | 1 // odd ⇒ full period
+	for i := range dst {
+		dst[i] = (h1 + uint64(i)*h2) % m
+	}
+}

@@ -1,0 +1,136 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	h1 := Hash64([]byte("hello world"), 42)
+	h2 := Hash64([]byte("hello world"), 42)
+	if h1 != h2 {
+		t.Fatalf("Hash64 not deterministic: %x vs %x", h1, h2)
+	}
+}
+
+func TestHash64SeedIndependence(t *testing.T) {
+	b := []byte("object-key-0001")
+	if Hash64(b, 1) == Hash64(b, 2) {
+		t.Fatal("different seeds produced identical hashes")
+	}
+}
+
+func TestHash64DistinctInputs(t *testing.T) {
+	seen := make(map[uint64][]byte)
+	buf := make([]byte, 16)
+	for i := 0; i < 100000; i++ {
+		for j := range buf {
+			buf[j] = byte(i >> (uint(j%4) * 8))
+		}
+		buf[0] = byte(i)
+		buf[1] = byte(i >> 8)
+		buf[2] = byte(i >> 16)
+		h := Hash64(buf, 7)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %x and %x", prev, buf)
+		}
+		seen[h] = append([]byte(nil), buf...)
+	}
+}
+
+func TestHash64TailBytesMatter(t *testing.T) {
+	// Inputs differing only in the last byte (non-multiple of 8 length)
+	// must hash differently.
+	a := []byte("123456789")
+	b := []byte("123456788")
+	if Hash64(a, 0) == Hash64(b, 0) {
+		t.Fatal("tail byte ignored by hash")
+	}
+}
+
+func TestHash64LengthSensitivity(t *testing.T) {
+	if Hash64([]byte{0}, 0) == Hash64([]byte{0, 0}, 0) {
+		t.Fatal("length not mixed into hash")
+	}
+}
+
+func TestFingerprintMatchesSeededHash(t *testing.T) {
+	key := []byte("some-key")
+	if Fingerprint(key) != Hash64(key, 0x6e656d6f63616368) {
+		t.Fatal("Fingerprint diverged from its defining seed")
+	}
+}
+
+func TestDeriveLanesIndependent(t *testing.T) {
+	fp := Fingerprint([]byte("k"))
+	if Derive(fp, 0) == Derive(fp, 1) {
+		t.Fatal("lanes 0 and 1 identical")
+	}
+}
+
+func TestSplitMix64Bijective(t *testing.T) {
+	// splitmix64's finalizer is a bijection; sample for collisions.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 200000; i++ {
+		v := SplitMix64(i)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("SplitMix64 collision: %d and %d", prev, i)
+		}
+		seen[v] = i
+	}
+}
+
+func TestProbesInRange(t *testing.T) {
+	f := func(fp uint64, m16 uint16) bool {
+		m := uint64(m16)%1000 + 1
+		dst := make([]uint64, 10)
+		Probes(fp, m, dst)
+		for _, p := range dst {
+			if p >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbesSpread(t *testing.T) {
+	// With a large m, the 10 probes of one fingerprint should rarely
+	// collide with each other.
+	dst := make([]uint64, 10)
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		Probes(SplitMix64(uint64(i)), 1<<20, dst)
+		seen := map[uint64]bool{}
+		for _, p := range dst {
+			if seen[p] {
+				collisions++
+			}
+			seen[p] = true
+		}
+	}
+	if collisions > 5 {
+		t.Fatalf("too many intra-probe collisions: %d", collisions)
+	}
+}
+
+func BenchmarkHash64_16B(b *testing.B) {
+	key := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		_ = Hash64(key, 0)
+	}
+}
+
+func BenchmarkHash64_96B(b *testing.B) {
+	key := make([]byte, 96)
+	b.SetBytes(96)
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		_ = Hash64(key, 0)
+	}
+}

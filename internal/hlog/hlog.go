@@ -1,0 +1,357 @@
+// Package hlog implements the hierarchical cache front tier ("HLog" in the
+// paper, §2.3): a FIFO log over flash zones with an in-memory hash table of
+// per-set linked lists, so that all buffered objects mapping to one back-tier
+// set can be migrated together.
+//
+// Both hierarchical baselines (Kangaroo, FairyWREN) share this component;
+// their difference is entirely in how the back tier consumes it (Case 3.1
+// independent GC vs Case 3.2 GC folded into migration).
+package hlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"nemo/internal/flashsim"
+	"nemo/internal/setblock"
+)
+
+// Object is a decoded log object handed to migration.
+type Object struct {
+	FP    uint64
+	Key   []byte
+	Value []byte
+}
+
+// entry locates one live object. page == -1 means the object is still in
+// the open page buffer at offset off.
+type entry struct {
+	fp   uint64
+	page int32
+	off  int32
+}
+
+type zoneObj struct {
+	fp  uint64
+	set int32
+}
+
+// Stats counts log activity.
+type Stats struct {
+	PagesWritten uint64
+	PagesRead    uint64
+	ZoneResets   uint64
+	LiveObjects  int
+}
+
+// Log is the front-tier log. Not safe for concurrent use; the owning engine
+// serializes access.
+type Log struct {
+	dev      *flashsim.Device
+	zoneBase int
+	zones    int
+	pageSize int
+
+	index   map[int32][]entry // set -> live objects, oldest first
+	perZone [][]zoneObj
+	ring    []int // local zones in fill order, oldest first
+	free    []int
+	open    int // local zone receiving pages, -1 when none
+
+	buf     []byte
+	bufObjs []entry // offsets into buf, parallel bookkeeping for flush
+	bufSet  []int32
+
+	scratch []byte
+	stats   Stats
+}
+
+// New creates a log over device zones [zoneBase, zoneBase+zones).
+func New(dev *flashsim.Device, zoneBase, zones int) (*Log, error) {
+	if zones < 2 || zoneBase < 0 || zoneBase+zones > dev.Zones() {
+		return nil, fmt.Errorf("hlog: invalid zone range base=%d zones=%d", zoneBase, zones)
+	}
+	l := &Log{
+		dev:      dev,
+		zoneBase: zoneBase,
+		zones:    zones,
+		pageSize: dev.PageSize(),
+		index:    make(map[int32][]entry),
+		perZone:  make([][]zoneObj, zones),
+		open:     -1,
+		buf:      make([]byte, 0, dev.PageSize()),
+		scratch:  make([]byte, dev.PageSize()),
+	}
+	for z := zones - 1; z >= 0; z-- {
+		l.free = append(l.free, z)
+	}
+	return l, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	s := l.stats
+	n := 0
+	for _, es := range l.index {
+		n += len(es)
+	}
+	s.LiveObjects = n
+	return s
+}
+
+// Zones returns the number of zones the log owns.
+func (l *Log) Zones() int { return l.zones }
+
+// PageCapacity returns the log capacity in pages.
+func (l *Log) PageCapacity() int { return l.zones * l.dev.PagesPerZone() }
+
+// ErrFull is returned by Append when the log has no room; the caller must
+// migrate the oldest zone (MigrateOldest…) and retry.
+var ErrFull = fmt.Errorf("hlog: log full")
+
+// Append buffers the object for set. Objects larger than a page are
+// rejected outright.
+func (l *Log) Append(set int32, fp uint64, key, value []byte) error {
+	need := setblock.EntrySize(len(key), len(value))
+	if need > l.pageSize {
+		return fmt.Errorf("hlog: object of %d bytes exceeds page size", need)
+	}
+	if need > l.pageSize-len(l.buf) {
+		if err := l.flushPage(); err != nil {
+			return err
+		}
+	}
+	off := int32(len(l.buf))
+	var hdr [setblock.EntryOverhead]byte
+	binary.LittleEndian.PutUint64(hdr[0:], fp)
+	hdr[8] = byte(len(key))
+	binary.LittleEndian.PutUint16(hdr[9:], uint16(len(value)))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, key...)
+	l.buf = append(l.buf, value...)
+	l.removeFromIndex(set, fp)
+	l.index[set] = append(l.index[set], entry{fp: fp, page: -1, off: off})
+	l.bufObjs = append(l.bufObjs, entry{fp: fp, page: -1, off: off})
+	l.bufSet = append(l.bufSet, set)
+	return nil
+}
+
+func (l *Log) removeFromIndex(set int32, fp uint64) {
+	es := l.index[set]
+	for i, e := range es {
+		if e.fp == fp {
+			l.index[set] = append(es[:i], es[i+1:]...)
+			return
+		}
+	}
+}
+
+// flushPage writes the open buffer as one log page.
+func (l *Log) flushPage() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if err := l.ensureOpenZone(); err != nil {
+		return err
+	}
+	devZone := l.zoneBase + l.open
+	page, _, err := l.dev.AppendPage(devZone, l.buf)
+	if err != nil {
+		return err
+	}
+	l.stats.PagesWritten++
+	for i, bo := range l.bufObjs {
+		set := l.bufSet[i]
+		es := l.index[set]
+		for j := range es {
+			if es[j].fp == bo.fp && es[j].page == -1 && es[j].off == bo.off {
+				es[j].page = int32(page)
+				l.perZone[l.open] = append(l.perZone[l.open], zoneObj{fp: bo.fp, set: set})
+				break
+			}
+		}
+	}
+	l.buf = l.buf[:0]
+	l.bufObjs = l.bufObjs[:0]
+	l.bufSet = l.bufSet[:0]
+	if l.dev.ZoneWP(devZone) >= l.dev.PagesPerZone() {
+		l.open = -1
+	}
+	return nil
+}
+
+func (l *Log) ensureOpenZone() error {
+	if l.open >= 0 {
+		return nil
+	}
+	if len(l.free) == 0 {
+		return ErrFull
+	}
+	l.open = l.free[len(l.free)-1]
+	l.free = l.free[:len(l.free)-1]
+	l.ring = append(l.ring, l.open)
+	return nil
+}
+
+// Full reports whether the next page flush would fail for lack of zones.
+func (l *Log) Full() bool {
+	return l.open < 0 && len(l.free) == 0
+}
+
+// OldestZoneSets returns the distinct sets with live objects in the oldest
+// zone, in first-appearance order. Empty when the log has no sealed zones.
+func (l *Log) OldestZoneSets() []int32 {
+	if len(l.ring) == 0 {
+		return nil
+	}
+	z := l.ring[0]
+	seen := make(map[int32]bool)
+	var sets []int32
+	lo, hi := l.zoneRange(z)
+	for _, zo := range l.perZone[z] {
+		if seen[zo.set] {
+			continue
+		}
+		if l.liveIn(zo.set, zo.fp, lo, hi) {
+			seen[zo.set] = true
+			sets = append(sets, zo.set)
+		}
+	}
+	return sets
+}
+
+func (l *Log) zoneRange(local int) (lo, hi int32) {
+	lo = int32((l.zoneBase + local) * l.dev.PagesPerZone())
+	return lo, lo + int32(l.dev.PagesPerZone())
+}
+
+func (l *Log) liveIn(set int32, fp uint64, lo, hi int32) bool {
+	for _, e := range l.index[set] {
+		if e.fp == fp && e.page >= lo && e.page < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// TakeSet removes and returns every live object of the set, reading log
+// pages as needed (the "flush all objects from a HLog linked list" step of
+// migration). Returned objects own their byte slices.
+func (l *Log) TakeSet(set int32) ([]Object, error) {
+	es := l.index[set]
+	if len(es) == 0 {
+		return nil, nil
+	}
+	delete(l.index, set)
+	objs := make([]Object, 0, len(es))
+	lastPage := int32(-2)
+	for _, e := range es {
+		var src []byte
+		if e.page == -1 {
+			src = l.buf
+		} else {
+			if e.page != lastPage {
+				if _, err := l.dev.ReadPage(int(e.page), l.scratch); err != nil {
+					return nil, err
+				}
+				l.stats.PagesRead++
+				lastPage = e.page
+			}
+			src = l.scratch
+		}
+		fp, key, value, ok := decodeEntry(src, int(e.off))
+		if !ok || fp != e.fp {
+			return nil, fmt.Errorf("hlog: corrupt log entry for set %d", set)
+		}
+		objs = append(objs, Object{
+			FP:    fp,
+			Key:   append([]byte(nil), key...),
+			Value: append([]byte(nil), value...),
+		})
+	}
+	return objs, nil
+}
+
+// ReleaseOldestZone drops any remaining live objects in the oldest zone and
+// resets it (migration callers TakeSet first; leftovers are evicted).
+// It returns the number of objects dropped.
+func (l *Log) ReleaseOldestZone() (dropped int, err error) {
+	if len(l.ring) == 0 {
+		return 0, fmt.Errorf("hlog: no zone to release")
+	}
+	z := l.ring[0]
+	l.ring = l.ring[1:]
+	lo, hi := l.zoneRange(z)
+	for _, zo := range l.perZone[z] {
+		es := l.index[zo.set]
+		for i := 0; i < len(es); {
+			if es[i].fp == zo.fp && es[i].page >= lo && es[i].page < hi {
+				es = append(es[:i], es[i+1:]...)
+				dropped++
+			} else {
+				i++
+			}
+		}
+		if len(es) == 0 {
+			delete(l.index, zo.set)
+		} else {
+			l.index[zo.set] = es
+		}
+	}
+	l.perZone[z] = l.perZone[z][:0]
+	if _, err := l.dev.ResetZone(l.zoneBase + z); err != nil {
+		return dropped, err
+	}
+	l.stats.ZoneResets++
+	l.free = append(l.free, z)
+	return dropped, nil
+}
+
+// SetLen returns the number of live objects buffered for the set (the
+// linked-list length L_i of §3.2).
+func (l *Log) SetLen(set int32) int { return len(l.index[set]) }
+
+// Lookup finds a live object, reading its log page when necessary. done is
+// the flash completion time (zero for buffer hits).
+func (l *Log) Lookup(set int32, fp uint64, key []byte) (value []byte, done time.Duration, ok bool, err error) {
+	es := l.index[set]
+	for i := len(es) - 1; i >= 0; i-- {
+		e := es[i]
+		if e.fp != fp {
+			continue
+		}
+		var src []byte
+		if e.page == -1 {
+			src = l.buf
+		} else {
+			d, err := l.dev.ReadPage(int(e.page), l.scratch)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			l.stats.PagesRead++
+			done = d
+			src = l.scratch
+		}
+		efp, ekey, evalue, decoded := decodeEntry(src, int(e.off))
+		if !decoded || efp != fp || string(ekey) != string(key) {
+			return nil, done, false, nil
+		}
+		return append([]byte(nil), evalue...), done, true, nil
+	}
+	return nil, 0, false, nil
+}
+
+func decodeEntry(buf []byte, off int) (fp uint64, key, value []byte, ok bool) {
+	if off+setblock.EntryOverhead > len(buf) {
+		return 0, nil, nil, false
+	}
+	fp = binary.LittleEndian.Uint64(buf[off:])
+	kl := int(buf[off+8])
+	vl := int(binary.LittleEndian.Uint16(buf[off+9:]))
+	ks := off + setblock.EntryOverhead
+	if ks+kl+vl > len(buf) {
+		return 0, nil, nil, false
+	}
+	return fp, buf[ks : ks+kl], buf[ks+kl : ks+kl+vl], true
+}

@@ -1,0 +1,187 @@
+package hlog
+
+import (
+	"fmt"
+	"testing"
+
+	"nemo/internal/flashsim"
+	"nemo/internal/hashing"
+)
+
+func mkLog(t *testing.T) (*flashsim.Device, *Log) {
+	t.Helper()
+	dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 4, Zones: 4})
+	l, err := New(dev, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, l
+}
+
+func obj(i int) (set int32, fp uint64, key, value []byte) {
+	key = []byte(fmt.Sprintf("log-key-%06d", i))
+	value = []byte(fmt.Sprintf("log-value-%06d-padpadpad", i))
+	fp = hashing.Fingerprint(key)
+	return int32(i % 7), fp, key, value
+}
+
+func TestAppendLookupBuffer(t *testing.T) {
+	_, l := mkLog(t)
+	set, fp, k, v := obj(1)
+	if err := l.Append(set, fp, k, v); err != nil {
+		t.Fatal(err)
+	}
+	got, done, ok, err := l.Lookup(set, fp, k)
+	if err != nil || !ok || string(got) != string(v) {
+		t.Fatalf("buffer lookup failed: %v %v", ok, err)
+	}
+	if done != 0 {
+		t.Fatal("buffer hit should not touch flash")
+	}
+}
+
+func TestAppendLookupFlash(t *testing.T) {
+	_, l := mkLog(t)
+	// Enough objects to force page flushes.
+	var all []int
+	for i := 0; i < 60; i++ {
+		set, fp, k, v := obj(i)
+		if err := l.Append(set, fp, k, v); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, i)
+	}
+	if l.Stats().PagesWritten == 0 {
+		t.Fatal("no log pages written")
+	}
+	for _, i := range all {
+		set, fp, k, v := obj(i)
+		got, _, ok, err := l.Lookup(set, fp, k)
+		if err != nil || !ok || string(got) != string(v) {
+			t.Fatalf("object %d lost: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestUpdateReplacesOlder(t *testing.T) {
+	_, l := mkLog(t)
+	set, fp, k, _ := obj(0)
+	l.Append(set, fp, k, []byte("v1-aaaaaaaaaaaaaaaa"))
+	l.Append(set, fp, k, []byte("v2-bbbbbbbbbbbbbbbb"))
+	got, _, ok, _ := l.Lookup(set, fp, k)
+	if !ok || string(got) != "v2-bbbbbbbbbbbbbbbb" {
+		t.Fatalf("lookup = %q", got)
+	}
+	if l.SetLen(set) != 1 {
+		t.Fatalf("set list has %d entries, want deduped 1", l.SetLen(set))
+	}
+}
+
+func TestFullAndMigration(t *testing.T) {
+	_, l := mkLog(t)
+	i := 0
+	for {
+		set, fp, k, v := obj(i)
+		err := l.Append(set, fp, k, v)
+		if err == ErrFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if i > 100000 {
+			t.Fatal("log never filled")
+		}
+	}
+	sets := l.OldestZoneSets()
+	if len(sets) == 0 {
+		t.Fatal("oldest zone has no sets")
+	}
+	total := 0
+	for _, s := range sets {
+		objs, err := l.TakeSet(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(objs)
+		for _, o := range objs {
+			if hashing.Fingerprint(o.Key) != o.FP {
+				t.Fatal("corrupt object from TakeSet")
+			}
+		}
+		if l.SetLen(s) != 0 {
+			t.Fatal("TakeSet left objects behind")
+		}
+	}
+	if total == 0 {
+		t.Fatal("migration produced no objects")
+	}
+	dropped, err := l.ReleaseOldestZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped %d objects that TakeSet should have claimed", dropped)
+	}
+	// The log must accept appends again.
+	set, fp, k, v := obj(999999)
+	if err := l.Append(set, fp, k, v); err != nil {
+		t.Fatalf("append after release: %v", err)
+	}
+}
+
+func TestReleaseDropsUnmigrated(t *testing.T) {
+	_, l := mkLog(t)
+	i := 0
+	for !l.Full() {
+		set, fp, k, v := obj(i)
+		if err := l.Append(set, fp, k, v); err != nil && err != ErrFull {
+			t.Fatal(err)
+		}
+		i++
+	}
+	before := l.Stats().LiveObjects
+	dropped, err := l.ReleaseOldestZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("expected drops when releasing without migration")
+	}
+	after := l.Stats().LiveObjects
+	if after != before-dropped {
+		t.Fatalf("live objects %d -> %d with %d dropped", before, after, dropped)
+	}
+}
+
+func TestSetLenMatchesAppends(t *testing.T) {
+	_, l := mkLog(t)
+	for i := 0; i < 30; i++ {
+		_, _, k, v := obj(i)
+		fp := hashing.Fingerprint(k)
+		if err := l.Append(3, fp, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.SetLen(3) != 30 {
+		t.Fatalf("SetLen = %d, want 30", l.SetLen(3))
+	}
+}
+
+func TestRejectsOversized(t *testing.T) {
+	_, l := mkLog(t)
+	if err := l.Append(0, 1, make([]byte, 200), make([]byte, 400)); err == nil {
+		t.Fatal("oversized object accepted")
+	}
+}
+
+func TestInvalidZoneRange(t *testing.T) {
+	dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 4, Zones: 4})
+	if _, err := New(dev, 0, 10); err == nil {
+		t.Fatal("range beyond device accepted")
+	}
+	if _, err := New(dev, 0, 1); err == nil {
+		t.Fatal("single-zone log accepted")
+	}
+}

@@ -1,0 +1,314 @@
+// Package setblock implements the 4 KB set-page codec shared by every
+// set-associative engine in this repository (Nemo's SG sets, the CacheLib
+// Set baseline, and the hierarchical baselines' HSet pages).
+//
+// A block is a page-sized byte buffer holding variable-size entries in
+// insertion (FIFO) order:
+//
+//	header : count uint16 | used uint16
+//	entry  : fp uint64 | keyLen uint8 | valLen uint16 | key | value
+//
+// FIFO order makes "evict oldest" the natural within-set eviction, matching
+// CacheLib's BigHash behaviour the paper builds on.
+package setblock
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nemo/internal/hashing"
+)
+
+// HeaderSize is the per-block header in bytes.
+const HeaderSize = 4
+
+// EntryOverhead is the per-entry metadata size in bytes.
+const EntryOverhead = 8 + 1 + 2
+
+// EntrySize returns the serialized size of an entry with the given key and
+// value lengths.
+func EntrySize(keyLen, valLen int) int { return EntryOverhead + keyLen + valLen }
+
+// Entry is a decoded object reference. Key and Value alias the block's
+// buffer and are invalidated by the next mutation.
+type Entry struct {
+	FP    uint64
+	Key   []byte
+	Value []byte
+}
+
+// Block is a mutable set page. The zero value is unusable; use New or Parse.
+type Block struct {
+	buf   []byte // serialized entries (no header), len == used payload bytes
+	size  int    // page size budget including header
+	count int
+}
+
+// New returns an empty block with the given page-size budget.
+func New(size int) *Block {
+	if size <= HeaderSize {
+		panic(fmt.Sprintf("setblock: size %d too small", size))
+	}
+	return &Block{buf: make([]byte, 0, size-HeaderSize), size: size}
+}
+
+// Reset clears the block to empty without releasing its buffer.
+func (b *Block) Reset() {
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
+// Count returns the number of entries.
+func (b *Block) Count() int { return b.count }
+
+// Used returns the occupied bytes including the header.
+func (b *Block) Used() int { return HeaderSize + len(b.buf) }
+
+// Free returns the remaining byte budget.
+func (b *Block) Free() int { return b.size - b.Used() }
+
+// Size returns the page-size budget.
+func (b *Block) Size() int { return b.size }
+
+// FillRate returns Used/Size in [0, 1].
+func (b *Block) FillRate() float64 { return float64(b.Used()) / float64(b.size) }
+
+// CanFit reports whether an entry with the given key/value lengths fits in
+// the remaining space.
+func (b *Block) CanFit(keyLen, valLen int) bool {
+	return EntrySize(keyLen, valLen) <= b.Free()
+}
+
+// entryAt decodes the entry starting at offset off, returning the entry and
+// the offset just past it. It panics on corrupt buffers (which Parse
+// rejects), so internal iteration is panic-free on valid blocks.
+func (b *Block) entryAt(off int) (Entry, int) {
+	fp := binary.LittleEndian.Uint64(b.buf[off:])
+	kl := int(b.buf[off+8])
+	vl := int(binary.LittleEndian.Uint16(b.buf[off+9:]))
+	ks := off + EntryOverhead
+	vs := ks + kl
+	return Entry{FP: fp, Key: b.buf[ks:vs:vs], Value: b.buf[vs : vs+vl : vs+vl]}, vs + vl
+}
+
+// Append adds an entry without checking for duplicates. It returns false
+// when the entry does not fit. Key must be ≤ 255 bytes and value ≤ 65535.
+func (b *Block) Append(fp uint64, key, value []byte) bool {
+	if len(key) > 255 || len(value) > 65535 {
+		return false
+	}
+	if !b.CanFit(len(key), len(value)) {
+		return false
+	}
+	var hdr [EntryOverhead]byte
+	binary.LittleEndian.PutUint64(hdr[0:], fp)
+	hdr[8] = byte(len(key))
+	binary.LittleEndian.PutUint16(hdr[9:], uint16(len(value)))
+	b.buf = append(b.buf, hdr[:]...)
+	b.buf = append(b.buf, key...)
+	b.buf = append(b.buf, value...)
+	b.count++
+	return true
+}
+
+// Insert adds or replaces the entry for (fp, key). A replaced entry moves
+// to the FIFO tail (an update refreshes age, as in a log). It returns false
+// — leaving any existing version intact — when the new entry would not fit
+// even after removing the old one.
+func (b *Block) Insert(fp uint64, key, value []byte) bool {
+	if len(key) > 255 || len(value) > 65535 {
+		return false
+	}
+	free := b.Free()
+	if old, _, ok := b.Lookup(fp, key); ok {
+		free += EntrySize(len(key), len(old))
+	}
+	if EntrySize(len(key), len(value)) > free {
+		return false
+	}
+	b.Remove(fp, key)
+	return b.Append(fp, key, value)
+}
+
+// Lookup returns the value and FIFO slot index for (fp, key). The returned
+// slice aliases the block.
+func (b *Block) Lookup(fp uint64, key []byte) (value []byte, slot int, ok bool) {
+	off := 0
+	for i := 0; i < b.count; i++ {
+		e, next := b.entryAt(off)
+		if e.FP == fp && string(e.Key) == string(key) {
+			return e.Value, i, true
+		}
+		off = next
+	}
+	return nil, -1, false
+}
+
+// LookupFP returns the first entry matching the fingerprint alone; engines
+// that store only fingerprints in their indexes use this and verify keys.
+func (b *Block) LookupFP(fp uint64) (Entry, int, bool) {
+	off := 0
+	for i := 0; i < b.count; i++ {
+		e, next := b.entryAt(off)
+		if e.FP == fp {
+			return e, i, true
+		}
+		off = next
+	}
+	return Entry{}, -1, false
+}
+
+// Remove deletes the entry for (fp, key), returning whether it existed.
+func (b *Block) Remove(fp uint64, key []byte) bool {
+	off := 0
+	for i := 0; i < b.count; i++ {
+		e, next := b.entryAt(off)
+		if e.FP == fp && string(e.Key) == string(key) {
+			b.buf = append(b.buf[:off], b.buf[next:]...)
+			b.count--
+			return true
+		}
+		off = next
+	}
+	return false
+}
+
+// EvictOldest removes and returns a copy of the oldest (first) entry.
+func (b *Block) EvictOldest() (Entry, bool) {
+	if b.count == 0 {
+		return Entry{}, false
+	}
+	e, next := b.entryAt(0)
+	out := Entry{FP: e.FP, Key: append([]byte(nil), e.Key...), Value: append([]byte(nil), e.Value...)}
+	b.buf = append(b.buf[:0], b.buf[next:]...)
+	b.count--
+	return out, true
+}
+
+// Range calls fn for each entry in FIFO order until fn returns false.
+// Entries alias the block; fn must not mutate the block.
+func (b *Block) Range(fn func(slot int, e Entry) bool) {
+	off := 0
+	for i := 0; i < b.count; i++ {
+		e, next := b.entryAt(off)
+		if !fn(i, e) {
+			return
+		}
+		off = next
+	}
+}
+
+// AppendTo serializes the block (header + entries) onto dst, zero-padding to
+// the full page size, and returns the extended slice.
+func (b *Block) AppendTo(dst []byte) []byte {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(b.count))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(b.buf)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, b.buf...)
+	pad := b.size - HeaderSize - len(b.buf)
+	for i := 0; i < pad; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// Parse decodes a serialized page into a fresh block with the given size
+// budget, validating all entry bounds.
+func Parse(page []byte, size int) (*Block, error) {
+	if len(page) < HeaderSize {
+		return nil, fmt.Errorf("setblock: page shorter than header")
+	}
+	count := int(binary.LittleEndian.Uint16(page[0:]))
+	used := int(binary.LittleEndian.Uint16(page[2:]))
+	if HeaderSize+used > len(page) || HeaderSize+used > size {
+		return nil, fmt.Errorf("setblock: used %d exceeds page", used)
+	}
+	b := &Block{buf: append(make([]byte, 0, size-HeaderSize), page[HeaderSize:HeaderSize+used]...), size: size, count: count}
+	// Validate by walking all entries.
+	off := 0
+	for i := 0; i < count; i++ {
+		if off+EntryOverhead > used {
+			return nil, fmt.Errorf("setblock: entry %d header out of bounds", i)
+		}
+		kl := int(b.buf[off+8])
+		vl := int(binary.LittleEndian.Uint16(b.buf[off+9:]))
+		off += EntryOverhead + kl + vl
+		if off > used {
+			return nil, fmt.Errorf("setblock: entry %d payload out of bounds", i)
+		}
+	}
+	if off != used {
+		return nil, fmt.Errorf("setblock: trailing %d bytes after %d entries", used-off, count)
+	}
+	return b, nil
+}
+
+// FingerprintOf is a convenience wrapper so callers do not need to import
+// hashing directly for the common case.
+func FingerprintOf(key []byte) uint64 { return hashing.Fingerprint(key) }
+
+// Scan searches a serialized page for (fp, key) without materializing a
+// Block — the zero-copy hot path for candidate-set lookups. The returned
+// value aliases page.
+func Scan(page []byte, fp uint64, key []byte) (value []byte, slot int, ok bool) {
+	if len(page) < HeaderSize {
+		return nil, -1, false
+	}
+	count := int(binary.LittleEndian.Uint16(page[0:]))
+	used := int(binary.LittleEndian.Uint16(page[2:]))
+	if HeaderSize+used > len(page) {
+		return nil, -1, false
+	}
+	buf := page[HeaderSize : HeaderSize+used]
+	off := 0
+	for i := 0; i < count; i++ {
+		if off+EntryOverhead > len(buf) {
+			return nil, -1, false
+		}
+		efp := binary.LittleEndian.Uint64(buf[off:])
+		kl := int(buf[off+8])
+		vl := int(binary.LittleEndian.Uint16(buf[off+9:]))
+		ks := off + EntryOverhead
+		if ks+kl+vl > len(buf) {
+			return nil, -1, false
+		}
+		if efp == fp && string(buf[ks:ks+kl]) == string(key) {
+			return buf[ks+kl : ks+kl+vl], i, true
+		}
+		off = ks + kl + vl
+	}
+	return nil, -1, false
+}
+
+// ScanAll iterates a serialized page's entries without materializing a
+// Block; entries alias page. It returns an error on a corrupt layout.
+func ScanAll(page []byte, fn func(slot int, e Entry) bool) error {
+	if len(page) < HeaderSize {
+		return fmt.Errorf("setblock: page shorter than header")
+	}
+	count := int(binary.LittleEndian.Uint16(page[0:]))
+	used := int(binary.LittleEndian.Uint16(page[2:]))
+	if HeaderSize+used > len(page) {
+		return fmt.Errorf("setblock: used %d exceeds page", used)
+	}
+	buf := page[HeaderSize : HeaderSize+used]
+	off := 0
+	for i := 0; i < count; i++ {
+		if off+EntryOverhead > len(buf) {
+			return fmt.Errorf("setblock: entry %d header out of bounds", i)
+		}
+		fp := binary.LittleEndian.Uint64(buf[off:])
+		kl := int(buf[off+8])
+		vl := int(binary.LittleEndian.Uint16(buf[off+9:]))
+		ks := off + EntryOverhead
+		if ks+kl+vl > len(buf) {
+			return fmt.Errorf("setblock: entry %d payload out of bounds", i)
+		}
+		if !fn(i, Entry{FP: fp, Key: buf[ks : ks+kl : ks+kl], Value: buf[ks+kl : ks+kl+vl : ks+kl+vl]}) {
+			return nil
+		}
+		off = ks + kl + vl
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File format: a compact binary encoding so generated workloads can be
+// captured once with cmd/tracegen and replayed byte-identically.
+//
+//	magic  : "NEMOTRC1" (8 bytes)
+//	record : keyLen uint8 | valLen uint16 | key | value   (little endian)
+
+var fileMagic = [8]byte{'N', 'E', 'M', 'O', 'T', 'R', 'C', '1'}
+
+// Writer streams requests to an io.Writer in the trace file format.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one request.
+func (t *Writer) Write(req *Request) error {
+	if t.err != nil {
+		return t.err
+	}
+	if len(req.Key) > 255 || len(req.Value) > 65535 {
+		return fmt.Errorf("trace: request exceeds format limits (key %d, value %d)", len(req.Key), len(req.Value))
+	}
+	var hdr [3]byte
+	hdr[0] = byte(len(req.Key))
+	binary.LittleEndian.PutUint16(hdr[1:], uint16(len(req.Value)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := t.w.Write(req.Key); err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := t.w.Write(req.Value); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader replays a trace file as a Stream. When the file is exhausted it
+// either wraps (Loop true, requires a Seeker) or panics, so finite
+// experiments should size op counts to the file.
+type Reader struct {
+	r   *bufio.Reader
+	src io.ReadSeeker
+	n   uint64
+}
+
+// NewReader validates the header and returns a Reader over src.
+func NewReader(src io.ReadSeeker) (*Reader, error) {
+	br := bufio.NewReaderSize(src, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	return &Reader{r: br, src: src}, nil
+}
+
+// Read fills req with the next record, returning io.EOF at end of file.
+func (t *Reader) Read(req *Request) error {
+	var hdr [3]byte
+	if _, err := io.ReadFull(t.r, hdr[:1]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(t.r, hdr[1:]); err != nil {
+		return fmt.Errorf("trace: truncated record header: %w", err)
+	}
+	kl := int(hdr[0])
+	vl := int(binary.LittleEndian.Uint16(hdr[1:]))
+	if cap(req.Key) < kl {
+		req.Key = make([]byte, kl)
+	}
+	req.Key = req.Key[:kl]
+	if cap(req.Value) < vl {
+		req.Value = make([]byte, vl)
+	}
+	req.Value = req.Value[:vl]
+	if _, err := io.ReadFull(t.r, req.Key); err != nil {
+		return fmt.Errorf("trace: truncated key: %w", err)
+	}
+	if _, err := io.ReadFull(t.r, req.Value); err != nil {
+		return fmt.Errorf("trace: truncated value: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Next implements Stream, wrapping to the start of the file at EOF.
+func (t *Reader) Next(req *Request) {
+	if err := t.Read(req); err == nil {
+		return
+	} else if err != io.EOF {
+		panic(fmt.Sprintf("trace: replay failed: %v", err))
+	}
+	if _, err := t.src.Seek(int64(len(fileMagic)), io.SeekStart); err != nil {
+		panic(fmt.Sprintf("trace: rewind failed: %v", err))
+	}
+	t.r.Reset(t.src)
+	if err := t.Read(req); err != nil {
+		panic(fmt.Sprintf("trace: replay after rewind failed: %v", err))
+	}
+}
+
+// Count returns the number of records read so far.
+func (t *Reader) Count() uint64 { return t.n }

@@ -1,0 +1,150 @@
+package nemo
+
+import (
+	"nemo/internal/admission"
+	"nemo/internal/cachelib"
+	"nemo/internal/core"
+	"nemo/internal/fairywren"
+	"nemo/internal/flashsim"
+	"nemo/internal/kangaroo"
+	"nemo/internal/logcache"
+	"nemo/internal/setcache"
+	"nemo/internal/trace"
+	"nemo/internal/vtime"
+)
+
+// Device is the simulated log-structured (zoned) flash device all engines
+// run on: append-only zones, page reads, whole-zone resets, and a
+// per-channel virtual-time latency model.
+type Device = flashsim.Device
+
+// DeviceConfig configures a Device; zero fields take defaults (4 KB pages,
+// 256-page zones, 64 zones, 8 channels).
+type DeviceConfig = flashsim.Config
+
+// DeviceStats is the device-level accounting snapshot.
+type DeviceStats = flashsim.Stats
+
+// Clock is the virtual clock shared by a device and its workload driver.
+type Clock = vtime.Clock
+
+// NewDevice creates a simulated device.
+func NewDevice(cfg DeviceConfig) *Device { return flashsim.New(cfg) }
+
+// Cache is a Nemo flash cache (the paper's contribution).
+type Cache = core.Cache
+
+// Config configures a Nemo cache; see DefaultConfig for Table 3 defaults.
+type Config = core.Config
+
+// CacheStats is Nemo's extended counter set (fill rates, writeback,
+// sacrifices, index traffic).
+type CacheStats = core.NemoStats
+
+// MemoryOverhead is Nemo's modeled metadata cost in bits per object.
+type MemoryOverhead = core.MemoryOverhead
+
+// New creates a Nemo cache.
+func New(cfg Config) (*Cache, error) { return core.New(cfg) }
+
+// DefaultConfig returns the paper's Table 3 configuration scaled to the
+// device geometry, with a dataZones-zone SG pool.
+func DefaultConfig(dev *Device, dataZones int) Config {
+	return core.DefaultConfig(dev, dataZones)
+}
+
+// IndexZonesFor reports how many device zones New reserves for the on-flash
+// index pool given an SG pool size; a device must have at least
+// dataZones + IndexZonesFor(dataZones, 50) zones.
+func IndexZonesFor(dataZones, sgsPerGroup int) int {
+	return core.IndexZonesFor(dataZones, sgsPerGroup)
+}
+
+// Engine is the common cache-engine interface implemented by Nemo and all
+// four baselines; Replay drives any Engine.
+type Engine = cachelib.Engine
+
+// Stats is the common engine counter set with the paper's
+// write-amplification and miss-ratio definitions.
+type Stats = cachelib.Stats
+
+// ReplayConfig controls a Replay run.
+type ReplayConfig = cachelib.ReplayConfig
+
+// ReplayResult carries the metrics collected by Replay.
+type ReplayResult = cachelib.ReplayResult
+
+// Replay issues GET requests from the stream against the engine,
+// demand-filling misses with Set, and collects write amplification, miss
+// ratio, and latency percentiles.
+func Replay(e Engine, s Stream, cfg ReplayConfig) (ReplayResult, error) {
+	return cachelib.Replay(e, s, cfg)
+}
+
+// LogCacheConfig configures the log-structured baseline.
+type LogCacheConfig = logcache.Config
+
+// NewLogCache creates the log-structured baseline ("Log" in Figure 12a):
+// near-ideal write amplification, >100 bits/object of index memory.
+func NewLogCache(cfg LogCacheConfig) (Engine, error) { return logcache.New(cfg) }
+
+// SetCacheConfig configures the set-associative baseline.
+type SetCacheConfig = setcache.Config
+
+// NewSetCache creates the CacheLib-style set-associative baseline ("Set"):
+// minimal memory, ~16-20× write amplification for tiny objects.
+func NewSetCache(cfg SetCacheConfig) (Engine, error) { return setcache.New(cfg) }
+
+// KangarooConfig configures the Kangaroo hierarchical baseline.
+type KangarooConfig = kangaroo.Config
+
+// NewKangaroo creates the Kangaroo baseline ("KG"): HLog + HSet over a
+// conventional FTL with independent garbage collection (Case 3.1).
+func NewKangaroo(cfg KangarooConfig) (Engine, error) { return kangaroo.New(cfg) }
+
+// FairyWRENConfig configures the FairyWREN hierarchical baseline.
+type FairyWRENConfig = fairywren.Config
+
+// NewFairyWREN creates the FairyWREN baseline ("FW"): hierarchical cache on
+// a zoned device with GC folded into log-to-set migration (Case 3.2).
+func NewFairyWREN(cfg FairyWRENConfig) (Engine, error) { return fairywren.New(cfg) }
+
+// Stream produces cache requests; see NewWorkload and the trace package
+// re-exports below.
+type Stream = trace.Stream
+
+// Request is one generated cache request.
+type Request = trace.Request
+
+// ClusterConfig parameterizes a Twitter-like trace cluster (Table 5).
+type ClusterConfig = trace.ClusterConfig
+
+// Clusters returns the paper's four Table 5 cluster configurations.
+func Clusters() []ClusterConfig { return append([]ClusterConfig(nil), trace.Clusters...) }
+
+// NewZipfStream creates a deterministic Zipfian request stream.
+func NewZipfStream(cfg ClusterConfig) Stream { return trace.NewZipf(cfg) }
+
+// NewWorkload builds the paper's default benchmark: the four Table 5
+// clusters scaled to wssPerCluster bytes each and interleaved equally.
+func NewWorkload(wssPerCluster int64, seed int64) (Stream, error) {
+	return trace.DefaultInterleaved(wssPerCluster, seed)
+}
+
+// AdmissionPolicy gates demand fills during Replay (nil admits everything).
+type AdmissionPolicy = admission.Policy
+
+// AdmitAll is the default admission policy: every miss is filled.
+func AdmitAll() AdmissionPolicy { return admission.AdmitAll{} }
+
+// RandomAdmission admits fills with probability p (CacheLib's static
+// "dynamic random" policy), trading hit ratio for flash write volume.
+func RandomAdmission(p float64, seed int64) AdmissionPolicy {
+	return admission.NewRandom(p, seed)
+}
+
+// RejectFirstAdmission admits an object only on its second appearance
+// within a window-sized doorkeeper, filtering one-hit wonders off flash.
+func RejectFirstAdmission(window int) AdmissionPolicy {
+	return admission.NewRejectFirst(window)
+}
