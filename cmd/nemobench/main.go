@@ -6,6 +6,13 @@
 //	nemobench -list
 //	nemobench -exp fig12a [-scale small|medium|large] [-ops N] [-seed S]
 //	nemobench -all [-scale medium]
+//	nemobench -replay [-shards 1,2,4,8] [-workers K] [-ops N] [-seed S]
+//
+// -replay runs the parallel trace-replay benchmark: the same materialized
+// Twitter-style trace is replayed against the sharded engine at each shard
+// count (total cache capacity held constant) and a row of host wall-clock
+// throughput, hit ratio, and write amplification is printed per
+// configuration.
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
@@ -22,14 +29,25 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every registered experiment")
-		list  = flag.Bool("list", false, "list experiments")
-		scale = flag.String("scale", "medium", "device/workload scale: small, medium, large")
-		ops   = flag.Int("ops", 0, "override request count (0 = scale default)")
-		seed  = flag.Int64("seed", 1, "workload seed")
+		exp     = flag.String("exp", "", "experiment ID to run (see -list)")
+		all     = flag.Bool("all", false, "run every registered experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		scale   = flag.String("scale", "medium", "device/workload scale: small, medium, large")
+		ops     = flag.Int("ops", 0, "override request count (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		replay  = flag.Bool("replay", false, "run the parallel trace-replay benchmark")
+		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -replay")
+		workers = flag.Int("workers", 0, "replay worker goroutines (0 = one per shard)")
 	)
 	flag.Parse()
+
+	if *replay {
+		if err := runReplay(os.Stdout, *shards, *workers, *ops, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {

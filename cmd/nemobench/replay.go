@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nemo"
+)
+
+// replayDataZones is the total SG-pool size used by -replay runs. It is held
+// constant across shard counts so every configuration caches the same number
+// of bytes and the hit-ratio / write-amplification columns stay comparable;
+// only the partitioning (and therefore the attainable parallelism) changes.
+const replayDataZones = 48
+
+// runReplay drives the parallel trace-replay benchmark: one row per shard
+// count, replaying the identical materialized trace and reporting host
+// wall-clock throughput next to the paper's quality metrics.
+func runReplay(out io.Writer, shardList string, workers, ops int, seed int64) error {
+	shardCounts, err := parseShardList(shardList)
+	if err != nil {
+		return err
+	}
+	if ops <= 0 {
+		ops = 300_000
+	}
+
+	// Generate the trace once: every configuration replays the same
+	// requests against the same total cache capacity.
+	geom := nemo.DeviceConfig{PagesPerZone: 64}
+	probe := nemo.NewDevice(geom)
+	dataBytes := int64(replayDataZones*probe.PagesPerZone()) * int64(probe.PageSize())
+	stream, err := nemo.NewWorkload(dataBytes*3/4, seed)
+	if err != nil {
+		return err
+	}
+	reqs := nemo.Materialize(stream, ops)
+
+	fmt.Fprintf(out, "%-7s %-8s %-10s %-12s %-12s %-7s %-7s %-7s\n",
+		"shards", "workers", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA")
+	for _, shards := range shardCounts {
+		if replayDataZones%shards != 0 {
+			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, replayDataZones)
+			continue
+		}
+		cfg := geom
+		perData := replayDataZones / shards
+		perIdx := nemo.IndexZonesFor(perData, 50)
+		cfg.Zones = shards * (perData + perIdx)
+		dev := nemo.NewDevice(cfg)
+		ccfg := nemo.DefaultConfig(dev, replayDataZones)
+		ccfg.Shards = shards
+		cache, err := nemo.NewSharded(ccfg)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		res, err := nemo.ParallelReplay(cache, reqs, nemo.ParallelReplayConfig{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		st := res.Final
+		fmt.Fprintf(out, "%-7d %-8d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f\n",
+			res.Shards, res.Workers, res.Ops, res.Elapsed.Round(1e6),
+			res.OpsPerSec, (1-st.MissRatio())*100, cache.PaperWA(), st.ALWA())
+	}
+	return nil
+}
+
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty shard list")
+	}
+	return out, nil
+}

@@ -12,13 +12,24 @@
 // The package exposes:
 //
 //   - The Nemo cache itself (New, Config, DefaultConfig).
+//   - A sharded, concurrent variant (NewSharded, Config.Shards): the key
+//     space is hash-partitioned into independent engines, each owning a
+//     disjoint slice of the device's zones, its own in-memory SGs, PBFG
+//     index, and lock, so requests for different shards proceed in
+//     parallel and Stats aggregates without a global lock.
 //   - The simulated zoned flash device it runs on (NewDevice) — the
 //     substitution for the paper's ZNS SSD, with full write/read/erase
-//     accounting and a virtual-time latency model.
+//     accounting, per-zone and per-channel locking for concurrent shards,
+//     and a virtual-time latency model.
 //   - The paper's four baselines as interchangeable engines
 //     (NewLogCache, NewSetCache, NewKangaroo, NewFairyWREN).
 //   - Workload generators parameterized like the paper's Twitter traces
-//     (NewWorkload, Clusters) and a replay harness (Replay).
+//     (NewWorkload, Clusters), a sequential replay harness (Replay), and a
+//     parallel trace-replay driver (Materialize, ParallelReplay) that
+//     replays a materialized trace from many worker goroutines with
+//     deterministic per-shard sequencing — hit ratio and write
+//     amplification are independent of worker count while throughput
+//     scales with cores. `nemobench -replay` prints the scaling table.
 //
 // A minimal session:
 //

@@ -1,0 +1,3 @@
+module nemo
+
+go 1.24

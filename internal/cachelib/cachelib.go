@@ -56,6 +56,21 @@ type Stats struct {
 	Evictions uint64
 }
 
+// Add returns the field-wise sum s + o, for aggregating per-shard counters.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Gets:               s.Gets + o.Gets,
+		Hits:               s.Hits + o.Hits,
+		Sets:               s.Sets + o.Sets,
+		LogicalBytes:       s.LogicalBytes + o.LogicalBytes,
+		FlashBytesWritten:  s.FlashBytesWritten + o.FlashBytesWritten,
+		DeviceBytesWritten: s.DeviceBytesWritten + o.DeviceBytesWritten,
+		FlashBytesRead:     s.FlashBytesRead + o.FlashBytesRead,
+		FlashReadOps:       s.FlashReadOps + o.FlashReadOps,
+		Evictions:          s.Evictions + o.Evictions,
+	}
+}
+
 // ALWA returns application-level write amplification (1 when no writes).
 func (s Stats) ALWA() float64 {
 	if s.LogicalBytes == 0 {

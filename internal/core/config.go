@@ -23,6 +23,21 @@ type Config struct {
 	// zones host the index pool; New validates that enough exist.
 	DataZones int
 
+	// Shards partitions the key space by hash into this many independent
+	// engines, each owning a private slice of the device's zones, its own
+	// in-memory SGs, PBFG index, and lock (0 or 1 = unsharded). New rejects
+	// Shards > 1 — build sharded caches with NewSharded, which divides
+	// DataZones evenly across shards. Requests for different shards never
+	// contend, which is what lets the engine scale across cores.
+	Shards int
+
+	// ZoneOffset is the first device zone this cache instance may use
+	// (default 0). NewSharded assigns each shard a disjoint
+	// [ZoneOffset, ZoneOffset+DataZones+IndexZones()) range so that many
+	// independent engines share one device, exactly like Kangaroo-style
+	// set partitioning on a shared ZNS drive.
+	ZoneOffset int
+
 	// ZonesPerSG makes one SG span several zones (default 1). This is the
 	// §6 small-zone ZNS deployment ("an SG is composed of multiple
 	// zones"): the logical SG stays erase-unit aligned while each
@@ -130,6 +145,12 @@ func (c Config) validate() error {
 	if c.Device == nil {
 		return fmt.Errorf("core: nil device")
 	}
+	if c.Shards > 1 {
+		return fmt.Errorf("core: Shards %d > 1 requires NewSharded", c.Shards)
+	}
+	if c.ZoneOffset < 0 {
+		return fmt.Errorf("core: ZoneOffset %d must be non-negative", c.ZoneOffset)
+	}
 	if c.ZonesPerSG < 1 {
 		return fmt.Errorf("core: ZonesPerSG %d must be at least 1", c.ZonesPerSG)
 	}
@@ -167,9 +188,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: CoolingWriteRatio %v must be positive", c.CoolingWriteRatio)
 	}
 	need := c.DataZones + c.IndexZones()
-	if need > c.Device.Zones() {
-		return fmt.Errorf("core: need %d zones (%d data + %d index) but device has %d",
-			need, c.DataZones, c.IndexZones(), c.Device.Zones())
+	if c.ZoneOffset+need > c.Device.Zones() {
+		return fmt.Errorf("core: need zones [%d,%d) (%d data + %d index) but device has %d",
+			c.ZoneOffset, c.ZoneOffset+need, c.DataZones, c.IndexZones(), c.Device.Zones())
 	}
 	return nil
 }

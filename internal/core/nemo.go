@@ -101,11 +101,12 @@ func New(cfg Config) (*Cache, error) {
 	for i := 0; i < cfg.InMemSGs; i++ {
 		c.memq = append(c.memq, newMemSG(c.setsPerSG, c.pageSize))
 	}
-	for z := cfg.DataZones - 1; z >= 0; z-- {
+	base := cfg.ZoneOffset
+	for z := base + cfg.DataZones - 1; z >= base; z-- {
 		c.freeDataZones = append(c.freeDataZones, z)
 	}
 	idxZones := cfg.IndexZones()
-	for z := cfg.DataZones + idxZones - 1; z >= cfg.DataZones; z-- {
+	for z := base + cfg.DataZones + idxZones - 1; z >= base+cfg.DataZones; z-- {
 		c.freeIndexZones = append(c.freeIndexZones, z)
 	}
 	dataSGs := cfg.DataZones / cfg.ZonesPerSG

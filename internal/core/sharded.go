@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/hashing"
+	"nemo/internal/metrics"
+)
+
+// shardLane is the hash lane used for shard routing. It is distinct from
+// lane 0 (intra-SG set placement) and the Bloom probe streams, so which
+// shard a key lands on is uncorrelated with where it lives inside the shard.
+const shardLane = 0x53484152 // "SHAR"
+
+// Sharded is a hash-partitioned Nemo cache: Config.Shards independent Cache
+// engines, each owning a disjoint slice of the shared device's zones, its
+// own in-memory SGs, PBFG index, and lock. Get and Set route by a dedicated
+// hash lane of the key fingerprint and take only the owning shard's lock, so
+// requests for different shards proceed fully in parallel; Stats and the
+// other aggregate accessors sum per-shard counters without any global lock.
+//
+// With Shards = 1 a Sharded cache is bit-for-bit the unsharded engine: the
+// single shard sees the identical configuration, zone layout, and request
+// sequence, which the equivalence property test pins down.
+type Sharded struct {
+	shards []*Cache
+	n      uint64
+
+	// histMu guards the merged read-latency histogram rebuilt on demand by
+	// ReadLatency (the Engine contract returns a pointer).
+	histMu sync.Mutex
+	hist   metrics.Histogram
+}
+
+// NewSharded creates a sharded Nemo cache. cfg.DataZones is the total SG
+// pool across all shards and must divide evenly into cfg.Shards shards of
+// whole SGs; each shard additionally reserves its own index zones, laid out
+// contiguously after its data zones starting at cfg.ZoneOffset.
+func NewSharded(cfg Config) (*Sharded, error) {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("core: nil device")
+	}
+	zps := cfg.ZonesPerSG
+	if zps < 1 {
+		zps = 1
+	}
+	if cfg.DataZones%n != 0 {
+		return nil, fmt.Errorf("core: DataZones %d not divisible by %d shards", cfg.DataZones, n)
+	}
+	// Each shard fills at most one zone at a time (flush writes zones to
+	// completion sequentially), but shards flush concurrently, so the
+	// device's open-zone budget must cover one zone per shard or a loaded
+	// run would fail nondeterministically with ErrTooManyOpenZones.
+	if limit := cfg.Device.Config().MaxOpenZones; limit > 0 && limit < n {
+		return nil, fmt.Errorf("core: device allows %d open zones but %d shards may each hold one open", limit, n)
+	}
+	perData := cfg.DataZones / n
+	if perData < 2*zps {
+		return nil, fmt.Errorf("core: %d data zones per shard cannot hold 2 SGs of %d zones", perData, zps)
+	}
+	s := &Sharded{shards: make([]*Cache, n), n: uint64(n)}
+	offset := cfg.ZoneOffset
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		scfg.Shards = 1
+		scfg.DataZones = perData
+		scfg.ZoneOffset = offset
+		shard, err := New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d/%d: %w", i, n, err)
+		}
+		s.shards[i] = shard
+		offset += perData + scfg.IndexZones()
+	}
+	return s, nil
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning key. Replay drivers partition work
+// by this function so each shard's request order stays deterministic no
+// matter how many workers run.
+func (s *Sharded) ShardOf(key []byte) int {
+	if s.n == 1 {
+		return 0
+	}
+	return int(hashing.Derive(hashing.Fingerprint(key), shardLane) % s.n)
+}
+
+// Shard returns shard i (tests and diagnostics).
+func (s *Sharded) Shard(i int) *Cache { return s.shards[i] }
+
+// Name implements cachelib.Engine.
+func (s *Sharded) Name() string { return "Nemo" }
+
+// Close implements cachelib.Engine.
+func (s *Sharded) Close() error {
+	for _, c := range s.shards {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get looks up an object in its owning shard.
+func (s *Sharded) Get(key []byte) ([]byte, bool) {
+	return s.shards[s.ShardOf(key)].Get(key)
+}
+
+// Set inserts or updates an object in its owning shard.
+func (s *Sharded) Set(key, value []byte) error {
+	return s.shards[s.ShardOf(key)].Set(key, value)
+}
+
+// Flush forces every shard's front in-memory SG to flash.
+func (s *Sharded) Flush() error {
+	for _, c := range s.shards {
+		if err := c.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats implements cachelib.Engine by summing per-shard counters. Each
+// shard is sampled under its own lock; no global lock is taken.
+func (s *Sharded) Stats() cachelib.Stats {
+	var sum cachelib.Stats
+	for _, c := range s.shards {
+		sum = sum.Add(c.Stats())
+	}
+	return sum
+}
+
+// Extra returns the summed Nemo-specific counters.
+func (s *Sharded) Extra() NemoStats {
+	var sum NemoStats
+	for _, c := range s.shards {
+		sum = sum.Add(c.Extra())
+	}
+	return sum
+}
+
+// PaperWA returns the paper's write-amplification definition aggregated
+// across shards: total SG bytes written over total newly written user bytes.
+func (s *Sharded) PaperWA() float64 {
+	e := s.Extra()
+	if e.NewBytes == 0 {
+		return 1
+	}
+	return float64(e.DataBytesWritten) / float64(e.NewBytes)
+}
+
+// MeanFillRate returns the mean flushed-SG fill rate across shards.
+func (s *Sharded) MeanFillRate() float64 {
+	e := s.Extra()
+	if e.SGsFlushed == 0 {
+		return 0
+	}
+	return e.FillSum / float64(e.SGsFlushed)
+}
+
+// PoolLen returns the total number of live on-flash SGs across shards.
+func (s *Sharded) PoolLen() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.PoolLen()
+	}
+	return n
+}
+
+// MemObjects returns the total objects buffered in memory across shards.
+func (s *Sharded) MemObjects() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.MemObjects()
+	}
+	return n
+}
+
+// ReadLatency implements cachelib.Engine: the merged histogram of all
+// shards, rebuilt on each call. Like Cache.ReadLatency, the returned
+// histogram should be read while the cache is quiescent.
+func (s *Sharded) ReadLatency() *metrics.Histogram {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	s.hist.Reset()
+	for _, c := range s.shards {
+		c.mergeLatencyInto(&s.hist)
+	}
+	return &s.hist
+}

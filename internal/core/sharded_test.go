@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nemo/internal/flashsim"
+	"nemo/internal/trace"
+)
+
+// shardedGeom builds a device sized for n shards of perData zones each,
+// using the same small geometry as testCache, and the matching total config.
+func shardedGeom(t *testing.T, n, perData int) (*flashsim.Device, Config) {
+	t.Helper()
+	base := Config{
+		ZonesPerSG:        1,
+		InMemSGs:          2,
+		FlushThreshold:    8,
+		RearFullRatio:     0.95,
+		SGsPerIndexGroup:  4,
+		BloomFPR:          0.001,
+		TargetObjsPerSet:  8,
+		CachedPBFGRatio:   0.5,
+		HotTrackTailRatio: 0.3,
+		CoolingWriteRatio: 0.1,
+		BufferedSGs:       true,
+		DelayedFlush:      true,
+		Writeback:         true,
+	}
+	base.DataZones = n * perData
+	base.Shards = n
+	perShard := base
+	perShard.DataZones = perData
+	zones := n * (perData + perShard.IndexZones())
+	dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 16, Zones: zones})
+	base.Device = dev
+	return dev, base
+}
+
+// shardedTrace materializes a deterministic Zipf trace sized to cycle the
+// pool several times.
+func shardedTrace(ops int) []trace.Request {
+	return trace.Materialize(trace.NewZipf(trace.ClusterConfig{
+		Name: "sharded-test", KeySize: 20, ValueMean: 64, ValueStd: 24,
+		Keys: 4096, ZipfAlpha: 1.2, Seed: 7,
+	}), ops)
+}
+
+// demandFill replays reqs sequentially with the look-aside pattern.
+func demandFill(t *testing.T, e interface {
+	Get([]byte) ([]byte, bool)
+	Set([]byte, []byte) error
+}, reqs []trace.Request) {
+	t.Helper()
+	for i := range reqs {
+		req := &reqs[i]
+		if _, hit := e.Get(req.Key); !hit {
+			if err := e.Set(req.Key, req.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardEquivalence is the refactor's property test: a
+// Sharded cache with Shards=1 must reproduce the plain engine's replay
+// statistics exactly — same hits, same flash traffic, same paper WA — on a
+// deterministic trace.
+func TestShardedSingleShardEquivalence(t *testing.T) {
+	reqs := shardedTrace(30_000)
+
+	_, cfgA := shardedGeom(t, 1, 8)
+	plain, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandFill(t, plain, reqs)
+
+	_, cfgB := shardedGeom(t, 1, 8)
+	sharded, err := NewSharded(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandFill(t, sharded, reqs)
+
+	if got, want := sharded.Stats(), plain.Stats(); got != want {
+		t.Fatalf("stats diverged:\nsharded: %+v\nplain:   %+v", got, want)
+	}
+	if got, want := sharded.Extra(), plain.Extra(); got != want {
+		t.Fatalf("extra stats diverged:\nsharded: %+v\nplain:   %+v", got, want)
+	}
+	if got, want := sharded.PaperWA(), plain.PaperWA(); got != want {
+		t.Fatalf("paper WA diverged: %v vs %v", got, want)
+	}
+	devA := cfgA.Device.Stats()
+	devB := cfgB.Device.Stats()
+	if devA != devB {
+		t.Fatalf("device stats diverged:\nsharded: %+v\nplain:   %+v", devB, devA)
+	}
+}
+
+// TestShardedAggregateCounts replays the same trace at several shard counts
+// and checks that the aggregate accounting is coherent: every request is
+// counted exactly once, per-shard counters sum to the facade's totals, and
+// every shard receives traffic.
+func TestShardedAggregateCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			reqs := shardedTrace(30_000)
+			_, cfg := shardedGeom(t, n, 8)
+			s, err := NewSharded(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			demandFill(t, s, reqs)
+
+			st := s.Stats()
+			if st.Gets != uint64(len(reqs)) {
+				t.Fatalf("Gets = %d, want %d", st.Gets, len(reqs))
+			}
+			if st.Sets != st.Gets-st.Hits {
+				t.Fatalf("Sets = %d, want misses = %d", st.Sets, st.Gets-st.Hits)
+			}
+			var sum int
+			for i := 0; i < s.NumShards(); i++ {
+				shard := s.Shard(i)
+				ss := shard.Stats()
+				if ss.Gets == 0 {
+					t.Fatalf("shard %d received no traffic", i)
+				}
+				sum += int(ss.Gets)
+			}
+			if sum != len(reqs) {
+				t.Fatalf("per-shard Gets sum to %d, want %d", sum, len(reqs))
+			}
+			if s.MemObjects() == 0 {
+				t.Fatal("no objects buffered in memory")
+			}
+			if s.PoolLen() == 0 {
+				t.Fatal("no SGs reached flash")
+			}
+		})
+	}
+}
+
+// TestShardedOpenZoneBudget pins the shared-device validation: a device
+// whose open-zone limit cannot cover one concurrently open zone per shard
+// must be rejected at construction, not fail nondeterministically mid-run.
+func TestShardedOpenZoneBudget(t *testing.T) {
+	_, cfg := shardedGeom(t, 4, 8)
+	tight := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 16,
+		Zones: cfg.Device.Zones(), MaxOpenZones: 3})
+	cfg.Device = tight
+	if _, err := NewSharded(cfg); err == nil {
+		t.Fatal("NewSharded accepted 4 shards on a device limited to 3 open zones")
+	}
+	roomy := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 16,
+		Zones: cfg.Device.Zones(), MaxOpenZones: 4})
+	cfg.Device = roomy
+	s, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandFill(t, s, shardedTrace(20_000))
+}
+
+// TestShardedRouting pins the shard router: every key must land on the shard
+// the facade reports, and the distribution over shards must be roughly even.
+func TestShardedRouting(t *testing.T) {
+	_, cfg := shardedGeom(t, 4, 8)
+	s, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, s.NumShards())
+	const keys = 40_000
+	for i := 0; i < keys; i++ {
+		counts[s.ShardOf([]byte(fmt.Sprintf("routing-key-%08d", i)))]++
+	}
+	want := keys / len(counts)
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("shard %d owns %d of %d keys (want ≈%d): routing is skewed", i, c, keys, want)
+		}
+	}
+}
+
+// valueForKey derives the deterministic payload every writer stores for a
+// key, so concurrent readers can verify any hit byte-for-byte.
+func valueForKey(k []byte) []byte {
+	return []byte(fmt.Sprintf("payload-of-%s-%032d", k, len(k)))
+}
+
+// TestShardedConcurrentGetAfterPut hammers one sharded cache from many
+// goroutines over an overlapping key space. Every key maps to a single
+// deterministic value, so any hit must return exactly that value — a cross-
+// key mixup, torn read, or stale-size corruption fails the test, and the
+// race detector checks the locking. Run with -race.
+func TestShardedConcurrentGetAfterPut(t *testing.T) {
+	_, cfg := shardedGeom(t, 4, 8)
+	s, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		keys    = 512
+		opsEach = 15_000
+	)
+	var hits, misses [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := []byte(fmt.Sprintf("shared-key-%06d", (w*31+i*7)%keys))
+				want := valueForKey(k)
+				if got, hit := s.Get(k); hit {
+					hits[w]++
+					if string(got) != string(want) {
+						t.Errorf("key %s returned wrong value %q", k, got)
+						return
+					}
+				} else {
+					misses[w]++
+					if err := s.Set(k, want); err != nil {
+						t.Errorf("set %s: %v", k, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	totalHits, totalMisses := 0, 0
+	for w := 0; w < workers; w++ {
+		totalHits += hits[w]
+		totalMisses += misses[w]
+	}
+	if totalHits == 0 {
+		t.Fatal("no hits at all: cache is not retaining concurrent writes")
+	}
+	st := s.Stats()
+	if st.Gets != uint64(workers*opsEach) {
+		t.Fatalf("Gets = %d, want %d", st.Gets, workers*opsEach)
+	}
+	if st.Hits != uint64(totalHits) {
+		t.Fatalf("engine counted %d hits, workers observed %d", st.Hits, totalHits)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
+	"nemo/internal/metrics"
 )
 
 // NemoStats extends the common counters with the quantities the paper's
@@ -26,6 +27,22 @@ type NemoStats struct {
 
 	FalsePositiveReads uint64
 	CoolingRuns        uint64
+}
+
+// Add returns the field-wise sum n + o, for aggregating per-shard counters.
+func (n NemoStats) Add(o NemoStats) NemoStats {
+	return NemoStats{
+		SGsFlushed:         n.SGsFlushed + o.SGsFlushed,
+		FillSum:            n.FillSum + o.FillSum,
+		NewBytes:           n.NewBytes + o.NewBytes,
+		WriteBackBytes:     n.WriteBackBytes + o.WriteBackBytes,
+		WriteBackObjs:      n.WriteBackObjs + o.WriteBackObjs,
+		Sacrificed:         n.Sacrificed + o.Sacrificed,
+		DataBytesWritten:   n.DataBytesWritten + o.DataBytesWritten,
+		IndexBytesWritten:  n.IndexBytesWritten + o.IndexBytesWritten,
+		FalsePositiveReads: n.FalsePositiveReads + o.FalsePositiveReads,
+		CoolingRuns:        n.CoolingRuns + o.CoolingRuns,
+	}
 }
 
 // FlushRecord captures one SG flush for the per-SG breakdown experiments
@@ -60,6 +77,14 @@ func (c *Cache) Stats() cachelib.Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// mergeLatencyInto folds this cache's latency histogram into h under the
+// cache lock (used by the sharded facade to aggregate shard histograms).
+func (c *Cache) mergeLatencyInto(h *metrics.Histogram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h.Merge(&c.hist)
 }
 
 // MeanFillRate returns the mean fill rate of flushed SGs (Figure 17).

@@ -1,0 +1,226 @@
+package flashsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentZoneAppendsIsolated drives disjoint zones from many
+// goroutines at once and verifies that every zone holds exactly the bytes
+// its owner wrote and that the atomic counters account for every operation.
+func TestConcurrentZoneAppendsIsolated(t *testing.T) {
+	const (
+		workers      = 8
+		zonesPerW    = 4
+		pagesPerZone = 16
+		pageSize     = 256
+	)
+	d := New(Config{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: workers * zonesPerW})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, pageSize)
+			for zi := 0; zi < zonesPerW; zi++ {
+				zone := w*zonesPerW + zi
+				for p := 0; p < pagesPerZone; p++ {
+					binary.LittleEndian.PutUint64(buf, uint64(zone)<<32|uint64(p))
+					if _, _, err := d.AppendPage(zone, buf); err != nil {
+						t.Errorf("append zone %d page %d: %v", zone, p, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	dst := make([]byte, pageSize)
+	for zone := 0; zone < workers*zonesPerW; zone++ {
+		if wp := d.ZoneWP(zone); wp != pagesPerZone {
+			t.Fatalf("zone %d wp = %d, want %d", zone, wp, pagesPerZone)
+		}
+		for p := 0; p < pagesPerZone; p++ {
+			if _, err := d.ReadPage(d.PageAddr(zone, p), dst); err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint64(dst); got != uint64(zone)<<32|uint64(p) {
+				t.Fatalf("zone %d page %d holds %x", zone, p, got)
+			}
+		}
+	}
+	st := d.Stats()
+	wantPages := uint64(workers * zonesPerW * pagesPerZone)
+	if st.PagesWritten != wantPages {
+		t.Fatalf("PagesWritten = %d, want %d", st.PagesWritten, wantPages)
+	}
+	if st.BytesWritten != wantPages*pageSize {
+		t.Fatalf("BytesWritten = %d, want %d", st.BytesWritten, wantPages*pageSize)
+	}
+	if st.PagesRead != wantPages {
+		t.Fatalf("PagesRead = %d, want %d", st.PagesRead, wantPages)
+	}
+	if d.OpenZones() != 0 {
+		t.Fatalf("OpenZones = %d after filling every zone", d.OpenZones())
+	}
+}
+
+// TestConcurrentAppendReadResetCycles runs full write/read/reset lifecycles
+// on private zones from many goroutines (the access pattern of independent
+// cache shards) and checks the aggregate counters afterwards.
+func TestConcurrentAppendReadResetCycles(t *testing.T) {
+	const (
+		workers      = 6
+		cycles       = 8
+		pagesPerZone = 8
+		pageSize     = 128
+	)
+	d := New(Config{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: workers})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(zone int) {
+			defer wg.Done()
+			buf := make([]byte, pageSize)
+			dst := make([]byte, pageSize)
+			for c := 0; c < cycles; c++ {
+				for p := 0; p < pagesPerZone; p++ {
+					binary.LittleEndian.PutUint64(buf, uint64(c)<<32|uint64(p))
+					if _, _, err := d.AppendPage(zone, buf); err != nil {
+						t.Errorf("cycle %d append: %v", c, err)
+						return
+					}
+				}
+				for p := 0; p < pagesPerZone; p++ {
+					if _, err := d.ReadPage(d.PageAddr(zone, p), dst); err != nil {
+						t.Errorf("cycle %d read: %v", c, err)
+						return
+					}
+					if got := binary.LittleEndian.Uint64(dst); got != uint64(c)<<32|uint64(p) {
+						t.Errorf("cycle %d page %d holds %x", c, p, got)
+						return
+					}
+				}
+				if _, err := d.ResetZone(zone); err != nil {
+					t.Errorf("cycle %d reset: %v", c, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := d.Stats()
+	want := uint64(workers * cycles * pagesPerZone)
+	if st.PagesWritten != want || st.PagesRead != want {
+		t.Fatalf("pages written/read = %d/%d, want %d", st.PagesWritten, st.PagesRead, want)
+	}
+	if st.ZoneResets != uint64(workers*cycles) {
+		t.Fatalf("ZoneResets = %d, want %d", st.ZoneResets, workers*cycles)
+	}
+	if d.OpenZones() != 0 {
+		t.Fatalf("OpenZones = %d after all resets", d.OpenZones())
+	}
+}
+
+// TestOpenZoneLimitUnderConcurrency opens more zones than the limit allows
+// from parallel goroutines; the reservation must stay exact — precisely
+// MaxOpenZones opens succeed and every failure is ErrTooManyOpenZones.
+func TestOpenZoneLimitUnderConcurrency(t *testing.T) {
+	const (
+		zones = 12
+		limit = 4
+	)
+	d := New(Config{PageSize: 64, PagesPerZone: 4, Zones: zones, MaxOpenZones: limit})
+	var opened, rejected atomic.Int64
+	var wg sync.WaitGroup
+	buf := make([]byte, 64)
+	for z := 0; z < zones; z++ {
+		wg.Add(1)
+		go func(z int) {
+			defer wg.Done()
+			_, _, err := d.AppendPage(z, buf)
+			switch {
+			case err == nil:
+				opened.Add(1)
+			case errors.Is(err, ErrTooManyOpenZones):
+				rejected.Add(1)
+			default:
+				t.Errorf("zone %d: unexpected error %v", z, err)
+			}
+		}(z)
+	}
+	wg.Wait()
+	if opened.Load() != limit {
+		t.Fatalf("opened %d zones, want exactly %d", opened.Load(), limit)
+	}
+	if rejected.Load() != zones-limit {
+		t.Fatalf("rejected %d opens, want %d", rejected.Load(), zones-limit)
+	}
+	if d.OpenZones() != limit {
+		t.Fatalf("OpenZones = %d, want %d", d.OpenZones(), limit)
+	}
+}
+
+// TestConcurrentReadersSharedZone checks that read-only traffic on a shared
+// zone from many goroutines returns consistent data while other zones are
+// being written.
+func TestConcurrentReadersSharedZone(t *testing.T) {
+	const pageSize = 128
+	d := New(Config{PageSize: pageSize, PagesPerZone: 8, Zones: 4})
+	buf := make([]byte, pageSize)
+	for p := 0; p < 8; p++ {
+		for i := range buf {
+			buf[i] = byte(p)
+		}
+		if _, _, err := d.AppendPage(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := make([]byte, pageSize)
+			for i := 0; i < 200; i++ {
+				p := (w + i) % 8
+				if _, err := d.ReadPage(d.PageAddr(0, p), dst); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				for _, b := range dst {
+					if b != byte(p) {
+						t.Errorf("page %d returned byte %d", p, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// A writer hammers an unrelated zone at the same time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wbuf := make([]byte, pageSize)
+		for c := 0; c < 50; c++ {
+			for p := 0; p < 8; p++ {
+				if _, _, err := d.AppendPage(2, wbuf); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+			if _, err := d.ResetZone(2); err != nil {
+				t.Errorf("writer reset: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if st := d.Stats(); st.ZoneResets != 50 {
+		t.Fatalf("ZoneResets = %d, want 50", st.ZoneResets)
+	}
+}

@@ -9,11 +9,19 @@
 // per-channel virtual-time latency model reproduces the read/write
 // interference that drives the paper's tail-latency comparison without the
 // host-side noise of real direct I/O.
+//
+// Locking is fine-grained so independent callers scale like the real
+// hardware does: every zone carries its own mutex (appends, reads, and
+// resets of different zones never contend), every flash channel carries its
+// own scheduler lock, and the activity counters are atomics. Only the
+// open-zone limit check takes a dedicated device-wide lock, and only on the
+// rare 0→1 and full/reset write-pointer transitions.
 package flashsim
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nemo/internal/vtime"
@@ -127,22 +135,40 @@ func (s Stats) Sub(old Stats) Stats {
 }
 
 type zone struct {
+	mu   sync.Mutex
 	wp   int    // next page offset to program within the zone
 	data []byte // lazily allocated zone payload
 }
 
+// channel is one flash channel's scheduler state, padded to its own cache
+// line so concurrent schedule() calls on different channels don't false-share.
+type channel struct {
+	mu   sync.Mutex
+	free time.Duration // busy-until in virtual time
+	_    [48]byte      // pad the struct to a 64-byte stride
+}
+
 // Device is a simulated zoned flash device. All methods are safe for
-// concurrent use.
+// concurrent use; operations on distinct zones proceed in parallel.
 type Device struct {
 	cfg   Config
 	clock *vtime.Clock
 
-	mu       sync.Mutex
-	zones    []zone
-	chanFree []time.Duration // per-channel busy-until in virtual time
-	stats    Stats
+	zones []zone
+	chans []channel
 
-	readFault func(page int) error // fault injection; nil when disabled
+	// Open-zone accounting: openCount tracks zones with 0 < wp <
+	// PagesPerZone and is only touched on open/close transitions.
+	openMu    sync.Mutex
+	openCount int
+
+	pagesWritten atomic.Uint64
+	pagesRead    atomic.Uint64
+	zoneResets   atomic.Uint64
+	bytesWritten atomic.Uint64
+	bytesRead    atomic.Uint64
+
+	readFault atomic.Pointer[func(page int) error] // fault injection; nil when disabled
 }
 
 // New creates a device with the given configuration (zero fields take
@@ -150,10 +176,10 @@ type Device struct {
 func New(cfg Config) *Device {
 	cfg = cfg.withDefaults()
 	return &Device{
-		cfg:      cfg,
-		clock:    cfg.Clock,
-		zones:    make([]zone, cfg.Zones),
-		chanFree: make([]time.Duration, cfg.Channels),
+		cfg:   cfg,
+		clock: cfg.Clock,
+		zones: make([]zone, cfg.Zones),
+		chans: make([]channel, cfg.Channels),
 	}
 }
 
@@ -191,40 +217,51 @@ func (d *Device) PageAddr(zoneID, off int) int {
 // OffsetOf returns the intra-zone offset of the global page index.
 func (d *Device) OffsetOf(page int) int { return page % d.cfg.PagesPerZone }
 
-// Stats returns a snapshot of the device counters.
+// Stats returns a snapshot of the device counters. Each counter is loaded
+// atomically; under concurrent traffic the fields may straddle in-flight
+// operations, but quiescent reads (how every experiment samples) are exact.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		PagesWritten: d.pagesWritten.Load(),
+		PagesRead:    d.pagesRead.Load(),
+		ZoneResets:   d.zoneResets.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+		BytesRead:    d.bytesRead.Load(),
+	}
 }
 
 // SetReadFault installs a fault-injection hook invoked with the global page
 // index on every read; a non-nil return aborts the read with that error.
 // Pass nil to disable.
 func (d *Device) SetReadFault(f func(page int) error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.readFault = f
+	if f == nil {
+		d.readFault.Store(nil)
+		return
+	}
+	d.readFault.Store(&f)
 }
 
 // schedule books lat on the channel for global page index, returning the
-// completion time. Caller holds d.mu.
+// completion time. Takes only the channel's own lock.
 func (d *Device) schedule(page int, lat time.Duration) time.Duration {
-	ch := page % d.cfg.Channels
+	ch := &d.chans[page%d.cfg.Channels]
+	ch.mu.Lock()
 	start := d.clock.Now()
-	if d.chanFree[ch] > start {
-		start = d.chanFree[ch]
+	if ch.free > start {
+		start = ch.free
 	}
 	done := start + lat
-	d.chanFree[ch] = done
+	ch.free = done
+	ch.mu.Unlock()
 	return done
 }
 
 // ZoneWP returns the write pointer (pages written) of the zone.
 func (d *Device) ZoneWP(zoneID int) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.zones[zoneID].wp
+	z := &d.zones[zoneID]
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.wp
 }
 
 // ZoneFull reports whether the zone has no remaining writable pages.
@@ -246,41 +283,52 @@ func (d *Device) ZoneStateOf(zoneID int) ZoneState {
 
 // OpenZones returns the number of partially written zones.
 func (d *Device) OpenZones() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.openZonesLocked()
+	d.openMu.Lock()
+	defer d.openMu.Unlock()
+	return d.openCount
 }
 
-func (d *Device) openZonesLocked() int {
-	n := 0
-	for i := range d.zones {
-		if wp := d.zones[i].wp; wp > 0 && wp < d.cfg.PagesPerZone {
-			n++
-		}
+// reserveOpen admits (or rejects) the 0→open transition of a zone against
+// the configured open-zone limit.
+func (d *Device) reserveOpen(zoneID int) error {
+	d.openMu.Lock()
+	defer d.openMu.Unlock()
+	if d.cfg.MaxOpenZones > 0 && d.openCount >= d.cfg.MaxOpenZones {
+		return fmt.Errorf("opening zone %d: %w (limit %d)", zoneID, ErrTooManyOpenZones, d.cfg.MaxOpenZones)
 	}
-	return n
+	d.openCount++
+	return nil
+}
+
+func (d *Device) releaseOpen() {
+	d.openMu.Lock()
+	d.openCount--
+	d.openMu.Unlock()
 }
 
 // AppendPage programs one page at the zone's write pointer. data longer than
 // a page is an error; shorter data is zero-padded (the full page is still
 // counted as written, which is exactly the fill-rate cost the paper
 // measures). It returns the global page index and the virtual completion
-// time.
+// time. Appends to the same zone serialize on the zone's lock (the zone has
+// a single write pointer); appends to distinct zones run in parallel.
 func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Duration, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if zoneID < 0 || zoneID >= d.cfg.Zones {
 		return 0, 0, fmt.Errorf("flashsim: zone %d out of range [0,%d)", zoneID, d.cfg.Zones)
-	}
-	z := &d.zones[zoneID]
-	if z.wp >= d.cfg.PagesPerZone {
-		return 0, 0, fmt.Errorf("flashsim: zone %d full", zoneID)
 	}
 	if len(data) > d.cfg.PageSize {
 		return 0, 0, fmt.Errorf("flashsim: write of %d bytes exceeds page size %d", len(data), d.cfg.PageSize)
 	}
-	if d.cfg.MaxOpenZones > 0 && z.wp == 0 && d.openZonesLocked() >= d.cfg.MaxOpenZones {
-		return 0, 0, fmt.Errorf("opening zone %d: %w (limit %d)", zoneID, ErrTooManyOpenZones, d.cfg.MaxOpenZones)
+	z := &d.zones[zoneID]
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.wp >= d.cfg.PagesPerZone {
+		return 0, 0, fmt.Errorf("flashsim: zone %d full", zoneID)
+	}
+	if z.wp == 0 {
+		if err := d.reserveOpen(zoneID); err != nil {
+			return 0, 0, err
+		}
 	}
 	if z.data == nil {
 		z.data = make([]byte, d.cfg.PagesPerZone*d.cfg.PageSize)
@@ -292,8 +340,11 @@ func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Durati
 	}
 	page = d.PageAddr(zoneID, z.wp)
 	z.wp++
-	d.stats.PagesWritten++
-	d.stats.BytesWritten += uint64(d.cfg.PageSize)
+	if z.wp == d.cfg.PagesPerZone {
+		d.releaseOpen()
+	}
+	d.pagesWritten.Add(1)
+	d.bytesWritten.Add(uint64(d.cfg.PageSize))
 	done = d.schedule(page, d.cfg.ProgramLatency)
 	return page, done, nil
 }
@@ -331,25 +382,20 @@ func (d *Device) Append(zoneID int, data []byte) (firstPage int, done time.Durat
 // returns the virtual completion time. Reading an unwritten page yields
 // zeroes, matching deallocated-read behaviour of real zoned devices.
 func (d *Device) ReadPage(page int, dst []byte) (done time.Duration, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.readPageLocked(page, dst)
-}
-
-func (d *Device) readPageLocked(page int, dst []byte) (time.Duration, error) {
 	if page < 0 || page >= d.TotalPages() {
 		return 0, fmt.Errorf("flashsim: page %d out of range [0,%d)", page, d.TotalPages())
 	}
 	if len(dst) < d.cfg.PageSize {
 		return 0, fmt.Errorf("flashsim: read buffer %d smaller than page size %d", len(dst), d.cfg.PageSize)
 	}
-	if d.readFault != nil {
-		if err := d.readFault(page); err != nil {
+	if f := d.readFault.Load(); f != nil {
+		if err := (*f)(page); err != nil {
 			return 0, err
 		}
 	}
 	z := &d.zones[page/d.cfg.PagesPerZone]
 	off := (page % d.cfg.PagesPerZone) * d.cfg.PageSize
+	z.mu.Lock()
 	if z.data == nil {
 		for i := 0; i < d.cfg.PageSize; i++ {
 			dst[i] = 0
@@ -357,8 +403,9 @@ func (d *Device) readPageLocked(page int, dst []byte) (time.Duration, error) {
 	} else {
 		copy(dst[:d.cfg.PageSize], z.data[off:off+d.cfg.PageSize])
 	}
-	d.stats.PagesRead++
-	d.stats.BytesRead += uint64(d.cfg.PageSize)
+	z.mu.Unlock()
+	d.pagesRead.Add(1)
+	d.bytesRead.Add(uint64(d.cfg.PageSize))
 	return d.schedule(page, d.cfg.ReadLatency), nil
 }
 
@@ -366,10 +413,8 @@ func (d *Device) readPageLocked(page int, dst []byte) (time.Duration, error) {
 // concurrently across channels, and returns the completion time of the
 // slowest read (the paper's parallel candidate-SG and PBFG reads).
 func (d *Device) ReadPages(pages []int, dst [][]byte) (done time.Duration, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i, p := range pages {
-		t, err := d.readPageLocked(p, dst[i])
+		t, err := d.ReadPage(p, dst[i])
 		if err != nil {
 			return 0, err
 		}
@@ -383,15 +428,18 @@ func (d *Device) ReadPages(pages []int, dst [][]byte) (done time.Duration, err e
 // ResetZone erases the zone, rewinding its write pointer, and returns the
 // virtual completion time.
 func (d *Device) ResetZone(zoneID int) (done time.Duration, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if zoneID < 0 || zoneID >= d.cfg.Zones {
 		return 0, fmt.Errorf("flashsim: zone %d out of range [0,%d)", zoneID, d.cfg.Zones)
 	}
 	z := &d.zones[zoneID]
+	z.mu.Lock()
+	if z.wp > 0 && z.wp < d.cfg.PagesPerZone {
+		d.releaseOpen()
+	}
 	z.wp = 0
 	z.data = nil // freed; reads of a reset zone return zeroes
-	d.stats.ZoneResets++
+	z.mu.Unlock()
+	d.zoneResets.Add(1)
 	done = d.schedule(d.PageAddr(zoneID, 0), d.cfg.EraseLatency)
 	return done, nil
 }

@@ -1,0 +1,23 @@
+package trace
+
+// Materialize draws n requests from s into freshly allocated buffers. Stream
+// implementations reuse their Request buffers across Next calls, so a
+// materialized trace is what lets many goroutines replay the same request
+// sequence concurrently: every Request owns its Key and Value, and the slice
+// is immutable by convention once built.
+//
+// Generation stays single-threaded and deterministic (the stream's PRNG
+// state advances exactly as in a sequential replay); only the consumption is
+// parallel.
+func Materialize(s Stream, n int) []Request {
+	reqs := make([]Request, n)
+	var scratch Request
+	for i := range reqs {
+		s.Next(&scratch)
+		reqs[i] = Request{
+			Key:   append([]byte(nil), scratch.Key...),
+			Value: append([]byte(nil), scratch.Value...),
+		}
+	}
+	return reqs
+}

@@ -47,6 +47,16 @@ type MemoryOverhead = core.MemoryOverhead
 // New creates a Nemo cache.
 func New(cfg Config) (*Cache, error) { return core.New(cfg) }
 
+// ShardedCache is a hash-partitioned Nemo cache: Config.Shards independent
+// engines over disjoint zone ranges of one device, with per-shard locking so
+// requests for different shards proceed fully in parallel.
+type ShardedCache = core.Sharded
+
+// NewSharded creates a sharded Nemo cache; cfg.DataZones is the total SG
+// pool divided evenly across cfg.Shards shards. With Shards <= 1 the result
+// behaves bit-for-bit like the unsharded engine.
+func NewSharded(cfg Config) (*ShardedCache, error) { return core.NewSharded(cfg) }
+
 // DefaultConfig returns the paper's Table 3 configuration scaled to the
 // device geometry, with a dataZones-zone SG pool.
 func DefaultConfig(dev *Device, dataZones int) Config {
@@ -80,6 +90,26 @@ type ReplayResult = cachelib.ReplayResult
 func Replay(e Engine, s Stream, cfg ReplayConfig) (ReplayResult, error) {
 	return cachelib.Replay(e, s, cfg)
 }
+
+// ParallelReplayConfig controls a ParallelReplay run.
+type ParallelReplayConfig = cachelib.ParallelReplayConfig
+
+// ParallelReplayResult carries the metrics of one parallel replay,
+// including host wall-clock throughput.
+type ParallelReplayResult = cachelib.ParallelReplayResult
+
+// ParallelReplay replays a materialized trace from many worker goroutines
+// with deterministic per-shard sequencing: each shard of a ShardedCache sees
+// the identical request subsequence it would in a single-threaded replay, so
+// hit ratio and write amplification are independent of worker count while
+// throughput scales with cores.
+func ParallelReplay(e Engine, reqs []Request, cfg ParallelReplayConfig) (ParallelReplayResult, error) {
+	return cachelib.ParallelReplay(e, reqs, cfg)
+}
+
+// Materialize draws n requests from a stream into owned buffers so the
+// resulting trace can be replayed concurrently (see ParallelReplay).
+func Materialize(s Stream, n int) []Request { return trace.Materialize(s, n) }
 
 // LogCacheConfig configures the log-structured baseline.
 type LogCacheConfig = logcache.Config

@@ -1,0 +1,8 @@
+//go:build !race
+
+package nemo_test
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// wall-clock throughput assertions are skipped under -race because
+// instrumentation overhead flattens the per-op cost differences they measure.
+const raceEnabled = false
