@@ -7,12 +7,17 @@
 //	nemobench -exp fig12a [-scale small|medium|large] [-ops N] [-seed S]
 //	nemobench -all [-scale medium]
 //	nemobench -replay [-shards 1,2,4,8] [-workers K] [-ops N] [-seed S]
+//	          [-batch B] [-async] [-flushers K] [-setfrac F] [-delfrac F]
 //
 // -replay runs the parallel trace-replay benchmark: the same materialized
 // Twitter-style trace is replayed against the sharded engine at each shard
 // count (total cache capacity held constant) and a row of host wall-clock
-// throughput, hit ratio, and write amplification is printed per
-// configuration.
+// throughput, hit ratio, write amplification, and Set latency percentiles
+// is printed per configuration. -batch drives the Engine v2 batched surface
+// (per-shard GetMany/SetMany sub-batches), -async routes fills through
+// SetAsync and a -flushers-sized background flush pool (watch the setp99
+// column drop), and -setfrac/-delfrac rewrite a fraction of the trace into
+// explicit SET and DELETE operations.
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
@@ -29,20 +34,36 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID to run (see -list)")
-		all     = flag.Bool("all", false, "run every registered experiment")
-		list    = flag.Bool("list", false, "list experiments")
-		scale   = flag.String("scale", "medium", "device/workload scale: small, medium, large")
-		ops     = flag.Int("ops", 0, "override request count (0 = scale default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		replay  = flag.Bool("replay", false, "run the parallel trace-replay benchmark")
-		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -replay")
-		workers = flag.Int("workers", 0, "replay worker goroutines (0 = one per shard)")
+		exp      = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every registered experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		scale    = flag.String("scale", "medium", "device/workload scale: small, medium, large")
+		ops      = flag.Int("ops", 0, "override request count (0 = scale default)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		replay   = flag.Bool("replay", false, "run the parallel trace-replay benchmark")
+		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -replay")
+		workers  = flag.Int("workers", 0, "replay worker goroutines (0 = one per shard)")
+		batch    = flag.Int("batch", 0, "per-shard batch size for -replay (<=1 = unbatched)")
+		async    = flag.Bool("async", false, "-replay: fills via SetAsync + background flusher pool")
+		flushers = flag.Int("flushers", 2, "-replay: background flusher goroutines with -async")
+		setFrac  = flag.Float64("setfrac", 0, "-replay: fraction of requests rewritten to explicit SETs")
+		delFrac  = flag.Float64("delfrac", 0, "-replay: fraction of requests rewritten to DELETEs")
 	)
 	flag.Parse()
 
 	if *replay {
-		if err := runReplay(os.Stdout, *shards, *workers, *ops, *seed); err != nil {
+		err := runReplay(os.Stdout, replayOptions{
+			shardList: *shards,
+			workers:   *workers,
+			ops:       *ops,
+			seed:      *seed,
+			batch:     *batch,
+			async:     *async,
+			flushers:  *flushers,
+			setFrac:   *setFrac,
+			delFrac:   *delFrac,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -15,16 +15,32 @@ import (
 // only the partitioning (and therefore the attainable parallelism) changes.
 const replayDataZones = 48
 
+// replayOptions carries the -replay flag set.
+type replayOptions struct {
+	shardList string  // comma-separated shard counts
+	workers   int     // replay goroutines (0 = one per shard)
+	ops       int     // request count
+	seed      int64   // workload seed
+	batch     int     // per-shard batch size (<=1 = unbatched)
+	async     bool    // route fills through SetAsync + the flusher pool
+	flushers  int     // background flusher goroutines when async
+	setFrac   float64 // fraction of requests rewritten to explicit SETs
+	delFrac   float64 // fraction of requests rewritten to DELETEs
+}
+
 // runReplay drives the parallel trace-replay benchmark: one row per shard
-// count, replaying the identical materialized trace and reporting host
-// wall-clock throughput next to the paper's quality metrics.
-func runReplay(out io.Writer, shardList string, workers, ops int, seed int64) error {
-	shardCounts, err := parseShardList(shardList)
+// count, replaying the identical materialized (optionally mixed
+// GET/SET/DELETE) trace and reporting host wall-clock throughput and Set
+// latency percentiles next to the paper's quality metrics. The p99 Set
+// latency column is where -async shows: without it, the occasional Set pays
+// a whole-SG flush inline; with it, the flush runs on the background pool.
+func runReplay(out io.Writer, o replayOptions) error {
+	shardCounts, err := parseShardList(o.shardList)
 	if err != nil {
 		return err
 	}
-	if ops <= 0 {
-		ops = 300_000
+	if o.ops <= 0 {
+		o.ops = 300_000
 	}
 
 	// Generate the trace once: every configuration replays the same
@@ -32,14 +48,20 @@ func runReplay(out io.Writer, shardList string, workers, ops int, seed int64) er
 	geom := nemo.DeviceConfig{PagesPerZone: 64}
 	probe := nemo.NewDevice(geom)
 	dataBytes := int64(replayDataZones*probe.PagesPerZone()) * int64(probe.PageSize())
-	stream, err := nemo.NewWorkload(dataBytes*3/4, seed)
+	stream, err := nemo.NewWorkload(dataBytes*3/4, o.seed)
 	if err != nil {
 		return err
 	}
-	reqs := nemo.Materialize(stream, ops)
+	if o.setFrac > 0 || o.delFrac > 0 {
+		stream, err = nemo.NewMixedStream(stream, o.setFrac, o.delFrac, o.seed)
+		if err != nil {
+			return err
+		}
+	}
+	reqs := nemo.Materialize(stream, o.ops)
 
-	fmt.Fprintf(out, "%-7s %-8s %-10s %-12s %-12s %-7s %-7s %-7s\n",
-		"shards", "workers", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA")
+	fmt.Fprintf(out, "%-7s %-8s %-6s %-10s %-12s %-12s %-7s %-7s %-7s %-10s %-10s\n",
+		"shards", "workers", "batch", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA", "setp50", "setp99")
 	for _, shards := range shardCounts {
 		if replayDataZones%shards != 0 {
 			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, replayDataZones)
@@ -52,18 +74,29 @@ func runReplay(out io.Writer, shardList string, workers, ops int, seed int64) er
 		dev := nemo.NewDevice(cfg)
 		ccfg := nemo.DefaultConfig(dev, replayDataZones)
 		ccfg.Shards = shards
+		if o.async {
+			ccfg.Flushers = o.flushers
+		}
 		cache, err := nemo.NewSharded(ccfg)
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
-		res, err := nemo.ParallelReplay(cache, reqs, nemo.ParallelReplayConfig{Workers: workers})
+		res, err := nemo.ParallelReplay(cache, reqs, nemo.ParallelReplayConfig{
+			Workers:   o.workers,
+			BatchSize: o.batch,
+			AsyncSets: o.async,
+		})
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
 		st := res.Final
-		fmt.Fprintf(out, "%-7d %-8d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f\n",
-			res.Shards, res.Workers, res.Ops, res.Elapsed.Round(1e6),
-			res.OpsPerSec, (1-st.MissRatio())*100, cache.PaperWA(), st.ALWA())
+		fmt.Fprintf(out, "%-7d %-8d %-6d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f %-10v %-10v\n",
+			res.Shards, res.Workers, o.batch, res.Ops, res.Elapsed.Round(1e6),
+			res.OpsPerSec, (1-st.MissRatio())*100, cache.PaperWA(), st.ALWA(),
+			res.SetLatency.P50, res.SetLatency.P99)
+		if err := cache.Close(); err != nil {
+			return fmt.Errorf("shards=%d: close: %w", shards, err)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 // Package nemo is a from-scratch Go reproduction of "Nemo: A
 // Low-Write-Amplification Cache for Tiny Objects on Log-Structured Flash
-// Devices" (ASPLOS '26).
+// Devices" (ASPLOS '26), grown into a production-shaped cache service core.
 //
 // Nemo is a flash cache for tiny (~250 B) objects that reaches near-ideal
 // write amplification by rearchitecting set-associative caching around
@@ -9,7 +9,42 @@
 // filter index (PBFG) keeps memory at ~8 bits per object, and hybrid 1-bit
 // hotness tracking feeds writeback so hot objects survive eviction.
 //
-// The package exposes:
+// # Engine v2: core and extension interfaces
+//
+// Every cache design in the repository implements the minimal Engine
+// contract (Name/Get/Set/Stats/ReadLatency/Close) — the neutral harness
+// surface the paper's comparisons need. Production capabilities are
+// composable extension interfaces an engine may add:
+//
+//   - BatchEngine — GetMany/SetMany execute many operations per lock
+//     acquisition. On a sharded cache a batch costs one hash pass, groups
+//     into per-shard sub-batches, and fans out across shards in parallel:
+//     the multi-get pattern of a cache service front end.
+//   - Deleter — Delete invalidates a key. Nemo has no exact per-object
+//     index (§4.3), so deletion tombstones: in-memory copies are removed
+//     and a zero-length marker shadows any still-cached flash copy (reads
+//     scan newest-first) until it ages out of the FIFO pool; hotness
+//     writeback never resurrects a tombstoned object.
+//   - AsyncEngine — SetAsync inserts into the in-memory SG and returns;
+//     when the rear-full trigger fires, the full SG's flush is handed to a
+//     background flusher pool (Config.Flushers goroutines, shared across
+//     shards) instead of running inline on the inserting worker. The flush
+//     is the p99 outlier of the Set path — `nemobench -replay -async`
+//     shows it moving off the latency distribution. Drain awaits all
+//     deferred work; a sacrifice budget backpressures to inline flushing
+//     if the pool ever lags.
+//
+// EngineV2 bundles the core and all three extensions. Cache and
+// ShardedCache implement it natively;
+// Adapt upgrades any plain Engine (the four paper baselines) by delegating
+// what exists and emulating the rest, so every harness path is written
+// against v2 and comparisons keep running unmodified. Per-request knobs
+// ride in Options (TTL, admission Hint, NoFill), threaded by the replayers
+// through every engine; a request's op kind (RequestKind: KindGet, KindSet,
+// KindDelete) rides on the trace itself — NewMixedStream generates mixed
+// GET/SET/DELETE workloads.
+//
+// # What the package exposes
 //
 //   - The Nemo cache itself (New, Config, DefaultConfig).
 //   - A sharded, concurrent variant (NewSharded, Config.Shards): the key
@@ -22,14 +57,20 @@
 //     accounting, per-zone and per-channel locking for concurrent shards,
 //     and a virtual-time latency model.
 //   - The paper's four baselines as interchangeable engines
-//     (NewLogCache, NewSetCache, NewKangaroo, NewFairyWREN).
+//     (NewLogCache, NewSetCache, NewKangaroo, NewFairyWREN); the log
+//     baseline's exact index gives it a native Delete, the rest upgrade
+//     through Adapt.
 //   - Workload generators parameterized like the paper's Twitter traces
-//     (NewWorkload, Clusters), a sequential replay harness (Replay), and a
-//     parallel trace-replay driver (Materialize, ParallelReplay) that
-//     replays a materialized trace from many worker goroutines with
-//     deterministic per-shard sequencing — hit ratio and write
-//     amplification are independent of worker count while throughput
-//     scales with cores. `nemobench -replay` prints the scaling table.
+//     (NewWorkload, Clusters, NewMixedStream), a sequential replay harness
+//     (Replay), and a parallel trace-replay driver (Materialize,
+//     ParallelReplay) with deterministic per-shard sequencing — hit ratio
+//     and write amplification are independent of worker count and batch
+//     size while throughput scales with cores. Batched replay
+//     (ParallelReplayConfig.BatchSize) drives GetMany/SetMany with
+//     per-shard batch composition and merged multi-shard fan-out; AsyncSets
+//     routes fills through the flush pipeline; Set latency percentiles
+//     land in ParallelReplayResult.SetLatency. `nemobench -replay` prints
+//     the scaling table.
 //
 // A minimal session:
 //
@@ -38,8 +79,10 @@
 //	if err != nil { ... }
 //	cache.Set([]byte("user:1234"), []byte("tiny object"))
 //	v, hit := cache.Get([]byte("user:1234"))
+//	cache.Delete([]byte("user:1234"))
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-vs-measured results, and cmd/nemobench to regenerate every table
-// and figure.
+// See examples/batch for the v2 surface end to end (GetMany, SetAsync,
+// Drain, Delete on a sharded cache), DESIGN.md for the system inventory,
+// EXPERIMENTS.md for the paper-vs-measured results, and cmd/nemobench to
+// regenerate every table and figure.
 package nemo

@@ -12,9 +12,14 @@ import (
 	"nemo/internal/metrics"
 )
 
-// Engine is a flash cache engine. Implementations are safe for concurrent
-// use unless documented otherwise; the replayer drives them
-// single-threaded for determinism.
+// Engine is the minimal flash cache engine contract. Implementations are
+// safe for concurrent use unless documented otherwise; the serial replayer
+// drives them single-threaded for determinism.
+//
+// Engine is deliberately small: richer production capabilities — batched
+// multi-ops, deletion, asynchronous writes — are the composable extension
+// interfaces BatchEngine, Deleter, and AsyncEngine (see engine2.go). Adapt
+// upgrades any plain Engine to the full EngineV2 surface.
 type Engine interface {
 	// Name identifies the engine in reports ("Nemo", "Log", "Set", "KG", "FW").
 	Name() string
@@ -35,9 +40,10 @@ type Engine interface {
 // Stats is the common counter set. Engines fill the fields that apply;
 // the write-amplification definitions follow §5.2 of the paper.
 type Stats struct {
-	Gets uint64
-	Hits uint64
-	Sets uint64
+	Gets    uint64
+	Hits    uint64
+	Sets    uint64
+	Deletes uint64
 
 	// LogicalBytes counts user object bytes admitted — for Nemo, new
 	// objects only (writeback excluded, sacrificed objects included).
@@ -62,6 +68,7 @@ func (s Stats) Add(o Stats) Stats {
 		Gets:               s.Gets + o.Gets,
 		Hits:               s.Hits + o.Hits,
 		Sets:               s.Sets + o.Sets,
+		Deletes:            s.Deletes + o.Deletes,
 		LogicalBytes:       s.LogicalBytes + o.LogicalBytes,
 		FlashBytesWritten:  s.FlashBytesWritten + o.FlashBytesWritten,
 		DeviceBytesWritten: s.DeviceBytesWritten + o.DeviceBytesWritten,

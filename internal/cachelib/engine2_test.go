@@ -1,0 +1,400 @@
+package cachelib
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"nemo/internal/admission"
+	"nemo/internal/metrics"
+	"nemo/internal/trace"
+	"nemo/internal/vtime"
+)
+
+// TestAdaptPassThrough pins that engines already implementing EngineV2 are
+// returned unwrapped.
+func TestAdaptPassThrough(t *testing.T) {
+	e := Adapt(newFake())
+	if again := Adapt(e); again != e {
+		t.Fatal("Adapt re-wrapped an already-upgraded engine")
+	}
+}
+
+// TestAdaptDeleteEmulation covers the tombstone shim: a deleted key misses
+// (and still counts as a lookup), a re-Set resurrects it, and the counters
+// fold the emulated operations in.
+func TestAdaptDeleteEmulation(t *testing.T) {
+	f := newFake()
+	v2 := Adapt(f)
+	if err := v2.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := v2.Get([]byte("k")); !hit {
+		t.Fatal("fresh key missing")
+	}
+	if err := v2.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := v2.Get([]byte("k")); hit {
+		t.Fatal("deleted key still hits")
+	}
+	st := v2.Stats()
+	if st.Deletes != 1 {
+		t.Fatalf("Deletes = %d, want 1", st.Deletes)
+	}
+	if st.Gets != 2 {
+		t.Fatalf("Gets = %d, want 2 (tombstone lookups must count)", st.Gets)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", st.Hits)
+	}
+	// A fresh Set clears the tombstone.
+	if err := v2.Set([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, hit := v2.Get([]byte("k")); !hit || string(v) != "v2" {
+		t.Fatalf("resurrected key: hit=%v v=%q", hit, v)
+	}
+}
+
+// TestAdaptBatchAndAsyncEmulation checks the per-key loop fallbacks and the
+// synchronous SetAsync degradation.
+func TestAdaptBatchAndAsyncEmulation(t *testing.T) {
+	v2 := Adapt(newFake())
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	vals := [][]byte{[]byte("1"), []byte("2"), []byte("3")}
+	if err := v2.SetMany(keys[:2], vals[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.SetAsync(keys[2], vals[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	values, hits := v2.GetMany(append(keys, []byte("missing")))
+	for i := range keys {
+		if !hits[i] || !bytes.Equal(values[i], vals[i]) {
+			t.Fatalf("key %q: hit=%v value=%q", keys[i], hits[i], values[i])
+		}
+	}
+	if hits[3] {
+		t.Fatal("missing key reported as hit")
+	}
+	// The shim forwards Sharder trivially for unsharded engines.
+	sh := v2.(Sharder)
+	if sh.NumShards() != 1 || sh.ShardOf([]byte("x")) != 0 {
+		t.Fatal("unsharded Sharder fallback broken")
+	}
+}
+
+// TestReplayOptionsNoFillAndHints covers the per-request knobs threaded
+// through the serial replayer.
+func TestReplayOptionsNoFillAndHints(t *testing.T) {
+	e := newFake()
+	res, err := Replay(e, testStream(), ReplayConfig{Ops: 1000, Options: Options{NoFill: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Sets != 0 {
+		t.Fatalf("NoFill replay issued %d fills", res.Final.Sets)
+	}
+	// HintBypass suppresses every fill even without NoFill.
+	e2 := newFake()
+	res2, err := Replay(e2, testStream(), ReplayConfig{Ops: 1000, Options: Options{Admission: HintBypass}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Final.Sets != 0 {
+		t.Fatalf("HintBypass replay issued %d fills", res2.Final.Sets)
+	}
+	// HintForce overrides a policy that rejects everything.
+	e3 := newFake()
+	res3, err := Replay(e3, testStream(), ReplayConfig{
+		Ops:       1000,
+		Admission: admission.NewRandom(0, 1), // rejects all
+		Options:   Options{Admission: HintForce},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Final.Sets == 0 {
+		t.Fatal("HintForce replay filled nothing despite forced admission")
+	}
+}
+
+// TestReplayTTLExpires pins harness-side TTL: with a short TTL every reuse
+// beyond the deadline is a miss (the replayer deletes the object first), so
+// an unbounded cache sees repeated compulsory misses for the same key.
+func TestReplayTTLExpires(t *testing.T) {
+	clk := &vtime.Clock{}
+	run := func(ttl time.Duration) Stats {
+		e := newFake()
+		res, err := Replay(e, testStream(), ReplayConfig{
+			Ops:          5_000,
+			Clock:        clk,
+			InterArrival: time.Millisecond,
+			Options:      Options{TTL: ttl},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final
+	}
+	forever := run(time.Hour)
+	short := run(5 * time.Millisecond)
+	if short.Hits >= forever.Hits {
+		t.Fatalf("short TTL did not reduce hits: %d vs %d", short.Hits, forever.Hits)
+	}
+	if short.Deletes == 0 {
+		t.Fatal("short TTL issued no expirations")
+	}
+	if forever.Deletes != 0 {
+		t.Fatalf("long TTL expired %d objects within the run", forever.Deletes)
+	}
+}
+
+// TestReplayMixedOps drives a SET/DELETE-bearing trace through the serial
+// replayer against the adapted fake engine.
+func TestReplayMixedOps(t *testing.T) {
+	mixed, err := trace.NewMixed(testStream(), 0.2, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newFake()
+	res, err := Replay(e, mixed, ReplayConfig{Ops: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Final
+	if st.Deletes == 0 {
+		t.Fatal("mixed replay issued no deletes")
+	}
+	if st.Gets == 0 || st.Sets == 0 {
+		t.Fatalf("mixed replay op mix degenerate: %+v", st)
+	}
+	// GETs are ~70% of ops; explicit SETs and fills make up the Sets.
+	if st.Gets+st.Deletes > 10_000 {
+		t.Fatalf("op accounting exceeds trace length: %+v", st)
+	}
+}
+
+// recordingPolicy wraps an admission policy, recording the exact key order
+// it observes.
+type recordingPolicy struct {
+	mu    sync.Mutex
+	inner admission.Policy
+	seen  []string
+}
+
+func (r *recordingPolicy) Admit(key []byte, size int) bool {
+	r.mu.Lock()
+	r.seen = append(r.seen, string(key))
+	r.mu.Unlock()
+	return r.inner.Admit(key, size)
+}
+
+func (r *recordingPolicy) Name() string { return "recording" }
+
+// batchedAdmissionRun replays reqs single-worker at the given batch size
+// with a recording RejectFirst doorkeeper and returns the observed key
+// order plus the final stats.
+func batchedAdmissionRun(t *testing.T, reqs []trace.Request, batch int) ([]string, Stats) {
+	t.Helper()
+	pol := &recordingPolicy{inner: admission.NewRejectFirst(256)}
+	res, err := ParallelReplay(newFake(), reqs, ParallelReplayConfig{
+		Workers:   1,
+		BatchSize: batch,
+		Admission: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol.seen, res.Final
+}
+
+// TestBatchedSetManyAdmissionOrder is the batched-admission pin for
+// explicit writes: a SET-only trace driven through SetMany batches must
+// show the RejectFirst doorkeeper the identical key sequence — and produce
+// identical stats — at every batch size, because batches preserve each
+// shard's trace order and admission is consulted per op in that order.
+func TestBatchedSetManyAdmissionOrder(t *testing.T) {
+	mixed, err := trace.NewMixed(testStream(), 1, 0, 3) // every op a SET
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Materialize(mixed, 6_000)
+	refSeen, refStats := batchedAdmissionRun(t, reqs, 0)
+	if len(refSeen) != len(reqs) {
+		t.Fatalf("policy saw %d keys, want one per SET (%d)", len(refSeen), len(reqs))
+	}
+	for _, batch := range []int{1, 4, 64, 512} {
+		seen, stats := batchedAdmissionRun(t, reqs, batch)
+		if len(seen) != len(refSeen) {
+			t.Fatalf("batch=%d: policy saw %d keys, want %d", batch, len(seen), len(refSeen))
+		}
+		for i := range refSeen {
+			if seen[i] != refSeen[i] {
+				t.Fatalf("batch=%d: policy key order diverged at %d", batch, i)
+			}
+		}
+		if stats != refStats {
+			t.Fatalf("batch=%d: stats diverged:\ngot: %+v\nref: %+v", batch, stats, refStats)
+		}
+	}
+}
+
+// TestBatchedFillAdmissionOrder is the same pin for demand fills: on a
+// unique-key trace (no within-batch repeats, like an insert-heavy warmup)
+// every GET misses and its fill consults the doorkeeper in exact trace
+// order at every batch size. With repeated keys the order is still
+// deterministic for a given batch size (TestBatchedAdmissionDeterministic)
+// but rejected fills re-consult on the repeat, whose position relative to
+// the batch's other fills necessarily shifts with the batch boundary.
+func TestBatchedFillAdmissionOrder(t *testing.T) {
+	reqs := trace.Materialize(trace.NewSyntheticInserts(16, 50, 10, 5), 4_000)
+	refSeen, refStats := batchedAdmissionRun(t, reqs, 0)
+	if len(refSeen) != len(reqs) {
+		t.Fatalf("policy saw %d keys, want one per compulsory miss (%d)", len(refSeen), len(reqs))
+	}
+	for _, batch := range []int{1, 4, 64, 512} {
+		seen, stats := batchedAdmissionRun(t, reqs, batch)
+		if len(seen) != len(refSeen) {
+			t.Fatalf("batch=%d: policy saw %d keys, want %d", batch, len(seen), len(refSeen))
+		}
+		for i := range refSeen {
+			if seen[i] != refSeen[i] {
+				t.Fatalf("batch=%d: policy key order diverged at %d", batch, i)
+			}
+		}
+		if stats != refStats {
+			t.Fatalf("batch=%d: stats diverged:\ngot: %+v\nref: %+v", batch, stats, refStats)
+		}
+	}
+}
+
+// TestBatchedAdmissionDeterministic pins run-to-run determinism on a
+// repeat-heavy Zipf trace: for each batch size, two identical runs must
+// show the policy the identical key sequence and produce identical stats.
+func TestBatchedAdmissionDeterministic(t *testing.T) {
+	reqs := trace.Materialize(testStream(), 6_000)
+	for _, batch := range []int{0, 16, 256} {
+		seenA, statsA := batchedAdmissionRun(t, reqs, batch)
+		seenB, statsB := batchedAdmissionRun(t, reqs, batch)
+		if len(seenA) == 0 {
+			t.Fatalf("batch=%d: policy observed no keys", batch)
+		}
+		if len(seenA) != len(seenB) {
+			t.Fatalf("batch=%d: runs saw %d vs %d keys", batch, len(seenA), len(seenB))
+		}
+		for i := range seenA {
+			if seenA[i] != seenB[i] {
+				t.Fatalf("batch=%d: identical runs diverged at %d", batch, i)
+			}
+		}
+		if statsA != statsB {
+			t.Fatalf("batch=%d: identical runs diverged:\n%+v\n%+v", batch, statsA, statsB)
+		}
+	}
+}
+
+// TestParallelReplayMixedDeterministicAcrossWorkers extends the determinism
+// guarantee to batched mixed GET/SET/DELETE replay: per-shard sequencing
+// and per-shard batch composition make the statistics independent of the
+// worker count.
+func TestParallelReplayMixedDeterministicAcrossWorkers(t *testing.T) {
+	base, err := trace.NewMixed(testStream(), 0.15, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Materialize(base, 6_000)
+	// shardedFake partitions the fake engine 4 ways so several workers
+	// have distinct work.
+	mk := func() *shardedFake { return newShardedFake(4) }
+	var ref Stats
+	for i, workers := range []int{1, 2, 4} {
+		e := mk()
+		res, err := ParallelReplay(e, reqs, ParallelReplayConfig{Workers: workers, BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res.Final
+			if ref.Deletes == 0 {
+				t.Fatal("mixed replay issued no deletes")
+			}
+			continue
+		}
+		if res.Final != ref {
+			t.Fatalf("workers=%d: mixed batched stats diverged:\ngot: %+v\nref: %+v", workers, res.Final, ref)
+		}
+	}
+}
+
+// shardedFake is a hash-partitioned fakeEngine implementing Sharder and
+// Deleter, for exercising the parallel replayer without the full core.
+type shardedFake struct {
+	shards []*lockedFake
+}
+
+type lockedFake struct {
+	mu sync.Mutex
+	fakeEngine
+}
+
+func newShardedFake(n int) *shardedFake {
+	s := &shardedFake{shards: make([]*lockedFake, n)}
+	for i := range s.shards {
+		s.shards[i] = &lockedFake{fakeEngine: *newFake()}
+	}
+	return s
+}
+
+func (s *shardedFake) NumShards() int { return len(s.shards) }
+func (s *shardedFake) ShardOf(key []byte) int {
+	h := uint64(1469598103934665603)
+	for _, c := range key {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+func (s *shardedFake) Name() string { return "shardedFake" }
+func (s *shardedFake) Get(key []byte) ([]byte, bool) {
+	f := s.shards[s.ShardOf(key)]
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fakeEngine.Get(key)
+}
+func (s *shardedFake) Set(key, value []byte) error {
+	f := s.shards[s.ShardOf(key)]
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fakeEngine.Set(key, value)
+}
+func (s *shardedFake) Delete(key []byte) error {
+	f := s.shards[s.ShardOf(key)]
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.st.Deletes++
+	delete(f.m, string(key))
+	return nil
+}
+func (s *shardedFake) Stats() Stats {
+	var sum Stats
+	for _, f := range s.shards {
+		f.mu.Lock()
+		sum = sum.Add(f.st)
+		f.mu.Unlock()
+	}
+	return sum
+}
+func (s *shardedFake) ReadLatency() *metrics.Histogram { return &s.shards[0].hist }
+func (s *shardedFake) Close() error                    { return nil }
+
+var (
+	_ Engine  = (*shardedFake)(nil)
+	_ Sharder = (*shardedFake)(nil)
+	_ Deleter = (*shardedFake)(nil)
+)

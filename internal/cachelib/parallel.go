@@ -1,10 +1,13 @@
 package cachelib
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
 
+	"nemo/internal/admission"
+	"nemo/internal/metrics"
 	"nemo/internal/trace"
 )
 
@@ -24,6 +27,35 @@ type ParallelReplayConfig struct {
 	// shard count, or 1 for unsharded engines). Workers beyond the shard
 	// count are clamped — a shard is only ever driven by one goroutine.
 	Workers int
+	// BatchSize groups requests into per-shard batches of up to this many
+	// operations, driven through the engine's BatchEngine surface: GETs go
+	// through GetMany (one lock acquisition per batch) and their demand
+	// fills through SetMany. Batches are formed per shard, so batch
+	// composition — and therefore the replay's statistics — is independent
+	// of the worker count. Within a GET run only a key's first occurrence
+	// is batched; repeats replay serially after the run's fills, which
+	// reproduces the sequential Get-after-fill outcome. 0 or 1 replays
+	// unbatched.
+	BatchSize int
+	// AsyncSets routes demand fills and explicit SETs through SetAsync
+	// (cachelib.AsyncEngine) so SG flushes happen on the engine's flusher
+	// pool instead of the replay worker; ParallelReplay drains the engine
+	// before collecting final statistics. Engines without native async
+	// support degrade to synchronous Sets.
+	AsyncSets bool
+	// Options applies the Engine v2 per-request knobs (TTL, admission
+	// hint, no-fill) to every request of the run.
+	Options Options
+	// Admission gates demand fills and explicit SETs; nil admits
+	// everything. Within a shard the policy is consulted in trace order
+	// for explicit SETs and for fills of distinct keys at every batch
+	// size; a repeated key whose first fill was rejected re-consults after
+	// the run's fill phase, so its position relative to the batch's other
+	// fills shifts with the batch boundary (only policies with cross-key
+	// state can observe this). Across shards the interleaving follows
+	// goroutine scheduling, so only single-shard runs observe one global
+	// deterministic order.
+	Admission admission.Policy
 	// InterArrival is the virtual time advanced per request when Clock is
 	// set. The total advance is deterministic (Ops × InterArrival); the
 	// interleaving across shards is not, so virtual-latency percentiles
@@ -46,22 +78,198 @@ type ParallelReplayResult struct {
 	// measure real scheduling scalability of the sharded engine.
 	Elapsed   time.Duration
 	OpsPerSec float64
-	Final     Stats
+	// SetLatency is the host-time distribution of write calls (Set,
+	// SetAsync, or SetMany — one sample per engine call). Its p99 is where
+	// the background flush pipeline shows: synchronous fills pay the
+	// occasional whole-SG flush inline, async fills do not.
+	SetLatency metrics.Snapshot
+	Final      Stats
+}
+
+// replayWorker carries one worker goroutine's state through a replay.
+type replayWorker struct {
+	v2      EngineV2
+	cfg     *ParallelReplayConfig
+	reqs    []trace.Request
+	exp     *expiryTracker
+	setHist metrics.Histogram
+
+	// Reused batch scratch (the batching layer must stay cheap relative to
+	// the per-op engine work it amortizes).
+	keyBuf   [][]byte
+	fillKey  [][]byte
+	fillVal  [][]byte
+	sigBuf   []uint64
+	uniqIdx  []int32
+	dupIdx   []int32
+	mergeBuf [][]int32
+}
+
+// advance moves the shared virtual clock by one inter-arrival gap.
+func (rw *replayWorker) advance() {
+	if rw.cfg.Clock != nil && rw.cfg.InterArrival > 0 {
+		rw.cfg.Clock.Advance(rw.cfg.InterArrival)
+	}
+}
+
+// admits applies the hint-aware admission decision for one write.
+func (rw *replayWorker) admits(key []byte, size int) bool {
+	return admitWrite(rw.cfg.Options, rw.cfg.Admission, key, size)
+}
+
+// write performs one timed write call (sync or async per configuration).
+func (rw *replayWorker) write(key, value []byte) error {
+	start := time.Now()
+	var err error
+	if rw.cfg.AsyncSets {
+		err = rw.v2.SetAsync(key, value)
+	} else {
+		err = rw.v2.Set(key, value)
+	}
+	rw.setHist.Record(time.Since(start))
+	if err == nil {
+		rw.exp.wrote(key)
+	}
+	return err
+}
+
+// writeMany performs one timed batched write call.
+func (rw *replayWorker) writeMany(keys, values [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if rw.cfg.AsyncSets {
+		for i := range keys {
+			if err := rw.write(keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	err := rw.v2.SetMany(keys, values)
+	rw.setHist.Record(time.Since(start))
+	if err == nil {
+		for _, k := range keys {
+			rw.exp.wrote(k)
+		}
+	}
+	return err
+}
+
+// runOne advances the clock and dispatches a single request (the unbatched
+// path).
+func (rw *replayWorker) runOne(req *trace.Request) error {
+	rw.advance()
+	return rw.dispatchOne(req)
+}
+
+// dispatchOne executes one request without touching the clock (the batched
+// path advances at collection time).
+func (rw *replayWorker) dispatchOne(req *trace.Request) error {
+	switch req.Op {
+	case trace.KindDelete:
+		rw.exp.deleted(req.Key)
+		return rw.v2.Delete(req.Key)
+	case trace.KindSet:
+		if !rw.admits(req.Key, len(req.Key)+len(req.Value)) {
+			return nil
+		}
+		return rw.write(req.Key, req.Value)
+	default:
+		if err := rw.exp.expireIfDue(rw.v2, req.Key); err != nil {
+			return err
+		}
+		if _, hit := rw.v2.Get(req.Key); !hit {
+			if rw.cfg.Options.NoFill || !rw.admits(req.Key, len(req.Key)+len(req.Value)) {
+				return nil
+			}
+			return rw.write(req.Key, req.Value)
+		}
+		return nil
+	}
+}
+
+// runBatch executes one per-shard batch: requests are split into maximal
+// same-kind runs executed in order, so within the shard the batch has the
+// same effect ordering as the sequential op stream — GET runs go through
+// GetMany, their admitted fills through SetMany, SET runs through SetMany,
+// deletions one by one. Within a GET run, only the first occurrence of each
+// key is batched; repeat occurrences (constant on hot-key-heavy Zipf
+// traces) are replayed serially after the fills, which reproduces the
+// sequential Get-after-fill outcome exactly instead of double-missing.
+func (rw *replayWorker) runBatch(idx []int32) error {
+	for lo := 0; lo < len(idx); {
+		kind := rw.reqs[idx[lo]].Op
+		hi := lo + 1
+		for hi < len(idx) && rw.reqs[idx[hi]].Op == kind {
+			hi++
+		}
+		run := idx[lo:hi]
+		switch kind {
+		case trace.KindDelete:
+			for _, i := range run {
+				rw.advance()
+				req := &rw.reqs[i]
+				rw.exp.deleted(req.Key)
+				if err := rw.v2.Delete(req.Key); err != nil {
+					return err
+				}
+			}
+		case trace.KindSet:
+			keys := rw.fillKey[:0]
+			values := rw.fillVal[:0]
+			for _, i := range run {
+				rw.advance()
+				req := &rw.reqs[i]
+				if rw.admits(req.Key, len(req.Key)+len(req.Value)) {
+					keys = append(keys, req.Key)
+					values = append(values, req.Value)
+				}
+			}
+			rw.fillKey, rw.fillVal = keys[:0], values[:0]
+			if err := rw.writeMany(keys, values); err != nil {
+				return err
+			}
+		default: // GET run: batched lookup, then batched demand fill.
+			if err := rw.getPhase(run); err != nil {
+				return err
+			}
+		}
+		lo = hi
+	}
+	return nil
 }
 
 // ParallelReplay replays a materialized trace against the engine from many
-// goroutines, demand-filling misses (GET, then SET on miss — the same
-// look-aside pattern as Replay). Work is partitioned by the engine's shard
-// function: worker w handles exactly the shards s with s mod Workers == w,
-// and scans the trace in order, so each shard observes the identical request
-// subsequence it would see in a single-threaded replay. Per-shard cache
-// state — and therefore aggregate hit ratio and write amplification — is
-// deterministic and independent of Workers and goroutine scheduling.
+// goroutines, dispatching each request by its op kind (GET with demand
+// fill — the same look-aside pattern as Replay — plus explicit SET and
+// DELETE). Work is partitioned by the engine's shard function: worker w
+// handles exactly the shards s with s mod Workers == w, and scans the trace
+// in order, so each shard observes the identical request subsequence it
+// would see in a single-threaded replay. Per-shard cache state — and
+// therefore aggregate hit ratio and write amplification — is deterministic
+// and independent of Workers and goroutine scheduling. Two configurations
+// trade that exactness for their feature: Options.TTL (expiry reads the
+// shared clock, whose advance order follows scheduling) and a cross-shard
+// Admission policy under multiple workers (the policy observes shards in
+// scheduling order).
+//
+// With BatchSize > 1, requests are grouped into per-shard batches driven
+// through the engine's BatchEngine surface; because batches are formed per
+// shard (not per worker), batch composition is also independent of the
+// worker count. Engines that do not implement the v2 extensions are
+// upgraded via Adapt.
 //
 // Engines that do not implement Sharder are driven by a single worker (the
 // trace order is then the sequential order, preserving exact equivalence
 // with Replay's stats).
 func ParallelReplay(e Engine, reqs []trace.Request, cfg ParallelReplayConfig) (ParallelReplayResult, error) {
+	v2 := Adapt(e)
+	if cfg.Options.TTL > 0 && cfg.Clock == nil {
+		return ParallelReplayResult{Engine: v2.Name()}, fmt.Errorf(
+			"cachelib: Options.TTL requires a Clock (expiry runs on the replay's virtual clock)")
+	}
 	shards := 1
 	shardOf := func([]byte) int { return 0 }
 	if sh, ok := e.(Sharder); ok {
@@ -78,50 +286,259 @@ func ParallelReplay(e Engine, reqs []trace.Request, cfg ParallelReplayConfig) (P
 
 	// Precompute each worker's request indices once (in trace order) so
 	// replay loops touch only their own work instead of rescanning and
-	// skipping the whole trace per worker.
+	// skipping the whole trace per worker. Batched runs also remember the
+	// shard of every request so routing never re-hashes a key.
 	workLists := make([][]int32, workers)
+	var shardIdx []int32
+	if cfg.BatchSize > 1 {
+		shardIdx = make([]int32, len(reqs))
+	}
 	for i := range reqs {
-		w := shardOf(reqs[i].Key) % workers
+		s := shardOf(reqs[i].Key)
+		if shardIdx != nil {
+			shardIdx[i] = int32(s)
+		}
+		w := s % workers
 		workLists[w] = append(workLists[w], int32(i))
 	}
 
 	res := ParallelReplayResult{
-		Engine:  e.Name(),
+		Engine:  v2.Name(),
 		Ops:     len(reqs),
 		Shards:  shards,
 		Workers: workers,
 	}
 	errs := make([]error, workers)
+	rws := make([]*replayWorker, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
+		rw := &replayWorker{
+			v2:   v2,
+			cfg:  &cfg,
+			reqs: reqs,
+			exp:  newExpiryTracker(cfg.Options, cfg.Clock),
+		}
+		rws[w] = rw
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, rw *replayWorker) {
 			defer wg.Done()
+			if cfg.BatchSize > 1 {
+				errs[w] = rw.runBatched(workLists[w], shards, shardIdx, cfg.BatchSize)
+				return
+			}
 			for _, i := range workLists[w] {
-				if cfg.Clock != nil && cfg.InterArrival > 0 {
-					cfg.Clock.Advance(cfg.InterArrival)
-				}
-				req := &reqs[i]
-				if _, hit := e.Get(req.Key); !hit {
-					if err := e.Set(req.Key, req.Value); err != nil {
-						errs[w] = fmt.Errorf("cachelib: worker %d at op %d: %w", w, i, err)
-						return
-					}
+				if err := rw.runOne(&reqs[i]); err != nil {
+					errs[w] = fmt.Errorf("cachelib: worker %d at op %d: %w", w, i, err)
+					return
 				}
 			}
-		}(w)
+		}(w, rw)
 	}
 	wg.Wait()
+	if cfg.AsyncSets {
+		// Deferred flushes must land before throughput or stats are read.
+		if err := v2.Drain(); err != nil {
+			for w := range errs {
+				if errs[w] == nil {
+					errs[w] = err
+					break
+				}
+			}
+		}
+	}
 	res.Elapsed = time.Since(start)
 	if res.Elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
 	}
-	res.Final = e.Stats()
+	var setHist metrics.Histogram
+	for _, rw := range rws {
+		setHist.Merge(&rw.setHist)
+	}
+	res.SetLatency = setHist.Snapshot()
+	res.Final = v2.Stats()
 	for _, err := range errs {
 		if err != nil {
 			return res, err
 		}
 	}
 	return res, nil
+}
+
+// getPhase executes one or more GET runs — each the GETs of a different
+// shard's batch, so their keys never collide — as one batched lookup plus
+// one batched demand fill. Only the first occurrence of each key within its
+// run is batched; repeat occurrences (constant on hot-key-heavy Zipf
+// traces) are replayed serially after the fills, which reproduces the
+// sequential Get-after-fill outcome exactly instead of double-missing.
+// Per-shard effect order is preserved: uniques in run order, then fills in
+// the same order, then repeats in run order.
+func (rw *replayWorker) getPhase(runs ...[]int32) error {
+	keys := rw.keyBuf[:0]  // first occurrence of each key, in order
+	uniq := rw.uniqIdx[:0] // their request indices
+	dups := rw.dupIdx[:0]  // repeat occurrences, in order
+	for _, run := range runs {
+		sigs := rw.sigBuf[:0] // key signatures, scoped to one run
+		// Linear signature scans are fastest at production batch depths;
+		// past that the quadratic cost would swamp the engine work, so
+		// large runs switch to a set.
+		var sigSet map[uint64]struct{}
+		if len(run) > 128 {
+			sigSet = make(map[uint64]struct{}, len(run))
+		}
+		for _, i := range run {
+			rw.advance()
+			req := &rw.reqs[i]
+			sig := dupSig(req.Key)
+			isDup := false
+			if sigSet != nil {
+				_, isDup = sigSet[sig]
+				sigSet[sig] = struct{}{}
+			} else {
+				for _, s := range sigs {
+					if s == sig {
+						isDup = true
+						break
+					}
+				}
+			}
+			if isDup {
+				// A signature collision between distinct keys only
+				// diverts an op to the (exact) serial path below.
+				dups = append(dups, i)
+				continue
+			}
+			if err := rw.exp.expireIfDue(rw.v2, req.Key); err != nil {
+				return err
+			}
+			sigs = append(sigs, sig)
+			keys = append(keys, req.Key)
+			uniq = append(uniq, i)
+		}
+		rw.sigBuf = sigs[:0]
+	}
+	rw.keyBuf, rw.uniqIdx, rw.dupIdx = keys[:0], uniq[:0], dups[:0]
+	_, hits := rw.v2.GetMany(keys)
+	if !rw.cfg.Options.NoFill {
+		fillKeys := rw.fillKey[:0]
+		fillVals := rw.fillVal[:0]
+		for j, i := range uniq {
+			req := &rw.reqs[i]
+			if !hits[j] && rw.admits(req.Key, len(req.Key)+len(req.Value)) {
+				fillKeys = append(fillKeys, req.Key)
+				fillVals = append(fillVals, req.Value)
+			}
+		}
+		rw.fillKey, rw.fillVal = fillKeys[:0], fillVals[:0]
+		if err := rw.writeMany(fillKeys, fillVals); err != nil {
+			return err
+		}
+	}
+	for _, i := range dups {
+		if err := rw.dispatchOne(&rw.reqs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dupSig is the cheap per-key signature used for within-run repeat
+// detection: length plus first and last words, mixed. Equal keys always
+// produce equal signatures (so every real repeat is caught — the
+// correctness requirement); a collision between different keys merely
+// diverts an op to the exact serial path, which is harmless.
+func dupSig(k []byte) uint64 {
+	var a, b uint64
+	if n := len(k); n >= 8 {
+		a = binary.LittleEndian.Uint64(k)
+		b = binary.LittleEndian.Uint64(k[n-8:])
+	} else {
+		for _, c := range k {
+			a = a<<8 | uint64(c)
+		}
+	}
+	return a ^ b<<1 ^ uint64(len(k))<<56
+}
+
+// runBatched drives one worker's shards with per-shard batching: pending
+// batches accumulate per shard, flushing when full and at end of trace.
+// Batch composition depends only on each shard's request subsequence
+// (consecutive BatchSize-chunks), never on the worker count.
+//
+// Full batches are not executed one by one: they park in a ready set (at
+// most one per shard) and execute together, with the pure-GET batches of
+// different shards merged into a single multi-shard GetMany/SetMany pair.
+// The sharded engine fans a merged batch out across shards in parallel, so
+// a worker that owns several shards gets cross-shard parallelism from one
+// call — the production multi-get pattern, and the reason batched replay
+// outruns unbatched replay even when workers are scarce. Merging changes
+// only the cross-shard interleaving of engine calls (which carries no
+// state), never a shard's own op order.
+func (rw *replayWorker) runBatched(workList []int32, shards int, shardIdx []int32, batchSize int) error {
+	pend := make([][]int32, shards)
+	ready := make([][]int32, shards)
+	nReady := 0
+	flushReady := func() error {
+		if nReady == 0 {
+			return nil
+		}
+		merged := rw.mergeBuf[:0]
+		for s := range ready {
+			b := ready[s]
+			if len(b) == 0 {
+				continue
+			}
+			pure := true
+			for _, i := range b {
+				if rw.reqs[i].Op != trace.KindGet {
+					pure = false
+					break
+				}
+			}
+			if pure {
+				merged = append(merged, b)
+				continue
+			}
+			// Mixed-kind batches keep their intra-batch run structure.
+			if err := rw.runBatch(b); err != nil {
+				return err
+			}
+		}
+		rw.mergeBuf = merged[:0]
+		if err := rw.getPhase(merged...); err != nil {
+			return err
+		}
+		for s := range ready {
+			ready[s] = ready[s][:0]
+		}
+		nReady = 0
+		return nil
+	}
+	for _, i := range workList {
+		s := shardIdx[i]
+		pend[s] = append(pend[s], i)
+		if len(pend[s]) >= batchSize {
+			if len(ready[s]) > 0 {
+				// This shard already has a parked batch: execute the
+				// ready set before parking the next one.
+				if err := flushReady(); err != nil {
+					return err
+				}
+			}
+			pend[s], ready[s] = ready[s][:0], pend[s]
+			nReady++
+		}
+	}
+	// Drain: the standing ready set first, then the partial remainders
+	// (merged the same way, in shard order).
+	if err := flushReady(); err != nil {
+		return err
+	}
+	for s := range pend {
+		if len(pend[s]) > 0 {
+			ready[s] = pend[s]
+			nReady++
+		}
+	}
+	return flushReady()
 }

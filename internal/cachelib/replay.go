@@ -1,6 +1,7 @@
 package cachelib
 
 import (
+	"fmt"
 	"time"
 
 	"nemo/internal/admission"
@@ -26,6 +27,10 @@ type ReplayConfig struct {
 	Clock Clock
 	// Admission gates demand fills; nil admits everything.
 	Admission admission.Policy
+	// Options applies the Engine v2 per-request knobs (TTL, admission
+	// hint, no-fill) to every request of the run. The zero value is the
+	// classic v1 behavior.
+	Options Options
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -82,33 +87,114 @@ func ReplayRaw(e Engine, s trace.Stream, cfg ReplayConfig) (ReplayResult, error)
 	return replay(e, s, cfg)
 }
 
+// admitWrite applies the per-request admission hint over the replay-level
+// policy: Force bypasses the policy, Bypass rejects outright, Default defers.
+func admitWrite(opts Options, pol admission.Policy, key []byte, size int) bool {
+	switch opts.Admission {
+	case HintForce:
+		return true
+	case HintBypass:
+		return false
+	}
+	return pol == nil || pol.Admit(key, size)
+}
+
+// expiryTracker enforces Options.TTL from the harness side: the replay owns
+// the virtual clock, so engines need no per-object timestamps. A GET past
+// the deadline deletes the object first and therefore misses.
+type expiryTracker struct {
+	ttl      time.Duration
+	clock    Clock
+	deadline map[string]time.Duration
+}
+
+func newExpiryTracker(opts Options, clock Clock) *expiryTracker {
+	if opts.TTL <= 0 || clock == nil {
+		return nil
+	}
+	return &expiryTracker{ttl: opts.TTL, clock: clock, deadline: make(map[string]time.Duration)}
+}
+
+// expireIfDue deletes key from the engine when its TTL has lapsed.
+func (x *expiryTracker) expireIfDue(d Deleter, key []byte) error {
+	if x == nil {
+		return nil
+	}
+	dl, ok := x.deadline[string(key)]
+	if !ok || x.clock.Now() <= dl {
+		return nil
+	}
+	delete(x.deadline, string(key))
+	return d.Delete(key)
+}
+
+// wrote records a fresh write's deadline.
+func (x *expiryTracker) wrote(key []byte) {
+	if x != nil {
+		x.deadline[string(key)] = x.clock.Now() + x.ttl
+	}
+}
+
+// deleted forgets a key's deadline.
+func (x *expiryTracker) deleted(key []byte) {
+	if x != nil {
+		delete(x.deadline, string(key))
+	}
+}
+
 func replay(e Engine, s trace.Stream, cfg ReplayConfig) (ReplayResult, error) {
-	res := ReplayResult{Engine: e.Name()}
+	v2 := Adapt(e)
+	res := ReplayResult{Engine: v2.Name()}
+	if cfg.Options.TTL > 0 && cfg.Clock == nil {
+		return res, fmt.Errorf("cachelib: Options.TTL requires a Clock (expiry runs on the replay's virtual clock)")
+	}
 	missWin := metrics.NewRatioWindow(cfg.WindowOps)
+	exp := newExpiryTracker(cfg.Options, cfg.Clock)
 	var req trace.Request
 	for i := 0; i < cfg.Ops; i++ {
 		if cfg.Clock != nil {
 			cfg.Clock.Advance(cfg.InterArrival)
 		}
 		s.Next(&req)
-		if cfg.MissFill {
-			_, hit := e.Get(req.Key)
+		switch {
+		case req.Op == trace.KindDelete:
+			exp.deleted(req.Key)
+			if err := v2.Delete(req.Key); err != nil {
+				return res, err
+			}
+		case req.Op == trace.KindSet:
+			if !admitWrite(cfg.Options, cfg.Admission, req.Key, len(req.Key)+len(req.Value)) {
+				continue
+			}
+			if err := v2.Set(req.Key, req.Value); err != nil {
+				return res, err
+			}
+			exp.wrote(req.Key)
+		case cfg.MissFill:
+			if err := exp.expireIfDue(v2, req.Key); err != nil {
+				return res, err
+			}
+			_, hit := v2.Get(req.Key)
 			missWin.Observe(!hit)
 			if !hit {
-				if cfg.Admission != nil && !cfg.Admission.Admit(req.Key, len(req.Key)+len(req.Value)) {
+				if cfg.Options.NoFill {
 					continue
 				}
-				if err := e.Set(req.Key, req.Value); err != nil {
+				if !admitWrite(cfg.Options, cfg.Admission, req.Key, len(req.Key)+len(req.Value)) {
+					continue
+				}
+				if err := v2.Set(req.Key, req.Value); err != nil {
 					return res, err
 				}
+				exp.wrote(req.Key)
 			}
-		} else {
-			if err := e.Set(req.Key, req.Value); err != nil {
+		default:
+			if err := v2.Set(req.Key, req.Value); err != nil {
 				return res, err
 			}
 		}
 		if (i+1)%cfg.SampleEveryOps == 0 {
-			st := e.Stats()
+			st := v2.Stats()
 			var vt time.Duration
 			if cfg.Clock != nil {
 				vt = cfg.Clock.Now()
@@ -123,8 +209,8 @@ func replay(e Engine, s trace.Stream, cfg ReplayConfig) (ReplayResult, error) {
 			})
 		}
 	}
-	res.Final = e.Stats()
+	res.Final = v2.Stats()
 	res.Miss = missWin.Series()
-	res.Latency = e.ReadLatency().Snapshot()
+	res.Latency = v2.ReadLatency().Snapshot()
 	return res, nil
 }

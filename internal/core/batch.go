@@ -1,0 +1,256 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/hashing"
+)
+
+// This file implements cachelib.BatchEngine natively on Cache and Sharded.
+// On a single cache a batch costs one lock acquisition instead of one per
+// operation; on a sharded cache the batch additionally does one hash pass,
+// groups keys into per-shard sub-batches, and fans the sub-batches out in
+// parallel — the per-shard request order is preserved, so within every
+// shard a batch behaves exactly like the equivalent op sequence.
+
+// Interface conformance: the core engines implement the full v2 surface.
+var (
+	_ cachelib.EngineV2 = (*Cache)(nil)
+	_ cachelib.EngineV2 = (*Sharded)(nil)
+	_ cachelib.Sharder  = (*Sharded)(nil)
+)
+
+// GetMany implements cachelib.BatchEngine: all lookups execute under one
+// lock acquisition. values[i] is a fresh copy (nil on miss), hits[i] the
+// presence flag.
+func (c *Cache) GetMany(keys [][]byte) (values [][]byte, hits []bool) {
+	values = make([][]byte, len(keys))
+	hits = make([]bool, len(keys))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, k := range keys {
+		values[i], hits[i] = c.getLocked(hashing.Fingerprint(k), k)
+	}
+	return values, hits
+}
+
+// SetMany implements cachelib.BatchEngine: all inserts execute in order
+// under one lock acquisition, with effects identical to sequential Sets
+// (including trigger-driven inline flushes). The first error aborts the
+// remainder of the batch.
+func (c *Cache) SetMany(keys, values [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range keys {
+		if err := c.setLocked(hashing.Fingerprint(keys[i]), keys[i], values[i], false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getManyFP is the pre-fingerprinted sub-batch path used by the sharded
+// fan-out: one lock acquisition, results scattered to positions pos[i] of
+// the caller's slices (each shard owns disjoint positions).
+func (c *Cache) getManyFP(fps []uint64, keys [][]byte, pos []int32, values [][]byte, hits []bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range keys {
+		values[pos[i]], hits[pos[i]] = c.getLocked(fps[i], keys[i])
+	}
+}
+
+// getManyFPSeq is getManyFP for a whole-batch sub-batch (positions 0..n-1),
+// sparing the single-shard fast path the position indirection.
+func (c *Cache) getManyFPSeq(fps []uint64, keys [][]byte, values [][]byte, hits []bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range keys {
+		values[i], hits[i] = c.getLocked(fps[i], keys[i])
+	}
+}
+
+// setManyFP is the pre-fingerprinted sub-batch insert path.
+func (c *Cache) setManyFP(fps []uint64, keys, values [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range keys {
+		if err := c.setLocked(fps[i], keys[i], values[i], false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fpScratch pools the per-batch fingerprint buffers so steady-state batched
+// traffic allocates nothing for routing (batches are short when traces are
+// hot-key heavy, so per-batch allocations would dominate the amortization).
+var fpScratch = sync.Pool{New: func() any { return new([]uint64) }}
+
+// planFPs hashes every key exactly once — the shards reuse these
+// fingerprints — and reports whether the whole batch lands on one shard
+// (the common case under the per-shard batched replayer), returning that
+// shard's index. The returned slice aliases *scratch.
+func (s *Sharded) planFPs(keys [][]byte, scratch *[]uint64) (fps []uint64, first int, single bool) {
+	fps = (*scratch)[:0]
+	single = true
+	for i, k := range keys {
+		fp := hashing.Fingerprint(k)
+		fps = append(fps, fp)
+		sh := s.shardOfFP(fp)
+		if i == 0 {
+			first = sh
+		} else if sh != first {
+			single = false
+		}
+	}
+	*scratch = fps
+	return fps, first, single
+}
+
+// shardOfFP re-derives the shard from an already-computed fingerprint.
+func (s *Sharded) shardOfFP(fp uint64) int {
+	if s.n == 1 {
+		return 0
+	}
+	return int(hashing.Derive(fp, shardLane) % s.n)
+}
+
+// subBatch is one shard's slice of a grouped batch. All sub-batches of one
+// grouping share a handful of backing arrays, so a multi-shard batch costs
+// a constant number of allocations regardless of how many shards it
+// touches.
+type subBatch struct {
+	shard int
+	fps   []uint64
+	keys  [][]byte
+	vals  [][]byte // nil unless values were passed to group (SetMany)
+	pos   []int32  // original batch positions
+}
+
+// group buckets a fingerprinted batch into per-shard sub-batches with a
+// counting sort: one pass to count, one to scatter — O(keys + shards), not
+// O(keys × shards) — and a constant number of allocations however many
+// shards the batch touches. values may be nil (GetMany has none).
+func (s *Sharded) group(fps []uint64, keys, values [][]byte) []subBatch {
+	nShards := len(s.shards)
+	shs := make([]int32, len(keys))
+	starts := make([]int32, nShards+1) // starts[sh+1] counts, then prefix-sums
+	for i, fp := range fps {
+		sh := int32(s.shardOfFP(fp))
+		shs[i] = sh
+		starts[sh+1]++
+	}
+	touched := 0
+	for sh := 0; sh < nShards; sh++ {
+		if starts[sh+1] > 0 {
+			touched++
+		}
+		starts[sh+1] += starts[sh]
+	}
+	bFPs := make([]uint64, len(keys))
+	bKeys := make([][]byte, len(keys))
+	bPos := make([]int32, len(keys))
+	var bVals [][]byte
+	if values != nil {
+		bVals = make([][]byte, len(keys))
+	}
+	write := make([]int32, nShards)
+	copy(write, starts[:nShards])
+	for i := range keys {
+		sh := shs[i]
+		o := write[sh]
+		write[sh] = o + 1
+		bFPs[o], bKeys[o], bPos[o] = fps[i], keys[i], int32(i)
+		if bVals != nil {
+			bVals[o] = values[i]
+		}
+	}
+	subs := make([]subBatch, 0, touched)
+	for sh := 0; sh < nShards; sh++ {
+		lo, hi := starts[sh], starts[sh+1]
+		if lo == hi {
+			continue
+		}
+		sub := subBatch{shard: sh, fps: bFPs[lo:hi], keys: bKeys[lo:hi], pos: bPos[lo:hi]}
+		if bVals != nil {
+			sub.vals = bVals[lo:hi]
+		}
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+// GetMany implements cachelib.BatchEngine on the sharded facade: one hash
+// pass, per-shard sub-batches, parallel fan-out. Single-shard batches skip
+// the grouping and goroutine fan-out entirely.
+func (s *Sharded) GetMany(keys [][]byte) (values [][]byte, hits []bool) {
+	values = make([][]byte, len(keys))
+	hits = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, hits
+	}
+	scratch := fpScratch.Get().(*[]uint64)
+	defer fpScratch.Put(scratch)
+	fps, first, single := s.planFPs(keys, scratch)
+	if single {
+		s.shards[first].getManyFPSeq(fps, keys, values, hits)
+		return values, hits
+	}
+	fanOut := runtime.GOMAXPROCS(0) > 1
+	var wg sync.WaitGroup
+	for _, sub := range s.group(fps, keys, nil) {
+		if !fanOut {
+			// A single-P runtime gains nothing from goroutine fan-out;
+			// sub-batches still pay one lock acquisition each.
+			s.shards[sub.shard].getManyFP(sub.fps, sub.keys, sub.pos, values, hits)
+			continue
+		}
+		wg.Add(1)
+		go func(sub subBatch) {
+			defer wg.Done()
+			s.shards[sub.shard].getManyFP(sub.fps, sub.keys, sub.pos, values, hits)
+		}(sub)
+	}
+	wg.Wait()
+	return values, hits
+}
+
+// SetMany implements cachelib.BatchEngine on the sharded facade. Within a
+// shard inserts apply in batch order; across shards sub-batches run in
+// parallel (keys of different shards never interact). The lowest-numbered
+// shard's error is returned first.
+func (s *Sharded) SetMany(keys, values [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	scratch := fpScratch.Get().(*[]uint64)
+	defer fpScratch.Put(scratch)
+	fps, first, single := s.planFPs(keys, scratch)
+	if single {
+		return s.shards[first].setManyFP(fps, keys, values)
+	}
+	fanOut := runtime.GOMAXPROCS(0) > 1
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for _, sub := range s.group(fps, keys, values) {
+		if !fanOut {
+			errs[sub.shard] = s.shards[sub.shard].setManyFP(sub.fps, sub.keys, sub.vals)
+			continue
+		}
+		wg.Add(1)
+		go func(sub subBatch) {
+			defer wg.Done()
+			errs[sub.shard] = s.shards[sub.shard].setManyFP(sub.fps, sub.keys, sub.vals)
+		}(sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

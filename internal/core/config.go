@@ -48,6 +48,15 @@ type Config struct {
 	// InMemSGs is the number of buffered in-memory SGs (Table 3: 2).
 	InMemSGs int
 
+	// Flushers is the size of the background flusher pool backing SetAsync
+	// (cachelib.AsyncEngine): full in-memory SGs are handed to this many
+	// goroutines instead of flushing inline on the inserting worker, which
+	// removes the flush from the Set path's p99. 0 (the default) disables
+	// the pool — SetAsync then degrades to the synchronous Set, and the
+	// engine behaves exactly as before this option existed. A sharded
+	// cache shares one pool across all shards.
+	Flushers int
+
 	// FlushThreshold is p_th: the number of sacrificed (early-evicted)
 	// objects tolerated before the front SG is flushed. The shipped system
 	// uses a count-based threshold (Table 3 note).
@@ -162,6 +171,9 @@ func (c Config) validate() error {
 	}
 	if c.InMemSGs < 1 {
 		return fmt.Errorf("core: InMemSGs %d must be at least 1", c.InMemSGs)
+	}
+	if c.Flushers < 0 {
+		return fmt.Errorf("core: Flushers %d must be non-negative", c.Flushers)
 	}
 	if c.FlushThreshold < 1 {
 		return fmt.Errorf("core: FlushThreshold %d must be at least 1", c.FlushThreshold)

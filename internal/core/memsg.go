@@ -34,10 +34,24 @@ func (sg *memSG) fillRate() float64 {
 	return float64(sg.used) / float64(len(sg.sets)*sg.sets[0].Size())
 }
 
-// insert places the entry in set o if it fits, updating accounting.
-// writeback marks re-inserted (evicted-SG) objects whose bytes do not count
-// as logical writes.
-func (sg *memSG) insert(o int, fp uint64, key, value []byte, writeback bool) bool {
+// insClass classifies an insert for write accounting.
+type insClass uint8
+
+const (
+	// insNew is a fresh user object: bytes count as logical/new writes.
+	insNew insClass = iota
+	// insWriteback is an eviction survivor re-inserted by hotness-aware
+	// writeback: bytes are tracked separately and excluded from the WA
+	// denominator.
+	insWriteback
+	// insTombstone is a zero-value deletion marker: not user data, so it
+	// counts in neither bucket.
+	insTombstone
+)
+
+// insert places the entry in set o if it fits, updating accounting per the
+// insert's class.
+func (sg *memSG) insert(o int, fp uint64, key, value []byte, class insClass) bool {
 	blk := sg.sets[o]
 	before := blk.Used()
 	// A replace may free room even when CanFit on the raw size fails, so
@@ -47,10 +61,11 @@ func (sg *memSG) insert(o int, fp uint64, key, value []byte, writeback bool) boo
 		return false
 	}
 	sg.used += blk.Used() - before
-	if writeback {
+	switch class {
+	case insWriteback:
 		sg.wbBytes += uint64(len(key) + len(value))
 		sg.wbObjs++
-	} else {
+	case insNew:
 		sg.newBytes += uint64(len(key) + len(value))
 		sg.newObjs++
 	}
@@ -77,14 +92,17 @@ func (sg *memSG) remove(o int, fp uint64, key []byte) bool {
 	return ok
 }
 
-// sacrifice evicts the oldest entries from set o until an entry of the
-// given size fits, returning how many objects were evicted.
+// sacrifice evicts the oldest valued entries from set o until an entry of
+// the given size fits, returning how many objects were evicted. Deletion
+// tombstones are never sacrificed — dropping one early would resurrect the
+// still-cached flash copy it shadows — so a tombstone-packed set may fail
+// to yield room (the caller then falls back to flushing).
 func (sg *memSG) sacrifice(o int, need int) int {
 	blk := sg.sets[o]
 	n := 0
 	for blk.Free() < need {
 		before := blk.Used()
-		if _, ok := blk.EvictOldest(); !ok {
+		if _, ok := blk.EvictOldestValued(); !ok {
 			break
 		}
 		sg.used += blk.Used() - before

@@ -69,6 +69,15 @@ type Cache struct {
 	addrs      []int
 	probes     *bloom.ProbeSet
 	flushing   bool // guards against recursive flush via writeback
+
+	// Background flush pipeline (nil when Config.Flushers == 0). SetAsync
+	// hands full in-memory SGs to the pool instead of flushing inline on
+	// the inserting goroutine; flushPending (guarded by mu) bounds the
+	// outstanding jobs to one per cache. ownFlusher marks pools created by
+	// New — NewSharded shares one pool across shards and owns it itself.
+	flusher      *flusherPool
+	ownFlusher   bool
+	flushPending bool
 }
 
 // New creates a Nemo cache on the configured device.
@@ -113,6 +122,10 @@ func New(cfg Config) (*Cache, error) {
 	maxGroups := (dataSGs + cfg.SGsPerIndexGroup - 1) / cfg.SGsPerIndexGroup
 	capacity := int(cfg.CachedPBFGRatio * float64((maxGroups+1)*c.setsPerSG))
 	c.icache = newPBFGCache(capacity)
+	if cfg.Flushers > 0 {
+		c.flusher = newFlusherPool(cfg.Flushers, 1)
+		c.ownFlusher = true
+	}
 	return c, nil
 }
 
@@ -140,8 +153,16 @@ func (c *Cache) pageAddrIn(zones []int, o int) int {
 // Name implements cachelib.Engine.
 func (c *Cache) Name() string { return "Nemo" }
 
-// Close implements cachelib.Engine.
-func (c *Cache) Close() error { return nil }
+// Close implements cachelib.Engine, draining and stopping the cache's own
+// flusher pool (shard members of a Sharded cache share the facade's pool
+// and leave it alone).
+func (c *Cache) Close() error {
+	if c.ownFlusher {
+		c.ownFlusher = false
+		return c.flusher.stop()
+	}
+	return nil
+}
 
 // ReadLatency implements cachelib.Engine.
 func (c *Cache) ReadLatency() *metrics.Histogram { return &c.hist }
@@ -155,30 +176,156 @@ func (c *Cache) setOf(fp uint64) int {
 	return int(hashing.Derive(fp, 0) % uint64(c.setsPerSG))
 }
 
-// Set inserts or updates an object (operation ❶, §4.1).
+// Set inserts or updates an object (operation ❶, §4.1). Values must be
+// non-empty — zero-length entries are the deletion tombstones (see Delete).
+// Flushes triggered by this insert run inline on the calling goroutine; use
+// SetAsync to hand them to the background flusher pool instead.
 func (c *Cache) Set(key, value []byte) error {
+	fp := hashing.Fingerprint(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.setLocked(fp, key, value, false)
+}
+
+// SetAsync implements cachelib.AsyncEngine: the in-memory insert is
+// identical to Set, but when the rear-full trigger (or the delayed-flush
+// sacrifice threshold) fires, the full front SG's flush is enqueued on the
+// flusher pool instead of running inline — the flush is the p99 outlier of
+// the Set path. Without a configured pool (Config.Flushers == 0) SetAsync
+// degrades to the synchronous Set. Deferred flush errors surface on Drain
+// or Close.
+func (c *Cache) SetAsync(key, value []byte) error {
+	fp := hashing.Fingerprint(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.setLocked(fp, key, value, c.flusher != nil)
+}
+
+// Drain implements cachelib.AsyncEngine: it blocks until every flush
+// enqueued on the cache's flusher pool has reached flash and returns the
+// first deferred error. Callers must not hold the cache lock.
+func (c *Cache) Drain() error {
+	if c.flusher == nil {
+		return nil
+	}
+	return c.flusher.drain()
+}
+
+// setLocked is the insert path shared by Set, SetAsync, and SetMany. async
+// defers trigger-driven flushes to the flusher pool.
+func (c *Cache) setLocked(fp uint64, key, value []byte, async bool) error {
+	if len(value) == 0 {
+		// Zero-length entries are the deletion tombstones (a tiny-object
+		// cache has no use for empty values); admitting one through Set
+		// would make the object unreadable while still counting as stored.
+		return fmt.Errorf("core: zero-length values are reserved for deletion tombstones; use Delete")
+	}
 	need := setblock.EntrySize(len(key), len(value))
 	if need > c.pageSize-setblock.HeaderSize || len(key) > 255 {
 		return fmt.Errorf("core: object of %d bytes exceeds set size %d", need, c.pageSize)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fp := hashing.Fingerprint(key)
 	o := c.setOf(fp)
-	if err := c.insertLocked(fp, key, value, o); err != nil {
+	if err := c.placeLocked(fp, key, value, o, insNew, async); err != nil {
 		return err
 	}
 	c.stats.Sets++
-	// Rear-full trigger: flush the front once the rear is nearly full so a
-	// fresh SG keeps absorbing inserts (§4.2, buffered in-memory SGs).
-	if c.cfg.BufferedSGs && len(c.memq) > 1 &&
-		c.memq[len(c.memq)-1].fillRate() >= c.cfg.RearFullRatio {
+	if c.rearFullLocked() {
+		if async && c.scheduleFlushLocked() {
+			return nil
+		}
 		return c.flushFrontLocked()
 	}
 	return nil
 }
 
-func (c *Cache) insertLocked(fp uint64, key, value []byte, o int) error {
+// rearFullLocked is the rear-full flush trigger: flush the front once the
+// rear is nearly full so a fresh SG keeps absorbing inserts (§4.2, buffered
+// in-memory SGs). Shared by the insert path and the deferred-flush
+// re-check so the two can never drift apart.
+func (c *Cache) rearFullLocked() bool {
+	return c.cfg.BufferedSGs && len(c.memq) > 1 &&
+		c.memq[len(c.memq)-1].fillRate() >= c.cfg.RearFullRatio
+}
+
+// Delete invalidates key (cachelib.Deleter). In-memory copies are removed
+// exactly; because Nemo deliberately has no exact per-object index (§4.3),
+// a still-cached flash copy cannot be erased in place — instead a
+// zero-length tombstone entry is inserted, which shadows every older copy
+// (Get searches newest-first) and suppresses hotness writeback through the
+// Bloom shadow check, until the tombstone itself ages out of the FIFO pool
+// along with everything it shadows.
+func (c *Cache) Delete(key []byte) error {
+	if len(key) > 255 {
+		return fmt.Errorf("core: key of %d bytes exceeds the 255-byte limit", len(key))
+	}
+	fp := hashing.Fingerprint(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deleteLocked(fp, key)
+}
+
+func (c *Cache) deleteLocked(fp uint64, key []byte) error {
+	o := c.setOf(fp)
+	c.stats.Deletes++
+	for _, sg := range c.memq {
+		sg.remove(o, fp, key)
+	}
+	if len(c.pool) == 0 {
+		// No flash copies can exist: dropping in-memory copies suffices.
+		return nil
+	}
+	// A tombstone is only needed when some SG's Bloom filter admits the
+	// key might be on flash; definite absence (the common case for
+	// upstream invalidations of never-admitted objects) costs no SG space.
+	// A false positive merely inserts a harmless tombstone.
+	may, err := c.mayExistOnFlashLocked(fp, o)
+	if err != nil {
+		return err
+	}
+	if !may {
+		return nil
+	}
+	// placeLocked removes the in-memory copies (again, a no-op here)
+	// before inserting, so exactly one zero-length version remains.
+	return c.placeLocked(fp, key, nil, o, insTombstone, false)
+}
+
+// mayExistOnFlashLocked Bloom-tests every live SG for (fp, set o) — the
+// same filters Get consults, fetched without charging the index-cache
+// lookup stats (like the eviction-path shadow checks). False positives are
+// possible, false negatives are not.
+func (c *Cache) mayExistOnFlashLocked(fp uint64, o int) (bool, error) {
+	c.probes.Reuse(fp, c.bfBits)
+	for gi := len(c.groups) - 1; gi >= 0; gi-- {
+		g := c.groups[gi]
+		if g.liveCount == 0 {
+			continue
+		}
+		var page []byte
+		if g.sealed {
+			p, _, err := c.fetchPBFG(g, o, false)
+			if err != nil {
+				return true, err
+			}
+			page = p
+		}
+		for s := len(g.members) - 1; s >= 0; s-- {
+			m := g.members[s]
+			if m.dead || m.setCounts[o] == 0 {
+				continue
+			}
+			if c.testMember(g, page, s, o, c.probes) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// placeLocked places one entry — fresh object, writeback survivor, or
+// tombstone — into the in-memory SGs, applying the paper's fill-rate
+// techniques. async defers trigger-driven flushes to the flusher pool.
+func (c *Cache) placeLocked(fp uint64, key, value []byte, o int, class insClass, async bool) error {
 	// Remove shadow copies so at most one in-memory version exists.
 	for _, sg := range c.memq {
 		sg.remove(o, fp, key)
@@ -187,8 +334,10 @@ func (c *Cache) insertLocked(fp uint64, key, value []byte, o int) error {
 		// Insert into the available SG closest to the front (§4.2 ①).
 		for _, sg := range c.memq {
 			if sg.canFit(o, fp, key, len(value)) {
-				sg.insert(o, fp, key, value, false)
-				c.stats.LogicalBytes += uint64(len(key) + len(value))
+				sg.insert(o, fp, key, value, class)
+				if class == insNew {
+					c.stats.LogicalBytes += uint64(len(key) + len(value))
+				}
 				return nil
 			}
 		}
@@ -200,16 +349,34 @@ func (c *Cache) insertLocked(fp uint64, key, value []byte, o int) error {
 			c.sacCount += n
 			c.extra.Sacrificed += uint64(n)
 			c.stats.Evictions += uint64(n)
-			if !front.insert(o, fp, key, value, false) {
-				return fmt.Errorf("core: insert failed after sacrificing %d objects", n)
+			if !front.insert(o, fp, key, value, class) {
+				// The set would not yield enough room — it is packed with
+				// deletion tombstones, which sacrifice must preserve. Flush
+				// the front (tombstones move to flash, where they keep
+				// shadowing) and retry.
+				if err := c.flushFrontLocked(); err != nil {
+					return err
+				}
+				continue
 			}
-			c.stats.LogicalBytes += uint64(len(key) + len(value))
+			if class == insNew {
+				c.stats.LogicalBytes += uint64(len(key) + len(value))
+			}
 			if c.sacCount >= c.cfg.FlushThreshold {
+				if async && c.sacCount < asyncSacBudget*c.cfg.FlushThreshold &&
+					c.scheduleFlushLocked() {
+					return nil
+				}
+				// Backpressure: flush inline — synchronously, or when a
+				// deferred flush lags so far behind that continued
+				// sacrificing would visibly cost hit ratio.
 				return c.flushFrontLocked()
 			}
 			return nil
 		}
-		// Naïve flush-on-collision: flush the front SG and retry.
+		// Naïve flush-on-collision: flush the front SG and retry. This
+		// must stay synchronous even in async mode — the insert needs the
+		// space now.
 		if err := c.flushFrontLocked(); err != nil {
 			return err
 		}
@@ -217,19 +384,63 @@ func (c *Cache) insertLocked(fp uint64, key, value []byte, o int) error {
 	return fmt.Errorf("core: insert did not converge")
 }
 
+// asyncSacBudget bounds how far past the flush threshold delayed flushing
+// may sacrifice while a deferred flush is in the pool's queue; beyond it
+// the insert path flushes inline. Without the bound, a lagging flusher
+// would let the front SG cannibalize itself and hit ratio would sag.
+const asyncSacBudget = 2
+
+// scheduleFlushLocked enqueues this cache on the flusher pool, bounding the
+// outstanding jobs to one. It reports false when the flush could not be
+// deferred (no pool, or the pool was stopped by a racing Close) — the
+// caller then flushes inline.
+func (c *Cache) scheduleFlushLocked() bool {
+	if c.flusher == nil {
+		return false
+	}
+	if c.flushPending {
+		return true
+	}
+	if !c.flusher.enqueue(c) {
+		return false
+	}
+	c.flushPending = true
+	return true
+}
+
+// asyncFlushDueLocked re-checks the flush triggers when a deferred job
+// executes: an intervening synchronous flush (e.g. the flush-on-collision
+// path) may have already rotated the queue, in which case flushing the
+// fresh front would only hurt the fill rate.
+func (c *Cache) asyncFlushDueLocked() bool {
+	return c.rearFullLocked() || c.sacCount >= c.cfg.FlushThreshold
+}
+
 // Get looks up an object (operation ❷, §4.1): in-memory SGs first, then
 // PBFG-identified candidate SGs read in parallel.
 func (c *Cache) Get(key []byte) ([]byte, bool) {
+	fp := hashing.Fingerprint(key)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.getLocked(fp, key)
+}
+
+// getLocked is the lookup path shared by Get and GetMany; the caller holds
+// the cache lock and has already fingerprinted the key.
+func (c *Cache) getLocked(fp uint64, key []byte) ([]byte, bool) {
 	c.stats.Gets++
 	start := c.dev.Clock().Now()
-	fp := hashing.Fingerprint(key)
 	o := c.setOf(fp)
 
 	// 1. In-memory SGs, front to rear (a key exists in at most one).
 	for _, sg := range c.memq {
 		if v, ok := sg.lookup(o, fp, key); ok {
+			if len(v) == 0 {
+				// Tombstone: the key was deleted; the marker shadows any
+				// older flash copy, so stop here.
+				c.hist.Record(time.Microsecond)
+				return nil, false
+			}
 			c.stats.Hits++
 			c.hist.Record(time.Microsecond)
 			return append([]byte(nil), v...), true
@@ -300,6 +511,12 @@ func (c *Cache) Get(key []byte) ([]byte, bool) {
 		if !ok {
 			c.extra.FalsePositiveReads++
 			continue
+		}
+		if len(v) == 0 {
+			// Tombstone on flash: candidates are scanned newest-first, so
+			// the deletion shadows every older copy.
+			c.hist.Record(maxDone - start + time.Microsecond)
+			return nil, false
 		}
 		c.stats.Hits++
 		c.markHot(m, o, slot)
@@ -488,7 +705,9 @@ func (c *Cache) evictOldestLocked(dst *memSG) error {
 			}
 			var wbErr error
 			blk.Range(func(slot int, e setblock.Entry) bool {
-				hot := resident && victim.bit(o, slot)
+				// Tombstones (zero-length deletion markers) age out with
+				// their SG; never write them back.
+				hot := resident && victim.bit(o, slot) && len(e.Value) > 0
 				if hot {
 					shadowed, err := c.shadowedByNewer(e.FP, o, victim.id, e.Key)
 					if err != nil {
@@ -496,7 +715,7 @@ func (c *Cache) evictOldestLocked(dst *memSG) error {
 						return false
 					}
 					if !shadowed && dst.canFit(o, e.FP, e.Key, len(e.Value)) {
-						dst.insert(o, e.FP, e.Key, e.Value, true)
+						dst.insert(o, e.FP, e.Key, e.Value, insWriteback)
 						c.extra.WriteBackObjs++
 						return true
 					}

@@ -28,6 +28,12 @@ type Sharded struct {
 	shards []*Cache
 	n      uint64
 
+	// pool is the background flusher pool shared by every shard when
+	// Config.Flushers > 0 (nil otherwise): K flusher goroutines service
+	// the deferred SG flushes of all shards, so SetAsync never flushes
+	// inline on the inserting worker.
+	pool *flusherPool
+
 	// histMu guards the merged read-latency histogram rebuilt on demand by
 	// ReadLatency (the Engine contract returns a pointer).
 	histMu sync.Mutex
@@ -71,12 +77,24 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		scfg.Shards = 1
 		scfg.DataZones = perData
 		scfg.ZoneOffset = offset
+		scfg.Flushers = 0 // shards share the facade's pool, not one each
 		shard, err := New(scfg)
 		if err != nil {
+			// Release everything already constructed: a half-built facade
+			// must not leak shard resources.
+			for _, built := range s.shards[:i] {
+				built.Close()
+			}
 			return nil, fmt.Errorf("core: shard %d/%d: %w", i, n, err)
 		}
 		s.shards[i] = shard
 		offset += perData + scfg.IndexZones()
+	}
+	if cfg.Flushers > 0 {
+		s.pool = newFlusherPool(cfg.Flushers, n)
+		for _, shard := range s.shards {
+			shard.flusher = s.pool
+		}
 	}
 	return s, nil
 }
@@ -100,14 +118,21 @@ func (s *Sharded) Shard(i int) *Cache { return s.shards[i] }
 // Name implements cachelib.Engine.
 func (s *Sharded) Name() string { return "Nemo" }
 
-// Close implements cachelib.Engine.
+// Close implements cachelib.Engine: the shared flusher pool is drained and
+// stopped, then every shard is closed — all of them, even after a failure —
+// and the first error is returned.
 func (s *Sharded) Close() error {
+	var first error
+	if s.pool != nil {
+		first = s.pool.stop()
+		s.pool = nil
+	}
 	for _, c := range s.shards {
-		if err := c.Close(); err != nil {
-			return err
+		if err := c.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
 
 // Get looks up an object in its owning shard.
@@ -118,6 +143,27 @@ func (s *Sharded) Get(key []byte) ([]byte, bool) {
 // Set inserts or updates an object in its owning shard.
 func (s *Sharded) Set(key, value []byte) error {
 	return s.shards[s.ShardOf(key)].Set(key, value)
+}
+
+// Delete implements cachelib.Deleter, tombstoning in the owning shard.
+func (s *Sharded) Delete(key []byte) error {
+	return s.shards[s.ShardOf(key)].Delete(key)
+}
+
+// SetAsync implements cachelib.AsyncEngine: the insert goes to the owning
+// shard, and any triggered SG flush is handed to the shared flusher pool
+// instead of running inline (synchronous when no pool is configured).
+func (s *Sharded) SetAsync(key, value []byte) error {
+	return s.shards[s.ShardOf(key)].SetAsync(key, value)
+}
+
+// Drain implements cachelib.AsyncEngine, waiting out every deferred flush
+// across all shards.
+func (s *Sharded) Drain() error {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.drain()
 }
 
 // Flush forces every shard's front in-memory SG to flash.

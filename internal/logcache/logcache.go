@@ -86,6 +86,13 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// The log cache is a plain Engine plus a native Deleter; the remaining
+// Engine v2 surfaces (batching, async writes) come from cachelib.Adapt.
+var (
+	_ cachelib.Engine  = (*Cache)(nil)
+	_ cachelib.Deleter = (*Cache)(nil)
+)
+
 // Name implements cachelib.Engine.
 func (c *Cache) Name() string { return "Log" }
 
@@ -218,6 +225,21 @@ func (c *Cache) evictOldestZone() error {
 		return err
 	}
 	c.freeZones = append(c.freeZones, victim)
+	return nil
+}
+
+// Delete implements cachelib.Deleter natively: the exact index makes
+// deletion a map removal — the log entry becomes dead space reclaimed by
+// the zone's FIFO eviction, exactly like an overwrite.
+func (c *Cache) Delete(key []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Deletes++
+	fp := hashing.Fingerprint(key)
+	if _, ok := c.index[fp]; ok {
+		delete(c.index, fp)
+		delete(c.openFPs, fp)
+	}
 	return nil
 }
 

@@ -185,6 +185,25 @@ func (b *Block) EvictOldest() (Entry, bool) {
 	return out, true
 }
 
+// EvictOldestValued removes and returns a copy of the oldest entry with a
+// non-empty value, preserving zero-length entries (Nemo's deletion
+// tombstones, which must keep shadowing older flash copies). Returns false
+// when only tombstones (or nothing) remain.
+func (b *Block) EvictOldestValued() (Entry, bool) {
+	off := 0
+	for i := 0; i < b.count; i++ {
+		e, next := b.entryAt(off)
+		if len(e.Value) > 0 {
+			out := Entry{FP: e.FP, Key: append([]byte(nil), e.Key...), Value: append([]byte(nil), e.Value...)}
+			b.buf = append(b.buf[:off], b.buf[next:]...)
+			b.count--
+			return out, true
+		}
+		off = next
+	}
+	return Entry{}, false
+}
+
 // Range calls fn for each entry in FIFO order until fn returns false.
 // Entries alias the block; fn must not mutate the block.
 func (b *Block) Range(fn func(slot int, e Entry) bool) {

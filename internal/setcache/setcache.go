@@ -102,6 +102,11 @@ func New(cfg Config) (*Cache, error) {
 // Name implements cachelib.Engine.
 func (c *Cache) Name() string { return "Set" }
 
+// The set-associative baseline stays a plain Engine; the harness upgrades
+// it to the Engine v2 surface (batching, deletes, async) via cachelib.Adapt
+// so comparisons against Nemo's native v2 implementation run unmodified.
+var _ cachelib.Engine = (*Cache)(nil)
+
 // Close implements cachelib.Engine.
 func (c *Cache) Close() error { return nil }
 

@@ -10,10 +10,17 @@ import (
 // File format: a compact binary encoding so generated workloads can be
 // captured once with cmd/tracegen and replayed byte-identically.
 //
-//	magic  : "NEMOTRC1" (8 bytes)
-//	record : keyLen uint8 | valLen uint16 | key | value   (little endian)
+//	magic  : "NEMOTRC2" (8 bytes)
+//	record : op uint8 | keyLen uint8 | valLen uint16 | key | value
+//	         (little endian; op is a Kind — GET/SET/DELETE)
+//
+// Version 1 files ("NEMOTRC1", records without the op byte) still read:
+// every record replays as a GET, which is all v1 could express.
 
-var fileMagic = [8]byte{'N', 'E', 'M', 'O', 'T', 'R', 'C', '1'}
+var (
+	fileMagic   = [8]byte{'N', 'E', 'M', 'O', 'T', 'R', 'C', '2'}
+	fileMagicV1 = [8]byte{'N', 'E', 'M', 'O', 'T', 'R', 'C', '1'}
+)
 
 // Writer streams requests to an io.Writer in the trace file format.
 type Writer struct {
@@ -39,9 +46,18 @@ func (t *Writer) Write(req *Request) error {
 	if len(req.Key) > 255 || len(req.Value) > 65535 {
 		return fmt.Errorf("trace: request exceeds format limits (key %d, value %d)", len(req.Key), len(req.Value))
 	}
-	var hdr [3]byte
-	hdr[0] = byte(len(req.Key))
-	binary.LittleEndian.PutUint16(hdr[1:], uint16(len(req.Value)))
+	if req.Op > KindDelete {
+		return fmt.Errorf("trace: unknown op %d", req.Op)
+	}
+	if len(req.Value) == 0 && req.Op != KindDelete {
+		// Only deletions carry no payload; catching this at capture time
+		// beats discovering an unreplayable record in an archived trace.
+		return fmt.Errorf("trace: %v record with empty value", req.Op)
+	}
+	var hdr [4]byte
+	hdr[0] = byte(req.Op)
+	hdr[1] = byte(len(req.Key))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(req.Value)))
 	if _, err := t.w.Write(hdr[:]); err != nil {
 		t.err = err
 		return err
@@ -75,6 +91,7 @@ func (t *Writer) Flush() error {
 type Reader struct {
 	r   *bufio.Reader
 	src io.ReadSeeker
+	v1  bool // legacy op-less record format
 	n   uint64
 }
 
@@ -85,16 +102,33 @@ func NewReader(src io.ReadSeeker) (*Reader, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if magic != fileMagic {
+	if magic != fileMagic && magic != fileMagicV1 {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
 	}
-	return &Reader{r: br, src: src}, nil
+	return &Reader{r: br, src: src, v1: magic == fileMagicV1}, nil
 }
 
 // Read fills req with the next record, returning io.EOF at end of file.
 func (t *Reader) Read(req *Request) error {
+	req.Op = KindGet
+	if !t.v1 {
+		op, err := t.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("trace: reading op: %w", err)
+		}
+		if op > byte(KindDelete) {
+			return fmt.Errorf("trace: unknown op %d", op)
+		}
+		req.Op = Kind(op)
+	}
 	var hdr [3]byte
 	if _, err := io.ReadFull(t.r, hdr[:1]); err != nil {
+		if err == io.EOF && !t.v1 {
+			return fmt.Errorf("trace: truncated record header: %w", err)
+		}
 		return err
 	}
 	if _, err := io.ReadFull(t.r, hdr[1:]); err != nil {
@@ -102,6 +136,11 @@ func (t *Reader) Read(req *Request) error {
 	}
 	kl := int(hdr[0])
 	vl := int(binary.LittleEndian.Uint16(hdr[1:]))
+	// v2 enforces the only-deletes-are-empty rule; v1 predates it and its
+	// archived records must keep reading exactly as they always did.
+	if vl == 0 && req.Op != KindDelete && !t.v1 {
+		return fmt.Errorf("trace: %v record with empty value", req.Op)
+	}
 	if cap(req.Key) < kl {
 		req.Key = make([]byte, kl)
 	}

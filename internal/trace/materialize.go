@@ -15,6 +15,7 @@ func Materialize(s Stream, n int) []Request {
 	for i := range reqs {
 		s.Next(&scratch)
 		reqs[i] = Request{
+			Op:    scratch.Op,
 			Key:   append([]byte(nil), scratch.Key...),
 			Value: append([]byte(nil), scratch.Value...),
 		}

@@ -18,9 +18,38 @@ import (
 	"nemo/internal/hashing"
 )
 
-// Request is one cache operation: a GET for Key whose demand-fill value (on
-// miss) is Value. Buffers are owned by the stream and reused across calls.
+// Kind discriminates the operation types of a mixed workload.
+type Kind uint8
+
+const (
+	// KindGet is a lookup whose demand-fill value (on miss) is Value. The
+	// zero value, so plain GET streams need no initialization.
+	KindGet Kind = iota
+	// KindSet is an explicit write of Value (no preceding lookup).
+	KindSet
+	// KindDelete invalidates Key; Value is empty.
+	KindDelete
+)
+
+// String returns the conventional wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "GET"
+	case KindSet:
+		return "SET"
+	case KindDelete:
+		return "DELETE"
+	}
+	return "UNKNOWN"
+}
+
+// Request is one cache operation: by default a GET for Key whose demand-fill
+// value (on miss) is Value; mixed streams (see Mixed) also emit explicit SET
+// and DELETE operations. Buffers are owned by the stream and reused across
+// calls.
 type Request struct {
+	Op    Kind
 	Key   []byte
 	Value []byte
 }
@@ -111,6 +140,7 @@ func (z *ZipfStream) Config() ClusterConfig { return z.cfg }
 
 // Next fills req with the next request.
 func (z *ZipfStream) Next(req *Request) {
+	req.Op = KindGet
 	rank := z.zipf.Uint64()
 	id := hashing.SplitMix64(rank ^ z.salt)
 	FillKey(req, z.cfg.KeySize, id, z.salt)
@@ -246,6 +276,47 @@ func (m *Interleaved) Next(req *Request) {
 	m.streams[len(m.streams)-1].Next(req)
 }
 
+// Mixed rewrites a fraction of an inner stream's requests into explicit SET
+// and DELETE operations, turning a pure GET trace into the mixed workload a
+// production cache service actually receives (writes from the backing store,
+// invalidations from upstream mutations). Key popularity and sizes are the
+// inner stream's; only the op kind changes, drawn deterministically per
+// request, so a Mixed stream is as reproducible as its inner stream.
+type Mixed struct {
+	inner  Stream
+	setCut float64 // P(op = SET)
+	delCut float64 // setCut + P(op = DELETE)
+	rng    *rand.Rand
+}
+
+// NewMixed wraps inner so each request is a SET with probability setFrac, a
+// DELETE with probability delFrac, and a GET otherwise.
+func NewMixed(inner Stream, setFrac, delFrac float64, seed int64) (*Mixed, error) {
+	if setFrac < 0 || delFrac < 0 || setFrac+delFrac > 1 {
+		return nil, fmt.Errorf("trace: op fractions set=%v del=%v invalid", setFrac, delFrac)
+	}
+	return &Mixed{
+		inner:  inner,
+		setCut: setFrac,
+		delCut: setFrac + delFrac,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next draws the inner request and stamps its op kind.
+func (m *Mixed) Next(req *Request) {
+	m.inner.Next(req)
+	switch u := m.rng.Float64(); {
+	case u < m.setCut:
+		req.Op = KindSet
+	case u < m.delCut:
+		req.Op = KindDelete
+		req.Value = req.Value[:0] // deletions carry no payload
+	default:
+		req.Op = KindGet
+	}
+}
+
 // SyntheticInserts is the Figure 8 workload: a stream of unique keys with
 // normal-distributed object sizes (mean 250 B, std 200 B in the paper).
 type SyntheticInserts struct {
@@ -268,6 +339,7 @@ func NewSyntheticInserts(keySize, valueMean, valueStd int, seed int64) *Syntheti
 
 // Next produces the next unique-key insert.
 func (s *SyntheticInserts) Next(req *Request) {
+	req.Op = KindGet
 	s.next++
 	id := hashing.SplitMix64(s.next ^ s.salt)
 	FillKey(req, s.KeySize, id, s.salt)

@@ -70,9 +70,51 @@ func IndexZonesFor(dataZones, sgsPerGroup int) int {
 	return core.IndexZonesFor(dataZones, sgsPerGroup)
 }
 
-// Engine is the common cache-engine interface implemented by Nemo and all
-// four baselines; Replay drives any Engine.
+// Engine is the minimal cache-engine interface implemented by Nemo and all
+// four baselines; Replay drives any Engine. Production capabilities —
+// batched multi-ops, deletion, asynchronous writes — are the composable
+// Engine v2 extension interfaces below; Adapt upgrades any plain Engine.
 type Engine = cachelib.Engine
+
+// BatchEngine executes many operations per lock acquisition: GetMany and
+// SetMany group keys by shard (one hash pass, per-shard sub-batches,
+// parallel fan-out on a ShardedCache).
+type BatchEngine = cachelib.BatchEngine
+
+// Deleter invalidates keys. Nemo tombstones (it has no exact per-object
+// index): a zero-length marker shadows any still-cached flash copy until it
+// ages out of the FIFO pool.
+type Deleter = cachelib.Deleter
+
+// AsyncEngine writes off the caller's critical path: SetAsync inserts into
+// the in-memory SG and hands any triggered flush to the background flusher
+// pool (Config.Flushers); Drain waits out deferred work.
+type AsyncEngine = cachelib.AsyncEngine
+
+// EngineV2 is the full production surface: Engine plus all three
+// extensions. Cache and ShardedCache implement it natively.
+type EngineV2 = cachelib.EngineV2
+
+// Adapt upgrades any plain Engine (e.g. the four baselines) to EngineV2,
+// delegating native capabilities and emulating the rest, so harness code
+// written against v2 runs every engine unmodified.
+func Adapt(e Engine) EngineV2 { return cachelib.Adapt(e) }
+
+// Options carries the Engine v2 per-request knobs (TTL, admission hint,
+// no-fill) the replayers thread through every engine; Hint biases admission
+// per request. The op kind of a mixed-workload request is RequestKind
+// (Request.Op) — see KindGet/KindSet/KindDelete below.
+type (
+	Options = cachelib.Options
+	Hint    = cachelib.Hint
+)
+
+// Admission hints.
+const (
+	HintDefault = cachelib.HintDefault
+	HintForce   = cachelib.HintForce
+	HintBypass  = cachelib.HintBypass
+)
 
 // Stats is the common engine counter set with the paper's
 // write-amplification and miss-ratio definitions.
@@ -98,11 +140,14 @@ type ParallelReplayConfig = cachelib.ParallelReplayConfig
 // including host wall-clock throughput.
 type ParallelReplayResult = cachelib.ParallelReplayResult
 
-// ParallelReplay replays a materialized trace from many worker goroutines
-// with deterministic per-shard sequencing: each shard of a ShardedCache sees
-// the identical request subsequence it would in a single-threaded replay, so
-// hit ratio and write amplification are independent of worker count while
-// throughput scales with cores.
+// ParallelReplay replays a materialized (optionally mixed GET/SET/DELETE)
+// trace from many worker goroutines with deterministic per-shard
+// sequencing: each shard of a ShardedCache sees the identical request
+// subsequence it would in a single-threaded replay, so hit ratio and write
+// amplification are independent of worker count while throughput scales
+// with cores. ParallelReplayConfig.BatchSize drives the Engine v2 batched
+// surface (per-shard GetMany/SetMany), AsyncSets the background flush
+// pipeline, and Options the per-request knobs.
 func ParallelReplay(e Engine, reqs []Request, cfg ParallelReplayConfig) (ParallelReplayResult, error) {
 	return cachelib.ParallelReplay(e, reqs, cfg)
 }
@@ -159,6 +204,23 @@ func NewZipfStream(cfg ClusterConfig) Stream { return trace.NewZipf(cfg) }
 // clusters scaled to wssPerCluster bytes each and interleaved equally.
 func NewWorkload(wssPerCluster int64, seed int64) (Stream, error) {
 	return trace.DefaultInterleaved(wssPerCluster, seed)
+}
+
+// RequestKind discriminates the op types of a mixed trace (Request.Op).
+type RequestKind = trace.Kind
+
+// Mixed-trace request kinds.
+const (
+	KindGet    = trace.KindGet
+	KindSet    = trace.KindSet
+	KindDelete = trace.KindDelete
+)
+
+// NewMixedStream rewrites a fraction of a stream's requests into explicit
+// SET and DELETE operations — the mixed workload a production cache service
+// receives — while keeping the inner stream's key popularity and sizes.
+func NewMixedStream(inner Stream, setFrac, delFrac float64, seed int64) (Stream, error) {
+	return trace.NewMixed(inner, setFrac, delFrac, seed)
 }
 
 // AdmissionPolicy gates demand fills during Replay (nil admits everything).

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"nemo"
 )
@@ -21,6 +22,21 @@ func buildShardedReplayCache(t testing.TB, shards int) *nemo.ShardedCache {
 	dev := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 64, Zones: shards * (perData + perIdx)})
 	cfg := nemo.DefaultConfig(dev, replayDataZones)
 	cfg.Shards = shards
+	c, err := nemo.NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func buildShardedAsyncReplayCache(t testing.TB, shards, flushers int) *nemo.ShardedCache {
+	t.Helper()
+	perData := replayDataZones / shards
+	perIdx := nemo.IndexZonesFor(perData, 50)
+	dev := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 64, Zones: shards * (perData + perIdx)})
+	cfg := nemo.DefaultConfig(dev, replayDataZones)
+	cfg.Shards = shards
+	cfg.Flushers = flushers
 	c, err := nemo.NewSharded(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -75,23 +91,144 @@ func TestParallelReplayMatchesSequential(t *testing.T) {
 
 // TestParallelReplayDeterministicAcrossWorkers checks the driver's core
 // guarantee: per-shard sequencing makes hit ratio and write amplification
-// independent of how many workers replay the trace.
+// independent of how many workers replay the trace — unbatched and batched
+// alike (batches are composed per shard, so batch boundaries cannot depend
+// on the worker count either).
 func TestParallelReplayDeterministicAcrossWorkers(t *testing.T) {
 	reqs := replayTrace(t, 60_000)
+	for _, batch := range []int{0, 16} {
+		var ref nemo.Stats
+		for i, workers := range []int{1, 2, 8} {
+			c := buildShardedReplayCache(t, 8)
+			res, err := nemo.ParallelReplay(c, reqs, nemo.ParallelReplayConfig{Workers: workers, BatchSize: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = res.Final
+				continue
+			}
+			if res.Final != ref {
+				t.Fatalf("batch=%d workers=%d changed replay stats:\ngot: %+v\nref: %+v",
+					batch, workers, res.Final, ref)
+			}
+		}
+	}
+}
+
+// TestParallelReplayDeterministicAcrossBatchSizes pins Engine v2's batched
+// surface against the unbatched driver: per-shard batching with exact
+// duplicate handling (repeats replay serially after the batch's fills)
+// keeps hit ratio and write amplification — every write-side and hit-side
+// counter — identical at every batch size on this trace. Only the flash
+// read traffic may drift fractionally: delaying a fill to the end of its
+// batch can shift which PBFG/candidate reads a neighboring lookup needs.
+func TestParallelReplayDeterministicAcrossBatchSizes(t *testing.T) {
+	reqs := replayTrace(t, 60_000)
 	var ref nemo.Stats
-	for i, workers := range []int{1, 2, 8} {
+	var refWA float64
+	run := func(batch int) (nemo.Stats, float64) {
 		c := buildShardedReplayCache(t, 8)
-		res, err := nemo.ParallelReplay(c, reqs, nemo.ParallelReplayConfig{Workers: workers})
+		res, err := nemo.ParallelReplay(c, reqs, nemo.ParallelReplayConfig{BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final, c.PaperWA()
+	}
+	ref, refWA = run(0)
+	for _, batch := range []int{1, 8, 64} {
+		got, gotWA := run(batch)
+		if rel := math.Abs(float64(got.FlashBytesRead)-float64(ref.FlashBytesRead)) / float64(ref.FlashBytesRead); rel > 0.01 {
+			t.Fatalf("batch=%d moved flash read traffic by %.2f%%", batch, rel*100)
+		}
+		// Read traffic aside, the counter sets must match exactly.
+		got.FlashBytesRead, got.FlashReadOps = ref.FlashBytesRead, ref.FlashReadOps
+		if got != ref {
+			t.Fatalf("batch=%d changed replay stats:\ngot: %+v\nref: %+v", batch, got, ref)
+		}
+		// Paper WA's denominator is accounted per flushed SG, and batching
+		// may shift a fill across a flush boundary, so it is pinned to a
+		// 0.1% band rather than bit-exactly (ALWA, computed from the
+		// exactly-equal counters above, is already pinned exactly).
+		if math.Abs(gotWA-refWA)/refWA > 1e-3 {
+			t.Fatalf("batch=%d changed paper WA: %v vs %v", batch, gotWA, refWA)
+		}
+	}
+	// Past production batch depths (256 ≫ the 64-op norm) eviction timing
+	// may shift individual op outcomes; hit ratio and WA stay pinned to a
+	// 0.1% band.
+	got, gotWA := run(256)
+	if d := math.Abs(got.MissRatio() - ref.MissRatio()); d > 1e-3 {
+		t.Fatalf("batch=256 moved miss ratio by %.5f", d)
+	}
+	if math.Abs(gotWA-refWA)/refWA > 1e-3 {
+		t.Fatalf("batch=256 changed paper WA: %v vs %v", gotWA, refWA)
+	}
+}
+
+// TestParallelReplayMixedTraceDeterministic drives the full Engine v2
+// surface — batched mixed GET/SET/DELETE replay against the sharded engine
+// — and pins worker-count independence of the final statistics.
+func TestParallelReplayMixedTraceDeterministic(t *testing.T) {
+	probe := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 64})
+	dataBytes := int64(replayDataZones*probe.PagesPerZone()) * int64(probe.PageSize())
+	base, err := nemo.NewWorkload(dataBytes*3/4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := nemo.NewMixedStream(base, 0.1, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := nemo.Materialize(mixed, 60_000)
+	var ref nemo.Stats
+	for i, workers := range []int{1, 4, 8} {
+		c := buildShardedReplayCache(t, 8)
+		res, err := nemo.ParallelReplay(c, reqs, nemo.ParallelReplayConfig{Workers: workers, BatchSize: 32})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if i == 0 {
 			ref = res.Final
+			if ref.Deletes == 0 {
+				t.Fatal("mixed trace produced no deletes")
+			}
 			continue
 		}
 		if res.Final != ref {
-			t.Fatalf("workers=%d changed replay stats:\ngot: %+v\nref: %+v", workers, res.Final, ref)
+			t.Fatalf("workers=%d changed mixed replay stats:\ngot: %+v\nref: %+v", workers, res.Final, ref)
 		}
+	}
+}
+
+// TestParallelReplayAsyncFlush exercises the background flush pipeline end
+// to end: fills routed through SetAsync with a flusher pool must preserve
+// cache quality within tolerance while recording write latencies.
+func TestParallelReplayAsyncFlush(t *testing.T) {
+	reqs := replayTrace(t, 60_000)
+
+	syncC := buildShardedReplayCache(t, 8)
+	syncRes, err := nemo.ParallelReplay(syncC, reqs, nemo.ParallelReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asyncC := buildShardedAsyncReplayCache(t, 8, 2)
+	defer asyncC.Close()
+	asyncRes, err := nemo.ParallelReplay(asyncC, reqs, nemo.ParallelReplayConfig{AsyncSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncHit := 1 - syncRes.Final.MissRatio()
+	asyncHit := 1 - asyncRes.Final.MissRatio()
+	if d := math.Abs(syncHit - asyncHit); d > 0.03 {
+		t.Fatalf("async fills moved hit ratio by %.4f (sync %.4f, async %.4f)", d, syncHit, asyncHit)
+	}
+	if asyncRes.SetLatency.Count == 0 {
+		t.Fatal("async replay recorded no Set latencies")
+	}
+	if syncRes.SetLatency.Count == 0 {
+		t.Fatal("sync replay recorded no Set latencies")
 	}
 }
 
@@ -150,30 +287,91 @@ func TestShardedReplayThroughputAndQuality(t *testing.T) {
 	}
 }
 
+// TestBatchedReplayThroughput asserts the Engine v2 batched surface's
+// headline: batched replay sustains at least the unbatched throughput. The
+// structural win is the merged multi-shard GetMany fan-out — a worker that
+// owns several shards gets cross-shard parallelism from single calls — so
+// the comparison runs with fewer workers than shards. Like the ≥3× sharding
+// assertion above, the wall-clock claim is only asserted where it is
+// physically attainable: ≥ 8 schedulable CPUs and no race detector. On
+// smaller hosts batching is bookkeeping with nothing to parallelize, and
+// the quality equivalence (which always holds) is pinned by
+// TestParallelReplayDeterministicAcrossBatchSizes.
+func TestBatchedReplayThroughput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("skipping wall-clock assertion under -race")
+	}
+	if runtime.NumCPU() < 8 {
+		t.Skipf("skipping batched-throughput assertion on %d CPUs: the fan-out cannot run in parallel", runtime.NumCPU())
+	}
+	reqs := replayTrace(t, 150_000)
+	run := func(batch int) float64 {
+		c := buildShardedReplayCache(t, 8)
+		res, err := nemo.ParallelReplay(c, reqs, nemo.ParallelReplayConfig{Workers: 2, BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OpsPerSec
+	}
+	best := func(batch int) float64 {
+		a, b := run(batch), run(batch)
+		if b > a {
+			return b
+		}
+		return a
+	}
+	unbatched := best(0)
+	batched := best(64)
+	t.Logf("workers=2 shards=8: unbatched %.0f ops/s, batch=64 %.0f ops/s (%.2f×)",
+		unbatched, batched, batched/unbatched)
+	if batched < unbatched {
+		t.Fatalf("batched replay (%.0f ops/s) slower than unbatched (%.0f ops/s)", batched, unbatched)
+	}
+}
+
 // shardCountsForBench are the configurations BenchmarkParallelReplay sweeps.
 var shardCountsForBench = []int{1, 2, 4, 8}
 
 // BenchmarkParallelReplay replays the same materialized trace against the
-// sharded engine at several shard counts, reporting wall-clock throughput
-// next to the paper's quality metrics (run with -bench ParallelReplay).
+// sharded engine at several shard counts — plus batched and async-flush
+// variants at 8 shards — reporting wall-clock throughput next to the
+// paper's quality metrics (run with -bench ParallelReplay).
 func BenchmarkParallelReplay(b *testing.B) {
 	reqs := replayTrace(b, 150_000)
-	for _, shards := range shardCountsForBench {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+	bench := func(name string, mk func(testing.TB) *nemo.ShardedCache, cfg nemo.ParallelReplayConfig) {
+		b.Run(name, func(b *testing.B) {
 			var opsPerSec, hit, wa float64
+			var setP99 time.Duration
 			for i := 0; i < b.N; i++ {
-				c := buildShardedReplayCache(b, shards)
-				res, err := nemo.ParallelReplay(c, reqs, nemo.ParallelReplayConfig{})
+				c := mk(b)
+				res, err := nemo.ParallelReplay(c, reqs, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
 				opsPerSec += res.OpsPerSec
 				hit = 1 - res.Final.MissRatio()
 				wa = c.PaperWA()
+				setP99 = res.SetLatency.P99
+				if err := c.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(opsPerSec/float64(b.N), "ops/s")
 			b.ReportMetric(hit*100, "hit%")
 			b.ReportMetric(wa, "WA")
+			b.ReportMetric(float64(setP99.Nanoseconds()), "setp99-ns")
 		})
 	}
+	for _, shards := range shardCountsForBench {
+		shards := shards
+		bench(fmt.Sprintf("shards=%d", shards),
+			func(tb testing.TB) *nemo.ShardedCache { return buildShardedReplayCache(tb, shards) },
+			nemo.ParallelReplayConfig{})
+	}
+	bench("shards=8/batch=64",
+		func(tb testing.TB) *nemo.ShardedCache { return buildShardedReplayCache(tb, 8) },
+		nemo.ParallelReplayConfig{BatchSize: 64})
+	bench("shards=8/async",
+		func(tb testing.TB) *nemo.ShardedCache { return buildShardedAsyncReplayCache(tb, 8, 2) },
+		nemo.ParallelReplayConfig{AsyncSets: true})
 }
