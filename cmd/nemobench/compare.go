@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"strings"
+
+	"nemo/internal/experiments"
+)
+
+// compareOptions carries the -compare flag set (shared flags reuse the
+// -replay spellings: -shards, -workers, -ops, -seed, -batch, -async,
+// -flushers, -setfrac, -delfrac, -scale).
+type compareOptions struct {
+	shardList string
+	workers   int
+	ops       int
+	seed      int64
+	batch     int
+	async     bool
+	flushers  int
+	setFrac   float64
+	delFrac   float64
+	scale     string
+	engines   string // comma-separated filter (nemo,log,set,kg,fw)
+	parallel  bool   // replay the engines of one shard count concurrently
+	noTime    bool   // omit wall-clock columns (byte-deterministic table)
+}
+
+// runCompare drives the cross-engine comparison: the same materialized
+// mixed trace through all five sharded engines at each shard count.
+func runCompare(out io.Writer, o compareOptions) error {
+	shardCounts, err := parseShardList(o.shardList)
+	if err != nil {
+		return err
+	}
+	var engines []string
+	if s := strings.TrimSpace(o.engines); s != "" {
+		engines = strings.Split(s, ",")
+	}
+	return experiments.RunCompare(experiments.CompareConfig{
+		Scale:    o.scale,
+		Shards:   shardCounts,
+		Workers:  o.workers,
+		Ops:      o.ops,
+		Seed:     o.seed,
+		Batch:    o.batch,
+		Async:    o.async,
+		Flushers: o.flushers,
+		SetFrac:  o.setFrac,
+		DelFrac:  o.delFrac,
+		Engines:  engines,
+		Parallel: o.parallel,
+		HostTime: !o.noTime,
+		Out:      out,
+	})
+}

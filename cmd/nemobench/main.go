@@ -8,6 +8,8 @@
 //	nemobench -all [-scale medium]
 //	nemobench -replay [-shards 1,2,4,8] [-workers K] [-ops N] [-seed S]
 //	          [-batch B] [-async] [-flushers K] [-setfrac F] [-delfrac F]
+//	nemobench -compare [-shards 1,2,4] [-engines nemo,log,set,kg,fw]
+//	          [-parallel] [-notime] [-scale small|medium|large] [...]
 //
 // -replay runs the parallel trace-replay benchmark: the same materialized
 // Twitter-style trace is replayed against the sharded engine at each shard
@@ -18,6 +20,13 @@
 // SetAsync and a -flushers-sized background flush pool (watch the setp99
 // column drop), and -setfrac/-delfrac rewrite a fraction of the trace into
 // explicit SET and DELETE operations.
+//
+// -compare runs the cross-engine comparison harness: one materialized mixed
+// trace replayed through all five sharded engines (Nemo natively, the four
+// baselines behind the generic sharded facade) at each shard count, printing
+// the Figure 12/15-style quality and throughput table. -engines filters the
+// set, -parallel replays the engines of a shard count concurrently, and
+// -notime drops the wall-clock columns so the table is byte-deterministic.
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
@@ -46,10 +55,48 @@ func main() {
 		batch    = flag.Int("batch", 0, "per-shard batch size for -replay (<=1 = unbatched)")
 		async    = flag.Bool("async", false, "-replay: fills via SetAsync + background flusher pool")
 		flushers = flag.Int("flushers", 2, "-replay: background flusher goroutines with -async")
-		setFrac  = flag.Float64("setfrac", 0, "-replay: fraction of requests rewritten to explicit SETs")
-		delFrac  = flag.Float64("delfrac", 0, "-replay: fraction of requests rewritten to DELETEs")
+		setFrac  = flag.Float64("setfrac", 0, "fraction of requests rewritten to explicit SETs (-compare defaults to 0.1)")
+		delFrac  = flag.Float64("delfrac", 0, "fraction of requests rewritten to DELETEs (-compare defaults to 0.02)")
+		compare  = flag.Bool("compare", false, "run the cross-engine sharded comparison harness")
+		engines  = flag.String("engines", "", "-compare: comma-separated engine filter (nemo,log,set,kg,fw; empty = all)")
+		parallel = flag.Bool("parallel", false, "-compare: replay the engines of one shard count concurrently")
+		noTime   = flag.Bool("notime", false, "-compare: omit wall-clock columns (byte-deterministic table)")
 	)
 	flag.Parse()
+
+	if *compare {
+		// The compare harness treats 0 as "unset" (its defaults are a
+		// mixed trace); an explicitly passed -setfrac 0 / -delfrac 0 must
+		// mean a pure-GET trace, which it spells as a negative value.
+		flag.Visit(func(f *flag.Flag) {
+			switch {
+			case f.Name == "setfrac" && *setFrac == 0:
+				*setFrac = -1
+			case f.Name == "delfrac" && *delFrac == 0:
+				*delFrac = -1
+			}
+		})
+		err := runCompare(os.Stdout, compareOptions{
+			shardList: *shards,
+			workers:   *workers,
+			ops:       *ops,
+			seed:      *seed,
+			batch:     *batch,
+			async:     *async,
+			flushers:  *flushers,
+			setFrac:   *setFrac,
+			delFrac:   *delFrac,
+			scale:     *scale,
+			engines:   *engines,
+			parallel:  *parallel,
+			noTime:    *noTime,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replay {
 		err := runReplay(os.Stdout, replayOptions{

@@ -60,6 +60,20 @@
 //     (NewLogCache, NewSetCache, NewKangaroo, NewFairyWREN); the log
 //     baseline's exact index gives it a native Delete, the rest upgrade
 //     through Adapt.
+//   - The generic sharded facade (ShardedEngine) that gives every baseline
+//     the same sharded/concurrent treatment Nemo has natively
+//     (NewShardedLogCache, NewShardedSetCache, NewShardedKangaroo,
+//     NewShardedFairyWREN): the zone range is partitioned into per-shard
+//     engines, requests route by the same hash lane as ShardedCache —
+//     identical key partitioning across engines — and batches take one
+//     hash pass, group into per-shard sub-batches, and fan out in
+//     parallel. With shards=1 the facade is stat-for-stat the bare engine
+//     (pinned per baseline by equivalence property tests), so the paper's
+//     single-threaded numbers remain reproducible from the same code
+//     path. `nemobench -compare` replays one materialized mixed trace
+//     through all five sharded engines and prints the Figure 12/15-style
+//     comparison (hit ratio, ALWA, total WA, throughput, Set latency per
+//     engine × shard count).
 //   - Workload generators parameterized like the paper's Twitter traces
 //     (NewWorkload, Clusters, NewMixedStream), a sequential replay harness
 //     (Replay), and a parallel trace-replay driver (Materialize,

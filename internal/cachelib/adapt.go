@@ -145,13 +145,42 @@ func (a *Adapted) GetMany(keys [][]byte) (values [][]byte, hits []bool) {
 	return values, hits
 }
 
-// SetMany implements BatchEngine, natively when possible.
+// SetMany implements BatchEngine, natively when possible. The per-key
+// fallback reproduces the BatchEngine error contract exactly: on a sharded
+// engine (Sharder, >1 shard) each shard's sub-sequence applies in batch
+// order independently — an error stops only its own shard's remaining
+// inserts, the other shards complete, and the first error by shard order is
+// returned, matching the native sharded fan-out; single-shard engines keep
+// the strict sequential stop-at-first-error semantics. Before this shim
+// aggregated per shard, an adapted sharded engine stopped the whole batch
+// at the first error in batch order — other shards' keys silently never
+// applied, diverging from what the same batch does natively.
 func (a *Adapted) SetMany(keys, values [][]byte) error {
 	if a.batch != nil && a.tombs == nil {
 		return a.batch.SetMany(keys, values)
 	}
+	n := 1
+	if a.sharder != nil {
+		n = a.sharder.NumShards()
+	}
+	if n <= 1 {
+		for i := range keys {
+			if err := a.Set(keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
 	for i := range keys {
-		if err := a.Set(keys[i], values[i]); err != nil {
+		s := a.sharder.ShardOf(keys[i])
+		if errs[s] != nil {
+			continue // this shard's sub-batch already stopped
+		}
+		errs[s] = a.Set(keys[i], values[i])
+	}
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,141 @@
+package cachelib
+
+import (
+	"fmt"
+	"testing"
+
+	"nemo/internal/metrics"
+)
+
+// fakeShardedNoBatch is a sharded engine WITHOUT native batching: it routes
+// single-key ops across shardFakes and implements Sharder, but leaves
+// GetMany/SetMany to the Adapt shim. It models an engine family that got
+// the sharded treatment but not the batch fast path.
+type fakeShardedNoBatch struct {
+	shards []*shardFake
+	n      uint64
+}
+
+func newFakeShardedNoBatch(n int) *fakeShardedNoBatch {
+	f := &fakeShardedNoBatch{shards: make([]*shardFake, n), n: uint64(n)}
+	for i := range f.shards {
+		f.shards[i] = newShardFake("Fake")
+	}
+	return f
+}
+
+func (f *fakeShardedNoBatch) Name() string   { return "Fake" }
+func (f *fakeShardedNoBatch) NumShards() int { return len(f.shards) }
+func (f *fakeShardedNoBatch) ShardOf(k []byte) int {
+	return ShardOfKey(k, f.n)
+}
+func (f *fakeShardedNoBatch) Get(k []byte) ([]byte, bool) { return f.shards[f.ShardOf(k)].Get(k) }
+func (f *fakeShardedNoBatch) Set(k, v []byte) error       { return f.shards[f.ShardOf(k)].Set(k, v) }
+func (f *fakeShardedNoBatch) Close() error                { return nil }
+func (f *fakeShardedNoBatch) ReadLatency() *metrics.Histogram {
+	return f.shards[0].ReadLatency()
+}
+func (f *fakeShardedNoBatch) Stats() Stats {
+	var sum Stats
+	for _, s := range f.shards {
+		sum = sum.Add(s.Stats())
+	}
+	return sum
+}
+
+// TestAdaptSetManyErrorContract is the table-driven pin of the BatchEngine
+// error-aggregation contract on the Adapt shim, checked two ways: against
+// explicit expectations, and against the native sharded implementation
+// (cachelib.ShardedEngine over identical shards) run on the same batch —
+// the shim's fallback must aggregate per-op errors exactly like the native
+// fan-out: per-shard independent stop, first error by shard order.
+func TestAdaptSetManyErrorContract(t *testing.T) {
+	const nShards = 3
+	keys := testKeys(24)
+	// Group keys by owning shard so cases can address "shard s's k-th key"
+	// without hardcoding hash outcomes.
+	perShard := map[int][]string{}
+	for _, k := range keys {
+		sh := ShardOfKey(k, nShards)
+		perShard[sh] = append(perShard[sh], string(k))
+	}
+	for sh := 0; sh < nShards; sh++ {
+		if len(perShard[sh]) < 2 {
+			t.Fatalf("test keys leave shard %d with <2 keys; enlarge the batch", sh)
+		}
+	}
+
+	cases := []struct {
+		name string
+		fail []string // keys armed to fail
+		// wantErr is the expected error key ("" = success): the first
+		// failing key by SHARD order, not batch order.
+		wantErrKey string
+	}{
+		{"no-failures", nil, ""},
+		{"one-shard-fails", []string{perShard[1][1]}, perShard[1][1]},
+		{"two-shards-fail-shard-order-wins", []string{perShard[2][0], perShard[1][1]}, perShard[1][1]},
+		{"all-shards-fail", []string{perShard[0][1], perShard[1][0], perShard[2][1]}, perShard[0][1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arm := func(fakes []*shardFake) {
+				for _, k := range tc.fail {
+					fakes[ShardOfKey([]byte(k), nShards)].failing[k] = true
+				}
+			}
+
+			// Shimmed: a sharded engine without native batching, upgraded
+			// by Adapt (tombstone emulation active — no native Deleter).
+			shimmed := newFakeShardedNoBatch(nShards)
+			arm(shimmed.shards)
+			shimErr := Adapt(shimmed).SetMany(keys, keys)
+
+			// Native: the generic sharded facade over identical shards.
+			native, fakes := buildSharded(t, nShards)
+			arm(fakes)
+			nativeErr := native.SetMany(keys, keys)
+
+			// Both agree with the table...
+			for who, err := range map[string]error{"shim": shimErr, "native": nativeErr} {
+				if tc.wantErrKey == "" {
+					if err != nil {
+						t.Fatalf("%s: unexpected error %v", who, err)
+					}
+				} else if want := fmt.Sprintf("fake: set %q refused", tc.wantErrKey); err == nil || err.Error() != want {
+					t.Fatalf("%s: error = %v, want %q (first failing key by shard order)", who, err, want)
+				}
+			}
+			// ...and with each other, shard by shard: the same keys applied
+			// in the same order everywhere.
+			for sh := 0; sh < nShards; sh++ {
+				got := shimmed.shards[sh].applied
+				want := fakes[sh].applied
+				if len(got) != len(want) {
+					t.Fatalf("shard %d: shim applied %v, native applied %v", sh, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("shard %d: shim applied %v, native applied %v", sh, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptSetManySingleShardStops pins the unsharded fallback: a plain
+// engine's emulated SetMany keeps strict sequential semantics, stopping at
+// the first error in batch order.
+func TestAdaptSetManySingleShardStops(t *testing.T) {
+	bare := newShardFake("Fake")
+	keys := testKeys(8)
+	bare.failing[string(keys[3])] = true
+	err := Adapt(bare).SetMany(keys, keys)
+	if want := fmt.Sprintf("fake: set %q refused", keys[3]); err == nil || err.Error() != want {
+		t.Fatalf("error = %v, want %q", err, want)
+	}
+	if len(bare.applied) != 3 {
+		t.Fatalf("applied %v: a single-shard batch must stop at the first error", bare.applied)
+	}
+}

@@ -1,0 +1,256 @@
+package cachelib
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nemo/internal/metrics"
+)
+
+// shardFake is a minimal in-memory Engine for facade tests. It counts ops
+// like a real engine and can be armed to fail Sets of specific keys.
+type shardFake struct {
+	name string
+
+	mu      sync.Mutex
+	store   map[string][]byte
+	applied []string // keys of successful Sets, in order
+	failing map[string]bool
+	closed  bool
+	stats   Stats
+	hist    metrics.Histogram
+}
+
+func newShardFake(name string) *shardFake {
+	return &shardFake{name: name, store: map[string][]byte{}, failing: map[string]bool{}}
+}
+
+func (f *shardFake) Name() string { return f.name }
+
+func (f *shardFake) Get(key []byte) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Gets++
+	v, ok := f.store[string(key)]
+	if !ok {
+		return nil, false
+	}
+	f.stats.Hits++
+	return append([]byte(nil), v...), true
+}
+
+func (f *shardFake) Set(key, value []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failing[string(key)] {
+		return fmt.Errorf("fake: set %q refused", key)
+	}
+	f.store[string(key)] = append([]byte(nil), value...)
+	f.applied = append(f.applied, string(key))
+	f.stats.Sets++
+	f.stats.LogicalBytes += uint64(len(key) + len(value))
+	return nil
+}
+
+func (f *shardFake) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *shardFake) ReadLatency() *metrics.Histogram { return &f.hist }
+
+func (f *shardFake) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// buildSharded wraps n fresh fakes and returns both views.
+func buildSharded(t *testing.T, n int) (*ShardedEngine, []*shardFake) {
+	t.Helper()
+	fakes := make([]*shardFake, n)
+	engines := make([]Engine, n)
+	for i := range fakes {
+		fakes[i] = newShardFake("Fake")
+		engines[i] = fakes[i]
+	}
+	s, err := NewShardedEngine(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fakes
+}
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("sharded-key-%06d", i))
+	}
+	return keys
+}
+
+// TestShardedEngineRouting pins that single-key ops land on the shard
+// ShardOf reports, that the same lane as core routing is used (even spread),
+// and that Stats sums per-shard counters.
+func TestShardedEngineRouting(t *testing.T) {
+	s, fakes := buildSharded(t, 4)
+	keys := testKeys(4000)
+	for _, k := range keys {
+		if err := s.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		if v, hit := s.Get(k); !hit || string(v) != string(k) {
+			t.Fatalf("key %s: hit=%v v=%q", k, hit, v)
+		}
+	}
+	var sum Stats
+	for i, f := range fakes {
+		st := f.Stats()
+		if st.Sets == 0 {
+			t.Fatalf("shard %d received no writes: routing is degenerate", i)
+		}
+		want := uint64(0)
+		for _, k := range f.applied {
+			if got := s.ShardOf([]byte(k)); got != i {
+				t.Fatalf("key %q applied on shard %d but ShardOf says %d", k, i, got)
+			}
+			want++
+		}
+		if st.Sets != want {
+			t.Fatalf("shard %d: %d sets, %d applied", i, st.Sets, want)
+		}
+		sum = sum.Add(st)
+	}
+	if got := s.Stats(); got != sum {
+		t.Fatalf("facade stats %+v != per-shard sum %+v", got, sum)
+	}
+	if got, want := s.Stats().Gets, uint64(len(keys)); got != want {
+		t.Fatalf("Gets = %d, want %d", got, want)
+	}
+}
+
+// TestShardedEngineBatchScatter pins the batched fan-out: GetMany after
+// SetMany returns every value at the caller's original batch position, with
+// misses interleaved, at several shard counts (including the single-shard
+// fast path).
+func TestShardedEngineBatchScatter(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			s, _ := buildSharded(t, n)
+			keys := testKeys(257) // odd size: exercises partial sub-batches
+			vals := make([][]byte, len(keys))
+			for i := range vals {
+				vals[i] = []byte(fmt.Sprintf("val-%06d", i))
+			}
+			if err := s.SetMany(keys, vals); err != nil {
+				t.Fatal(err)
+			}
+			// Probe with known keys at even positions, misses at odd ones.
+			probe := make([][]byte, 2*len(keys))
+			for i := range keys {
+				probe[2*i] = keys[i]
+				probe[2*i+1] = []byte(fmt.Sprintf("missing-%06d", i))
+			}
+			got, hits := s.GetMany(probe)
+			for i := range keys {
+				if !hits[2*i] || string(got[2*i]) != string(vals[i]) {
+					t.Fatalf("pos %d: hit=%v v=%q want %q", 2*i, hits[2*i], got[2*i], vals[i])
+				}
+				if hits[2*i+1] || got[2*i+1] != nil {
+					t.Fatalf("pos %d: phantom hit %q", 2*i+1, got[2*i+1])
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEngineSetManyErrors pins the documented sharded error
+// contract: a failing key stops only its own shard's sub-batch, other
+// shards complete, and the first error by shard order is returned.
+func TestShardedEngineSetManyErrors(t *testing.T) {
+	s, fakes := buildSharded(t, 4)
+	keys := testKeys(64)
+	vals := keys
+
+	// Fail the first key (in batch order) of the highest-numbered shard
+	// that owns any key, and the second key of the lowest-numbered one.
+	perShard := map[int][]string{}
+	for _, k := range keys {
+		sh := s.ShardOf(k)
+		perShard[sh] = append(perShard[sh], string(k))
+	}
+	lo, hi := -1, -1
+	for sh := 0; sh < 4; sh++ {
+		if len(perShard[sh]) < 2 {
+			continue
+		}
+		if lo < 0 {
+			lo = sh
+		}
+		hi = sh
+	}
+	if lo < 0 || hi == lo {
+		t.Fatal("test trace does not spread over 2+ shards with 2+ keys")
+	}
+	fakes[lo].failing[perShard[lo][1]] = true
+	fakes[hi].failing[perShard[hi][0]] = true
+
+	err := s.SetMany(keys, vals)
+	if err == nil {
+		t.Fatal("SetMany reported success with failing shards")
+	}
+	// First error by shard order: shard lo's, whose first key succeeded.
+	if want := fmt.Sprintf("fake: set %q refused", perShard[lo][1]); err.Error() != want {
+		t.Fatalf("error = %v, want shard %d's (%s)", err, lo, want)
+	}
+	if got := fakes[lo].applied; len(got) != 1 || got[0] != perShard[lo][0] {
+		t.Fatalf("failing shard %d applied %v, want only %q", lo, got, perShard[lo][0])
+	}
+	// Shards between lo and hi (and hi's keys before its failure — none,
+	// it fails on its first) must be unaffected by the other errors.
+	for sh := lo + 1; sh < hi; sh++ {
+		if len(fakes[sh].applied) != len(perShard[sh]) {
+			t.Fatalf("healthy shard %d applied %d/%d keys", sh, len(fakes[sh].applied), len(perShard[sh]))
+		}
+	}
+}
+
+// TestShardedEngineCloseAll pins that Close reaches every shard.
+func TestShardedEngineCloseAll(t *testing.T) {
+	s, fakes := buildSharded(t, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fakes {
+		if !f.closed {
+			t.Fatalf("shard %d not closed", i)
+		}
+	}
+}
+
+// TestShardedEngineSingleShardIdentity pins the shards=1 degenerate case on
+// the generic facade itself: same ops, same stats as the bare fake.
+func TestShardedEngineSingleShardIdentity(t *testing.T) {
+	bare := newShardFake("Fake")
+	s, _ := buildSharded(t, 1)
+	keys := testKeys(300)
+	for i, k := range keys {
+		if i%3 == 0 {
+			bare.Set(k, k)
+			s.Set(k, k)
+		}
+		bare.Get(k)
+		s.Get(k)
+	}
+	if got, want := s.Stats(), bare.Stats(); got != want {
+		t.Fatalf("stats diverged:\nwrapped: %+v\nbare:    %+v", got, want)
+	}
+	if s.ShardOf(keys[0]) != 0 || s.NumShards() != 1 {
+		t.Fatal("single-shard routing must be the trivial partition")
+	}
+}

@@ -1,0 +1,131 @@
+package cachelib
+
+import (
+	"sync"
+
+	"nemo/internal/hashing"
+)
+
+// This file is the shard-routing plan shared by every sharded facade in the
+// repository: core.Sharded (Nemo's native implementation) and the generic
+// ShardedEngine that puts the four baselines behind the same partitioning.
+// Both route by the same dedicated hash lane of the key fingerprint, so a
+// key lands on the same shard index in every engine of a comparison run —
+// the per-shard request subsequences of a trace are identical across
+// engines, which is what makes the cross-engine tables comparable.
+
+// ShardLane is the hash lane used for shard routing. It is distinct from
+// lane 0 (intra-engine set placement) and the Bloom probe streams, so which
+// shard a key lands on is uncorrelated with where it lives inside the shard.
+const ShardLane = 0x53484152 // "SHAR"
+
+// ShardOfFP returns the shard owning an already-computed key fingerprint
+// among n shards.
+func ShardOfFP(fp uint64, n uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(hashing.Derive(fp, ShardLane) % n)
+}
+
+// ShardOfKey returns the shard owning key among n shards.
+func ShardOfKey(key []byte, n uint64) int {
+	return ShardOfFP(hashing.Fingerprint(key), n)
+}
+
+// fpScratch pools the per-batch fingerprint buffers so steady-state batched
+// traffic allocates nothing for routing (batches are short when traces are
+// hot-key heavy, so per-batch allocations would dominate the amortization).
+var fpScratch = sync.Pool{New: func() any { return new([]uint64) }}
+
+// BorrowFPs returns a pooled fingerprint buffer for PlanFPs; pair with
+// ReturnFPs once the plan's slices are no longer referenced.
+func BorrowFPs() *[]uint64 { return fpScratch.Get().(*[]uint64) }
+
+// ReturnFPs gives a buffer obtained from BorrowFPs back to the pool.
+func ReturnFPs(b *[]uint64) { fpScratch.Put(b) }
+
+// PlanFPs hashes every key exactly once — shard implementations reuse these
+// fingerprints — and reports whether the whole batch lands on one shard of n
+// (the common case under the per-shard batched replayer), returning that
+// shard's index. The returned slice aliases *scratch.
+func PlanFPs(keys [][]byte, scratch *[]uint64, n uint64) (fps []uint64, first int, single bool) {
+	fps = (*scratch)[:0]
+	single = true
+	for i, k := range keys {
+		fp := hashing.Fingerprint(k)
+		fps = append(fps, fp)
+		sh := ShardOfFP(fp, n)
+		if i == 0 {
+			first = sh
+		} else if sh != first {
+			single = false
+		}
+	}
+	*scratch = fps
+	return fps, first, single
+}
+
+// SubBatch is one shard's slice of a grouped batch. All sub-batches of one
+// grouping share a handful of backing arrays, so a multi-shard batch costs
+// a constant number of allocations regardless of how many shards it touches.
+type SubBatch struct {
+	Shard int
+	FPs   []uint64
+	Keys  [][]byte
+	Vals  [][]byte // nil unless values were passed to GroupByShard (SetMany)
+	Pos   []int32  // original batch positions
+}
+
+// GroupByShard buckets a fingerprinted batch into per-shard sub-batches with
+// a counting sort: one pass to count, one to scatter — O(keys + shards), not
+// O(keys × shards) — and a constant number of allocations however many
+// shards the batch touches. values may be nil (GetMany has none).
+func GroupByShard(fps []uint64, keys, values [][]byte, nShards int) []SubBatch {
+	n := uint64(nShards)
+	shs := make([]int32, len(keys))
+	starts := make([]int32, nShards+1) // starts[sh+1] counts, then prefix-sums
+	for i, fp := range fps {
+		sh := int32(ShardOfFP(fp, n))
+		shs[i] = sh
+		starts[sh+1]++
+	}
+	touched := 0
+	for sh := 0; sh < nShards; sh++ {
+		if starts[sh+1] > 0 {
+			touched++
+		}
+		starts[sh+1] += starts[sh]
+	}
+	bFPs := make([]uint64, len(keys))
+	bKeys := make([][]byte, len(keys))
+	bPos := make([]int32, len(keys))
+	var bVals [][]byte
+	if values != nil {
+		bVals = make([][]byte, len(keys))
+	}
+	write := make([]int32, nShards)
+	copy(write, starts[:nShards])
+	for i := range keys {
+		sh := shs[i]
+		o := write[sh]
+		write[sh] = o + 1
+		bFPs[o], bKeys[o], bPos[o] = fps[i], keys[i], int32(i)
+		if bVals != nil {
+			bVals[o] = values[i]
+		}
+	}
+	subs := make([]SubBatch, 0, touched)
+	for sh := 0; sh < nShards; sh++ {
+		lo, hi := starts[sh], starts[sh+1]
+		if lo == hi {
+			continue
+		}
+		sub := SubBatch{Shard: sh, FPs: bFPs[lo:hi], Keys: bKeys[lo:hi], Pos: bPos[lo:hi]}
+		if bVals != nil {
+			sub.Vals = bVals[lo:hi]
+		}
+		subs = append(subs, sub)
+	}
+	return subs
+}

@@ -14,6 +14,12 @@ import (
 // groups keys into per-shard sub-batches, and fans the sub-batches out in
 // parallel — the per-shard request order is preserved, so within every
 // shard a batch behaves exactly like the equivalent op sequence.
+//
+// The routing plan (one-hash-pass fingerprinting, counting-sort grouping)
+// is the shared cachelib machinery (PlanFPs/GroupByShard), the same plan
+// the generic cachelib.ShardedEngine uses for the baselines; what stays
+// Nemo-specific here is the pre-fingerprinted shard entry points, which
+// reuse the plan's fingerprints instead of re-hashing inside the shard.
 
 // Interface conformance: the core engines implement the full v2 surface.
 var (
@@ -84,103 +90,9 @@ func (c *Cache) setManyFP(fps []uint64, keys, values [][]byte) error {
 	return nil
 }
 
-// fpScratch pools the per-batch fingerprint buffers so steady-state batched
-// traffic allocates nothing for routing (batches are short when traces are
-// hot-key heavy, so per-batch allocations would dominate the amortization).
-var fpScratch = sync.Pool{New: func() any { return new([]uint64) }}
-
-// planFPs hashes every key exactly once — the shards reuse these
-// fingerprints — and reports whether the whole batch lands on one shard
-// (the common case under the per-shard batched replayer), returning that
-// shard's index. The returned slice aliases *scratch.
-func (s *Sharded) planFPs(keys [][]byte, scratch *[]uint64) (fps []uint64, first int, single bool) {
-	fps = (*scratch)[:0]
-	single = true
-	for i, k := range keys {
-		fp := hashing.Fingerprint(k)
-		fps = append(fps, fp)
-		sh := s.shardOfFP(fp)
-		if i == 0 {
-			first = sh
-		} else if sh != first {
-			single = false
-		}
-	}
-	*scratch = fps
-	return fps, first, single
-}
-
 // shardOfFP re-derives the shard from an already-computed fingerprint.
 func (s *Sharded) shardOfFP(fp uint64) int {
-	if s.n == 1 {
-		return 0
-	}
-	return int(hashing.Derive(fp, shardLane) % s.n)
-}
-
-// subBatch is one shard's slice of a grouped batch. All sub-batches of one
-// grouping share a handful of backing arrays, so a multi-shard batch costs
-// a constant number of allocations regardless of how many shards it
-// touches.
-type subBatch struct {
-	shard int
-	fps   []uint64
-	keys  [][]byte
-	vals  [][]byte // nil unless values were passed to group (SetMany)
-	pos   []int32  // original batch positions
-}
-
-// group buckets a fingerprinted batch into per-shard sub-batches with a
-// counting sort: one pass to count, one to scatter — O(keys + shards), not
-// O(keys × shards) — and a constant number of allocations however many
-// shards the batch touches. values may be nil (GetMany has none).
-func (s *Sharded) group(fps []uint64, keys, values [][]byte) []subBatch {
-	nShards := len(s.shards)
-	shs := make([]int32, len(keys))
-	starts := make([]int32, nShards+1) // starts[sh+1] counts, then prefix-sums
-	for i, fp := range fps {
-		sh := int32(s.shardOfFP(fp))
-		shs[i] = sh
-		starts[sh+1]++
-	}
-	touched := 0
-	for sh := 0; sh < nShards; sh++ {
-		if starts[sh+1] > 0 {
-			touched++
-		}
-		starts[sh+1] += starts[sh]
-	}
-	bFPs := make([]uint64, len(keys))
-	bKeys := make([][]byte, len(keys))
-	bPos := make([]int32, len(keys))
-	var bVals [][]byte
-	if values != nil {
-		bVals = make([][]byte, len(keys))
-	}
-	write := make([]int32, nShards)
-	copy(write, starts[:nShards])
-	for i := range keys {
-		sh := shs[i]
-		o := write[sh]
-		write[sh] = o + 1
-		bFPs[o], bKeys[o], bPos[o] = fps[i], keys[i], int32(i)
-		if bVals != nil {
-			bVals[o] = values[i]
-		}
-	}
-	subs := make([]subBatch, 0, touched)
-	for sh := 0; sh < nShards; sh++ {
-		lo, hi := starts[sh], starts[sh+1]
-		if lo == hi {
-			continue
-		}
-		sub := subBatch{shard: sh, fps: bFPs[lo:hi], keys: bKeys[lo:hi], pos: bPos[lo:hi]}
-		if bVals != nil {
-			sub.vals = bVals[lo:hi]
-		}
-		subs = append(subs, sub)
-	}
-	return subs
+	return cachelib.ShardOfFP(fp, s.n)
 }
 
 // GetMany implements cachelib.BatchEngine on the sharded facade: one hash
@@ -192,26 +104,26 @@ func (s *Sharded) GetMany(keys [][]byte) (values [][]byte, hits []bool) {
 	if len(keys) == 0 {
 		return values, hits
 	}
-	scratch := fpScratch.Get().(*[]uint64)
-	defer fpScratch.Put(scratch)
-	fps, first, single := s.planFPs(keys, scratch)
+	scratch := cachelib.BorrowFPs()
+	defer cachelib.ReturnFPs(scratch)
+	fps, first, single := cachelib.PlanFPs(keys, scratch, s.n)
 	if single {
 		s.shards[first].getManyFPSeq(fps, keys, values, hits)
 		return values, hits
 	}
 	fanOut := runtime.GOMAXPROCS(0) > 1
 	var wg sync.WaitGroup
-	for _, sub := range s.group(fps, keys, nil) {
+	for _, sub := range cachelib.GroupByShard(fps, keys, nil, len(s.shards)) {
 		if !fanOut {
 			// A single-P runtime gains nothing from goroutine fan-out;
 			// sub-batches still pay one lock acquisition each.
-			s.shards[sub.shard].getManyFP(sub.fps, sub.keys, sub.pos, values, hits)
+			s.shards[sub.Shard].getManyFP(sub.FPs, sub.Keys, sub.Pos, values, hits)
 			continue
 		}
 		wg.Add(1)
-		go func(sub subBatch) {
+		go func(sub cachelib.SubBatch) {
 			defer wg.Done()
-			s.shards[sub.shard].getManyFP(sub.fps, sub.keys, sub.pos, values, hits)
+			s.shards[sub.Shard].getManyFP(sub.FPs, sub.Keys, sub.Pos, values, hits)
 		}(sub)
 	}
 	wg.Wait()
@@ -226,24 +138,24 @@ func (s *Sharded) SetMany(keys, values [][]byte) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	scratch := fpScratch.Get().(*[]uint64)
-	defer fpScratch.Put(scratch)
-	fps, first, single := s.planFPs(keys, scratch)
+	scratch := cachelib.BorrowFPs()
+	defer cachelib.ReturnFPs(scratch)
+	fps, first, single := cachelib.PlanFPs(keys, scratch, s.n)
 	if single {
 		return s.shards[first].setManyFP(fps, keys, values)
 	}
 	fanOut := runtime.GOMAXPROCS(0) > 1
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
-	for _, sub := range s.group(fps, keys, values) {
+	for _, sub := range cachelib.GroupByShard(fps, keys, values, len(s.shards)) {
 		if !fanOut {
-			errs[sub.shard] = s.shards[sub.shard].setManyFP(sub.fps, sub.keys, sub.vals)
+			errs[sub.Shard] = s.shards[sub.Shard].setManyFP(sub.FPs, sub.Keys, sub.Vals)
 			continue
 		}
 		wg.Add(1)
-		go func(sub subBatch) {
+		go func(sub cachelib.SubBatch) {
 			defer wg.Done()
-			errs[sub.shard] = s.shards[sub.shard].setManyFP(sub.fps, sub.keys, sub.vals)
+			errs[sub.Shard] = s.shards[sub.Shard].setManyFP(sub.FPs, sub.Keys, sub.Vals)
 		}(sub)
 	}
 	wg.Wait()

@@ -101,6 +101,11 @@ type Config struct {
 	Writeback bool
 }
 
+// DefaultSGsPerIndexGroup is Table 3's index-group width. Device-sizing
+// code pairs it with IndexZonesFor to reserve the index pool a
+// DefaultConfig cache will actually claim.
+const DefaultSGsPerIndexGroup = 50
+
 // DefaultConfig returns Table 3 defaults scaled to the device: 2 in-memory
 // SGs, count-based flush threshold proportional to SG size, 50 SGs per
 // index group, 0.1% Bloom FPR, 50% cached PBFGs, hotness tracked over the
@@ -119,7 +124,7 @@ func DefaultConfig(dev *flashsim.Device, dataZones int) Config {
 		InMemSGs:          2,
 		FlushThreshold:    pth,
 		RearFullRatio:     0.95,
-		SGsPerIndexGroup:  50,
+		SGsPerIndexGroup:  DefaultSGsPerIndexGroup,
 		BloomFPR:          0.001,
 		TargetObjsPerSet:  40,
 		CachedPBFGRatio:   0.5,

@@ -5,14 +5,8 @@ import (
 	"sync"
 
 	"nemo/internal/cachelib"
-	"nemo/internal/hashing"
 	"nemo/internal/metrics"
 )
-
-// shardLane is the hash lane used for shard routing. It is distinct from
-// lane 0 (intra-SG set placement) and the Bloom probe streams, so which
-// shard a key lands on is uncorrelated with where it lives inside the shard.
-const shardLane = 0x53484152 // "SHAR"
 
 // Sharded is a hash-partitioned Nemo cache: Config.Shards independent Cache
 // engines, each owning a disjoint slice of the shared device's zones, its
@@ -102,14 +96,14 @@ func NewSharded(cfg Config) (*Sharded, error) {
 // NumShards returns the number of shards.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// ShardOf returns the shard index owning key. Replay drivers partition work
-// by this function so each shard's request order stays deterministic no
-// matter how many workers run.
+// ShardOf returns the shard index owning key, routing by the shared
+// cachelib shard lane — the same lane the generic cachelib.ShardedEngine
+// uses for the baselines, so every engine of a comparison run partitions
+// the key space identically. Replay drivers partition work by this function
+// so each shard's request order stays deterministic no matter how many
+// workers run.
 func (s *Sharded) ShardOf(key []byte) int {
-	if s.n == 1 {
-		return 0
-	}
-	return int(hashing.Derive(hashing.Fingerprint(key), shardLane) % s.n)
+	return cachelib.ShardOfKey(key, s.n)
 }
 
 // Shard returns shard i (tests and diagnostics).

@@ -1,0 +1,103 @@
+// Package enginetest holds the cross-engine equivalence suite every sharded
+// baseline is pinned by: wrapping an engine in the generic sharded facade
+// with a single shard must not change a single statistic, and multi-shard
+// wrapping must partition traffic without losing a request. It mirrors the
+// core package's shards=1 equivalence pin (TestShardedSingleShardEquivalence
+// in internal/core) for engines wrapped by cachelib.ShardedEngine, so every
+// baseline earns the same guarantee Nemo's native facade has.
+package enginetest
+
+import (
+	"testing"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/trace"
+)
+
+// MixedTrace materializes the deterministic mixed GET/SET/DELETE trace the
+// equivalence suites replay (10% explicit SETs, 2% DELETEs over a Zipf-1.2
+// key space, sized to cycle small test devices several times).
+func MixedTrace(ops int) []trace.Request {
+	z := trace.NewZipf(trace.ClusterConfig{
+		Name: "equiv", KeySize: 20, ValueMean: 64, ValueStd: 24,
+		Keys: 4096, ZipfAlpha: 1.2, Seed: 7,
+	})
+	m, err := trace.NewMixed(z, 0.10, 0.02, 7)
+	if err != nil {
+		panic(err)
+	}
+	return trace.Materialize(m, ops)
+}
+
+// replay drives one engine through the standard parallel replayer and
+// returns its final stats.
+func replay(t *testing.T, e cachelib.Engine, reqs []trace.Request, batch int) cachelib.Stats {
+	t.Helper()
+	res, err := cachelib.ParallelReplay(e, reqs, cachelib.ParallelReplayConfig{BatchSize: batch})
+	if err != nil {
+		t.Fatalf("%s: replay: %v", e.Name(), err)
+	}
+	return res.Final
+}
+
+// SingleShardEquivalence pins the facade contract for one engine family:
+// the shards=1 wrapped engine must reproduce the bare engine's replay
+// statistics stat-for-stat on the same trace, on both the unbatched and the
+// batched (GetMany/SetMany) replay paths. mkBare and mkSharded must build
+// engines of identical configuration on fresh devices.
+func SingleShardEquivalence(t *testing.T, ops int,
+	mkBare func(t *testing.T) cachelib.Engine,
+	mkSharded func(t *testing.T, shards int) cachelib.Engine) {
+	t.Helper()
+	reqs := MixedTrace(ops)
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{
+		{"unbatched", 0},
+		{"batched", 32},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			bare := mkBare(t)
+			defer bare.Close()
+			wrapped := mkSharded(t, 1)
+			defer wrapped.Close()
+			want := replay(t, bare, reqs, mode.batch)
+			got := replay(t, wrapped, reqs, mode.batch)
+			if got != want {
+				t.Fatalf("shards=1 stats diverged from bare engine:\nwrapped: %+v\nbare:    %+v", got, want)
+			}
+		})
+	}
+}
+
+// MultiShardPartition checks the facade's aggregate accounting at a real
+// shard count: every request is counted exactly once, per-shard counters
+// sum to the facade's totals, and every shard receives traffic.
+func MultiShardPartition(t *testing.T, ops, shards int,
+	mkSharded func(t *testing.T, shards int) cachelib.Engine) {
+	t.Helper()
+	reqs := MixedTrace(ops)
+	e := mkSharded(t, shards)
+	defer e.Close()
+	st := replay(t, e, reqs, 0)
+	if st.Gets+st.Sets+st.Deletes < uint64(len(reqs)) {
+		t.Fatalf("ops lost: %d gets + %d sets + %d deletes < %d requests",
+			st.Gets, st.Sets, st.Deletes, len(reqs))
+	}
+	se, ok := e.(*cachelib.ShardedEngine)
+	if !ok {
+		t.Fatalf("mkSharded returned %T, want *cachelib.ShardedEngine", e)
+	}
+	var sum cachelib.Stats
+	for i := 0; i < se.NumShards(); i++ {
+		ss := se.Shard(i).Stats()
+		if ss.Gets == 0 {
+			t.Fatalf("shard %d received no GET traffic", i)
+		}
+		sum = sum.Add(ss)
+	}
+	if sum != st {
+		t.Fatalf("per-shard stats sum %+v != facade stats %+v", sum, st)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// compareTable runs RunCompare into a buffer and returns the emitted table.
+func compareTable(t *testing.T, cfg CompareConfig) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	if err := RunCompare(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// compareBase is the small deterministic configuration the determinism
+// suite perturbs: wall-clock columns off, so the table contains only
+// scheduling-independent statistics.
+func compareBase() CompareConfig {
+	return CompareConfig{
+		Scale:  "small",
+		Shards: []int{1, 2},
+		Ops:    12_000,
+		Seed:   3,
+	}
+}
+
+// TestCompareAllEngines pins the harness shape: every engine label appears
+// in the default table, once per shard count.
+func TestCompareAllEngines(t *testing.T) {
+	out := compareTable(t, compareBase())
+	for _, label := range []string{"Nemo", "Log", "Set", "KG", "FW"} {
+		if got := strings.Count(out, "\n"+label+" "); got != 2 {
+			t.Fatalf("engine %s has %d rows, want one per shard count (2):\n%s", label, got, out)
+		}
+	}
+}
+
+// TestCompareDeterminism is the harness's core guarantee: same seed + trace
+// ⇒ byte-identical comparison table no matter how many replay workers run
+// or whether the engines replay concurrently, on the unbatched, batched,
+// and async paths. The async case covers the four baselines (their SetAsync
+// degrades to a deterministic synchronous Set); Nemo's background flusher
+// timing is real concurrency and shifts SG fill rates, so async Nemo is
+// exact only per run, not across schedules.
+func TestCompareDeterminism(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CompareConfig)
+	}{
+		{"unbatched", func(c *CompareConfig) {}},
+		{"batched", func(c *CompareConfig) { c.Batch = 32 }},
+		{"batched-parallel-engines", func(c *CompareConfig) { c.Batch = 32; c.Parallel = true }},
+		{"async-baselines", func(c *CompareConfig) {
+			c.Async = true
+			c.Engines = []string{"log", "set", "kg", "fw"}
+		}},
+		{"async-batched-baselines", func(c *CompareConfig) {
+			c.Async = true
+			c.Batch = 16
+			c.Engines = []string{"log", "set", "kg", "fw"}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(workers int, parallelFlip bool) string {
+				cfg := compareBase()
+				tc.mutate(&cfg)
+				cfg.Workers = workers
+				if parallelFlip {
+					cfg.Parallel = !cfg.Parallel
+				}
+				return compareTable(t, cfg)
+			}
+			ref := mk(1, false)
+			if got := mk(4, false); got != ref {
+				t.Fatalf("table diverged across worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", ref, got)
+			}
+			// The engine-level parallelism flip is a third full sweep; one
+			// batched case covers it (the flag only changes scheduling).
+			if tc.name == "batched" {
+				if got := mk(2, true); got != ref {
+					t.Fatalf("table diverged when flipping engine-level parallelism:\nref:\n%s\nflipped:\n%s", ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareEngineFilter pins the -engines filter: unknown keys fail, a
+// subset runs only that subset, in canonical order.
+func TestCompareEngineFilter(t *testing.T) {
+	cfg := compareBase()
+	cfg.Shards = []int{1}
+	cfg.Engines = []string{"bogus"}
+	cfg.Out = &bytes.Buffer{}
+	if err := RunCompare(cfg); err == nil {
+		t.Fatal("RunCompare accepted an unknown engine key")
+	}
+
+	cfg = compareBase()
+	cfg.Shards = []int{1}
+	cfg.Engines = []string{"fw", "log"} // any order in, canonical order out
+	out := compareTable(t, cfg)
+	logAt := strings.Index(out, "\nLog ")
+	fwAt := strings.Index(out, "\nFW ")
+	if logAt < 0 || fwAt < 0 || strings.Contains(out, "\nNemo ") || strings.Contains(out, "\nSet ") || strings.Contains(out, "\nKG ") {
+		t.Fatalf("filter leaked engines:\n%s", out)
+	}
+	if logAt > fwAt {
+		t.Fatalf("rows not in canonical engine order:\n%s", out)
+	}
+}
+
+// TestCompareSkipsUndersizedShards pins the deterministic skip rows: shard
+// counts that do not divide the zone budget, or leave a shard below an
+// engine's structural minimum, print a skip instead of failing the sweep.
+func TestCompareSkipsUndersizedShards(t *testing.T) {
+	cfg := compareBase()
+	cfg.Shards = []int{5, 24}
+	out := compareTable(t, cfg)
+	if !strings.Contains(out, "skipped: 48 data zones not divisible") {
+		t.Fatalf("no divisibility skip for shards=5:\n%s", out)
+	}
+	// 24 shards → 2 zones per shard: below the hierarchical engines'
+	// minimum (HLog + set tier), fine for the flat ones.
+	if !strings.Contains(out, "skipped: 2 zones/shard < engine minimum") {
+		t.Fatalf("no minimum-size skip for shards=24:\n%s", out)
+	}
+	if !strings.Contains(out, "\nLog ") {
+		t.Fatalf("flat engines should still run at 2 zones/shard:\n%s", out)
+	}
+}

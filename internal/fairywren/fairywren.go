@@ -35,6 +35,11 @@ import (
 // Config configures the FairyWREN engine.
 type Config struct {
 	Device *flashsim.Device
+	// ZoneBase is the first device zone the engine owns; Zones is how many
+	// (0 means all zones from ZoneBase). A sharded deployment (NewSharded)
+	// gives each shard its own disjoint range of one device.
+	ZoneBase int
+	Zones    int
 	// LogRatio is the fraction of zones given to HLog (Table 4: 5%).
 	LogRatio float64
 	// OPRatio is the fraction of the set tier reserved for GC headroom
@@ -143,16 +148,22 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.AccessedCap == 0 {
 		cfg.AccessedCap = 1 << 16
 	}
-	zones := cfg.Device.Zones()
+	if cfg.Zones == 0 {
+		cfg.Zones = cfg.Device.Zones() - cfg.ZoneBase
+	}
+	zones := cfg.Zones
+	if cfg.ZoneBase < 0 || zones < 1 || cfg.ZoneBase+zones > cfg.Device.Zones() {
+		return nil, fmt.Errorf("fairywren: invalid zone range base=%d zones=%d", cfg.ZoneBase, zones)
+	}
 	logZones := int(cfg.LogRatio * float64(zones))
 	if logZones < 2 {
 		logZones = 2
 	}
 	setZones := zones - logZones
 	if setZones < 4 {
-		return nil, fmt.Errorf("fairywren: device too small (%d zones)", zones)
+		return nil, fmt.Errorf("fairywren: zone range too small (%d zones)", zones)
 	}
-	log, err := hlog.New(cfg.Device, 0, logZones)
+	log, err := hlog.New(cfg.Device, cfg.ZoneBase, logZones)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +183,7 @@ func New(cfg Config) (*Cache, error) {
 		log:        log,
 		pageSize:   cfg.Device.PageSize(),
 		ppz:        ppz,
-		zoneBase:   logZones,
+		zoneBase:   cfg.ZoneBase + logZones,
 		setZones:   setZones,
 		numSets:    numSets,
 		freeGoal:   freeGoal,
@@ -485,11 +496,23 @@ func (c *Cache) appendSetPage(data []byte, set int32, kind int) (int32, error) {
 // gc reclaims set-tier zones (Case 3.2): valid primary pages are rewritten
 // merged with their sets' pending log objects (active migration); overflow
 // pages relocate unchanged.
+//
+// A set tier that is too small (or fully live) can make reclaim lose ground
+// to its own relocations: every reclaimed zone is immediately refilled by
+// the rewrites it forced, and the loop never reaches the free goal. The
+// pass is therefore bounded at several sweeps over the tier — far beyond
+// any productive GC — and surfaces the condition as an error instead of
+// spinning forever, so undersized configurations fail loudly in harnesses
+// and tests.
 func (c *Cache) gc() error {
 	c.inGC = true
 	defer func() { c.inGC = false }()
 	c.mig.GCRuns++
-	for len(c.freeZones) <= c.freeGoal {
+	for tries := 0; len(c.freeZones) <= c.freeGoal; tries++ {
+		if tries > 4*c.setZones {
+			return fmt.Errorf("fairywren: gc made no progress after %d reclaims (set tier of %d zones too small or fully live)",
+				tries, c.setZones)
+		}
 		victim := c.pickVictim()
 		if victim < 0 {
 			return fmt.Errorf("fairywren: gc found no victim")

@@ -1,0 +1,30 @@
+package fairywren
+
+import (
+	"fmt"
+
+	"nemo/internal/cachelib"
+)
+
+// NewSharded partitions the configured zone range into shards equal slices
+// — each an independent FairyWREN instance with its own HLog, set tier,
+// migration/GC machinery, and lock over a disjoint slice of one device —
+// behind the generic cachelib.ShardedEngine facade. The HLog/set split
+// (LogRatio) and OP reserve apply within each shard's range. Requests route
+// by the shared shard lane, so the partitioning matches Nemo's core.Sharded
+// key-for-key. With shards=1 the result is behaviorally identical to
+// New(cfg).
+func NewSharded(cfg Config, shards int) (*cachelib.ShardedEngine, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("fairywren: nil device")
+	}
+	if cfg.Zones == 0 {
+		cfg.Zones = cfg.Device.Zones() - cfg.ZoneBase
+	}
+	return cachelib.NewShardedRange("fairywren", cfg.ZoneBase, cfg.Zones, shards,
+		func(zoneBase, zones int) (cachelib.Engine, error) {
+			scfg := cfg
+			scfg.ZoneBase, scfg.Zones = zoneBase, zones
+			return New(scfg)
+		})
+}

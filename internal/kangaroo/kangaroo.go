@@ -27,6 +27,11 @@ import (
 // Config configures the Kangaroo engine.
 type Config struct {
 	Device *flashsim.Device
+	// ZoneBase is the first device zone the engine owns; Zones is how many
+	// (0 means all zones from ZoneBase). A sharded deployment (NewSharded)
+	// gives each shard its own disjoint range of one device.
+	ZoneBase int
+	Zones    int
 	// LogRatio is the fraction of zones given to HLog (default 0.05,
 	// Table 4's "Log 5% of cache size").
 	LogRatio float64
@@ -100,20 +105,26 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.AdmitThreshold < 1 {
 		cfg.AdmitThreshold = 1
 	}
-	zones := cfg.Device.Zones()
+	if cfg.Zones == 0 {
+		cfg.Zones = cfg.Device.Zones() - cfg.ZoneBase
+	}
+	zones := cfg.Zones
+	if cfg.ZoneBase < 0 || zones < 1 || cfg.ZoneBase+zones > cfg.Device.Zones() {
+		return nil, fmt.Errorf("kangaroo: invalid zone range base=%d zones=%d", cfg.ZoneBase, zones)
+	}
 	logZones := int(cfg.LogRatio * float64(zones))
 	if logZones < 2 {
 		logZones = 2
 	}
 	setZones := zones - logZones
 	if setZones < 4 {
-		return nil, fmt.Errorf("kangaroo: device too small (%d zones)", zones)
+		return nil, fmt.Errorf("kangaroo: zone range too small (%d zones)", zones)
 	}
-	log, err := hlog.New(cfg.Device, 0, logZones)
+	log, err := hlog.New(cfg.Device, cfg.ZoneBase, logZones)
 	if err != nil {
 		return nil, err
 	}
-	f, err := ftl.New(cfg.Device, logZones, setZones, ftl.Config{
+	f, err := ftl.New(cfg.Device, cfg.ZoneBase+logZones, setZones, ftl.Config{
 		OPRatio: cfg.OPRatio + cfg.InternalOPRatio,
 	})
 	if err != nil {

@@ -1,0 +1,53 @@
+package kangaroo_test
+
+import (
+	"testing"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/enginetest"
+	"nemo/internal/flashsim"
+	"nemo/internal/kangaroo"
+)
+
+func newDev() *flashsim.Device {
+	return flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 16})
+}
+
+func mkBare(t *testing.T) cachelib.Engine {
+	t.Helper()
+	e, err := kangaroo.New(kangaroo.Config{Device: newDev(), TargetObjsPerSet: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mkSharded(t *testing.T, shards int) cachelib.Engine {
+	t.Helper()
+	e, err := kangaroo.NewSharded(kangaroo.Config{Device: newDev(), TargetObjsPerSet: 8}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardedSingleShardEquivalence pins the facade contract: a shards=1
+// wrapped Kangaroo replays stat-for-stat like the bare engine.
+func TestShardedSingleShardEquivalence(t *testing.T) {
+	enginetest.SingleShardEquivalence(t, 20_000, mkBare, mkSharded)
+}
+
+// TestShardedPartition checks multi-shard aggregate accounting. Each shard
+// runs its own HLog and FTL-backed HSet over a disjoint zone range.
+func TestShardedPartition(t *testing.T) {
+	enginetest.MultiShardPartition(t, 20_000, 2, mkSharded)
+}
+
+// TestShardedRejectsTinyShards pins the per-shard minimum: partitioning 16
+// zones into 8 shards leaves 2 zones per shard — not enough for an HLog
+// plus a set tier.
+func TestShardedRejectsTinyShards(t *testing.T) {
+	if _, err := kangaroo.NewSharded(kangaroo.Config{Device: newDev()}, 8); err == nil {
+		t.Fatal("NewSharded accepted 2-zone shards")
+	}
+}

@@ -1,0 +1,50 @@
+package logcache_test
+
+import (
+	"testing"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/enginetest"
+	"nemo/internal/flashsim"
+	"nemo/internal/logcache"
+)
+
+func newDev() *flashsim.Device {
+	return flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 16})
+}
+
+func mkBare(t *testing.T) cachelib.Engine {
+	t.Helper()
+	e, err := logcache.New(logcache.Config{Device: newDev()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mkSharded(t *testing.T, shards int) cachelib.Engine {
+	t.Helper()
+	e, err := logcache.NewSharded(logcache.Config{Device: newDev()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardedSingleShardEquivalence pins the facade contract: a shards=1
+// wrapped log cache replays stat-for-stat like the bare engine.
+func TestShardedSingleShardEquivalence(t *testing.T) {
+	enginetest.SingleShardEquivalence(t, 20_000, mkBare, mkSharded)
+}
+
+// TestShardedPartition checks multi-shard aggregate accounting.
+func TestShardedPartition(t *testing.T) {
+	enginetest.MultiShardPartition(t, 20_000, 2, mkSharded)
+}
+
+// TestShardedRejectsIndivisible pins the zone-partition validation.
+func TestShardedRejectsIndivisible(t *testing.T) {
+	if _, err := logcache.NewSharded(logcache.Config{Device: newDev()}, 3); err == nil {
+		t.Fatal("NewSharded accepted 16 zones across 3 shards")
+	}
+}

@@ -1,0 +1,28 @@
+package setcache
+
+import (
+	"fmt"
+
+	"nemo/internal/cachelib"
+)
+
+// NewSharded partitions the configured zone range into shards equal slices
+// — each an independent set-associative cache with its own FTL, Bloom
+// filters, and lock over a disjoint slice of one device — behind the
+// generic cachelib.ShardedEngine facade. Requests route by the shared shard
+// lane, so the partitioning matches Nemo's core.Sharded key-for-key. With
+// shards=1 the result is behaviorally identical to New(cfg).
+func NewSharded(cfg Config, shards int) (*cachelib.ShardedEngine, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("setcache: nil device")
+	}
+	if cfg.Zones == 0 {
+		cfg.Zones = cfg.Device.Zones() - cfg.ZoneBase
+	}
+	return cachelib.NewShardedRange("setcache", cfg.ZoneBase, cfg.Zones, shards,
+		func(zoneBase, zones int) (cachelib.Engine, error) {
+			scfg := cfg
+			scfg.ZoneBase, scfg.Zones = zoneBase, zones
+			return New(scfg)
+		})
+}

@@ -1,0 +1,50 @@
+package setcache_test
+
+import (
+	"testing"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/enginetest"
+	"nemo/internal/flashsim"
+	"nemo/internal/setcache"
+)
+
+func newDev() *flashsim.Device {
+	return flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 16})
+}
+
+func mkBare(t *testing.T) cachelib.Engine {
+	t.Helper()
+	e, err := setcache.New(setcache.Config{Device: newDev(), OPRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mkSharded(t *testing.T, shards int) cachelib.Engine {
+	t.Helper()
+	e, err := setcache.NewSharded(setcache.Config{Device: newDev(), OPRatio: 0.5}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardedSingleShardEquivalence pins the facade contract: a shards=1
+// wrapped set cache replays stat-for-stat like the bare engine.
+func TestShardedSingleShardEquivalence(t *testing.T) {
+	enginetest.SingleShardEquivalence(t, 20_000, mkBare, mkSharded)
+}
+
+// TestShardedPartition checks multi-shard aggregate accounting.
+func TestShardedPartition(t *testing.T) {
+	enginetest.MultiShardPartition(t, 20_000, 2, mkSharded)
+}
+
+// TestShardedRejectsIndivisible pins the zone-partition validation.
+func TestShardedRejectsIndivisible(t *testing.T) {
+	if _, err := setcache.NewSharded(setcache.Config{Device: newDev()}, 5); err == nil {
+		t.Fatal("NewSharded accepted 16 zones across 5 shards")
+	}
+}

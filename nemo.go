@@ -156,12 +156,31 @@ func ParallelReplay(e Engine, reqs []Request, cfg ParallelReplayConfig) (Paralle
 // resulting trace can be replayed concurrently (see ParallelReplay).
 func Materialize(s Stream, n int) []Request { return trace.Materialize(s, n) }
 
+// ShardedEngine is the generic hash-partitioned facade: independent engines
+// over disjoint capacity partitions behind one EngineV2 surface, routed by
+// the same shard lane as ShardedCache, so every engine of a comparison run
+// partitions the key space identically. With one shard it is behaviorally
+// identical to the engine it wraps.
+type ShardedEngine = cachelib.ShardedEngine
+
+// NewShardedEngine wraps already-constructed per-shard engines (each owning
+// a disjoint capacity partition) into one sharded facade.
+func NewShardedEngine(engines []Engine) (*ShardedEngine, error) {
+	return cachelib.NewShardedEngine(engines)
+}
+
 // LogCacheConfig configures the log-structured baseline.
 type LogCacheConfig = logcache.Config
 
 // NewLogCache creates the log-structured baseline ("Log" in Figure 12a):
 // near-ideal write amplification, >100 bits/object of index memory.
 func NewLogCache(cfg LogCacheConfig) (Engine, error) { return logcache.New(cfg) }
+
+// NewShardedLogCache partitions the log cache's zone range into shards
+// independent engines behind a ShardedEngine.
+func NewShardedLogCache(cfg LogCacheConfig, shards int) (*ShardedEngine, error) {
+	return logcache.NewSharded(cfg, shards)
+}
 
 // SetCacheConfig configures the set-associative baseline.
 type SetCacheConfig = setcache.Config
@@ -170,6 +189,12 @@ type SetCacheConfig = setcache.Config
 // minimal memory, ~16-20× write amplification for tiny objects.
 func NewSetCache(cfg SetCacheConfig) (Engine, error) { return setcache.New(cfg) }
 
+// NewShardedSetCache partitions the set cache's zone range into shards
+// independent engines behind a ShardedEngine.
+func NewShardedSetCache(cfg SetCacheConfig, shards int) (*ShardedEngine, error) {
+	return setcache.NewSharded(cfg, shards)
+}
+
 // KangarooConfig configures the Kangaroo hierarchical baseline.
 type KangarooConfig = kangaroo.Config
 
@@ -177,12 +202,26 @@ type KangarooConfig = kangaroo.Config
 // conventional FTL with independent garbage collection (Case 3.1).
 func NewKangaroo(cfg KangarooConfig) (Engine, error) { return kangaroo.New(cfg) }
 
+// NewShardedKangaroo partitions Kangaroo's zone range into shards
+// independent engines (each with its own HLog and FTL-backed HSet) behind a
+// ShardedEngine.
+func NewShardedKangaroo(cfg KangarooConfig, shards int) (*ShardedEngine, error) {
+	return kangaroo.NewSharded(cfg, shards)
+}
+
 // FairyWRENConfig configures the FairyWREN hierarchical baseline.
 type FairyWRENConfig = fairywren.Config
 
 // NewFairyWREN creates the FairyWREN baseline ("FW"): hierarchical cache on
 // a zoned device with GC folded into log-to-set migration (Case 3.2).
 func NewFairyWREN(cfg FairyWRENConfig) (Engine, error) { return fairywren.New(cfg) }
+
+// NewShardedFairyWREN partitions FairyWREN's zone range into shards
+// independent engines (each with its own HLog, set tier, and migration/GC)
+// behind a ShardedEngine.
+func NewShardedFairyWREN(cfg FairyWRENConfig, shards int) (*ShardedEngine, error) {
+	return fairywren.NewSharded(cfg, shards)
+}
 
 // Stream produces cache requests; see NewWorkload and the trace package
 // re-exports below.
