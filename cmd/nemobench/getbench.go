@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"nemo/internal/getbench"
+)
+
+// getBenchOptions carries the -getbench flag set.
+type getBenchOptions struct {
+	shardList string // comma-separated shard counts
+	ops       int    // GET count per configuration
+	jsonPath  string // output path for the machine-readable baseline
+}
+
+// getBenchRow is one measured configuration, serialized to BENCH_get.json
+// so CI runs accumulate a comparable perf trajectory for the read path.
+type getBenchRow struct {
+	Shards      int     `json:"shards"`
+	Goroutines  int     `json:"goroutines"`
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HitRatio    float64 `json:"hit_ratio"`
+	NumCPU      int     `json:"num_cpu"`
+}
+
+// runGetBench measures parallel GET throughput and per-op allocations at
+// 1/4/8 goroutines for each shard count, prints the table, and writes the
+// JSON baseline. The workload is the shared internal/getbench harness —
+// the same cache geometry, prefill, and stride walk BenchmarkParallelGet
+// and TestParallelGetScaling measure — so the CI baseline and the Go
+// benchmarks stay comparable. Most hits serve from flash, making the
+// three-phase read path (plan/I-O/commit, core/readpath.go) what the
+// numbers measure.
+func runGetBench(out io.Writer, o getBenchOptions) error {
+	shardCounts, err := parseShardList(o.shardList)
+	if err != nil {
+		return err
+	}
+	if o.ops <= 0 {
+		o.ops = 200_000
+	}
+
+	var rows []getBenchRow
+	fmt.Fprintf(out, "%-7s %-11s %-10s %-12s %-10s %-7s\n",
+		"shards", "goroutines", "ops", "ops/s", "allocs/op", "hit%")
+	for _, shards := range shardCounts {
+		if getbench.Zones%shards != 0 {
+			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, getbench.Zones)
+			continue
+		}
+		cache, keys, err := getbench.Build(shards)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		for _, gs := range []int{1, 4, 8} {
+			// Warm-up pass: scratch pools, hotness bitmaps, index cache.
+			getbench.Run(cache, keys, gs, o.ops/8)
+			before := cache.Stats()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			elapsed := getbench.Run(cache, keys, gs, o.ops)
+			runtime.ReadMemStats(&ms1)
+			after := cache.Stats()
+			delta := after.Gets - before.Gets
+			row := getBenchRow{
+				Shards:      shards,
+				Goroutines:  gs,
+				Ops:         int(delta),
+				OpsPerSec:   float64(delta) / elapsed.Seconds(),
+				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(delta),
+				HitRatio:    float64(after.Hits-before.Hits) / float64(delta),
+				NumCPU:      runtime.NumCPU(),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(out, "%-7d %-11d %-10d %-12.0f %-10.2f %-7.2f\n",
+				row.Shards, row.Goroutines, row.Ops, row.OpsPerSec,
+				row.AllocsPerOp, row.HitRatio*100)
+		}
+		if err := cache.Close(); err != nil {
+			return fmt.Errorf("shards=%d: close: %w", shards, err)
+		}
+	}
+
+	if o.jsonPath != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.jsonPath)
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 //	          [-batch B] [-async] [-flushers K] [-setfrac F] [-delfrac F]
 //	nemobench -compare [-shards 1,2,4] [-engines nemo,log,set,kg,fw]
 //	          [-parallel] [-notime] [-scale small|medium|large] [...]
+//	nemobench -getbench [-shards 1,8] [-ops N] [-json BENCH_get.json]
+//	nemobench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -replay runs the parallel trace-replay benchmark: the same materialized
 // Twitter-style trace is replayed against the sharded engine at each shard
@@ -28,6 +30,12 @@
 // set, -parallel replays the engines of a shard count concurrently, and
 // -notime drops the wall-clock columns so the table is byte-deterministic.
 //
+// -getbench measures the concurrent GET path: parallel lookup throughput
+// and per-op allocations at 1/4/8 goroutines per shard count, written to
+// -json (default BENCH_get.json) so CI keeps a machine-readable perf
+// baseline for the read path. -cpuprofile/-memprofile write pprof profiles
+// for any mode.
+//
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
 package main
@@ -36,12 +44,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nemo/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile teardown survives every exit path.
+func run() int {
 	var (
 		exp      = flag.String("exp", "", "experiment ID to run (see -list)")
 		all      = flag.Bool("all", false, "run every registered experiment")
@@ -61,8 +76,53 @@ func main() {
 		engines  = flag.String("engines", "", "-compare: comma-separated engine filter (nemo,log,set,kg,fw; empty = all)")
 		parallel = flag.Bool("parallel", false, "-compare: replay the engines of one shard count concurrently")
 		noTime   = flag.Bool("notime", false, "-compare: omit wall-clock columns (byte-deterministic table)")
+		getbench = flag.Bool("getbench", false, "run the parallel GET-path benchmark")
+		jsonOut  = flag.String("json", "BENCH_get.json", "-getbench: machine-readable output path (empty = table only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *getbench {
+		err := runGetBench(os.Stdout, getBenchOptions{
+			shardList: *shards,
+			ops:       *ops,
+			jsonPath:  *jsonOut,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 
 	if *compare {
 		// The compare harness treats 0 as "unset" (its defaults are a
@@ -93,9 +153,9 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *replay {
@@ -112,16 +172,16 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	opts := experiments.Options{Scale: *scale, Ops: *ops, Seed: *seed, Out: os.Stdout}
 	switch {
@@ -131,7 +191,7 @@ func main() {
 			start := time.Now()
 			if err := e.Run(opts); err != nil {
 				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
@@ -139,14 +199,15 @@ func main() {
 		e, err := experiments.ByID(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		if err := e.Run(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -34,6 +34,43 @@
 //     deferred work; a sacrifice budget backpressures to inline flushing
 //     if the pool ever lags.
 //
+// # The concurrent read path
+//
+// GETs do their flash I/O outside the shard lock. Each lookup runs in
+// three phases: a short locked plan (fingerprint → set offset, in-memory
+// probe, snapshot of the candidate SGs, their Bloom-filter slices, and the
+// PBFG pages missing from the index cache, plus the SG epoch — pool head
+// ID and flush sequence), an unlocked I/O phase (PBFG fetches, Bloom
+// tests, parallel candidate-page reads into pooled per-goroutine buffers,
+// key scan), and a short locked commit that re-validates the epoch before
+// applying the read-side effects (hit/read counters, hotness bits,
+// index-cache publication, latency sample). If a flush or eviction moved
+// the flash layout mid-read, the attempt is discarded and replanned; after
+// a few conflicts the lookup falls back to fully-locked I/O, so progress
+// is guaranteed. GetMany plans, reads, and commits a whole batch per lock
+// acquisition, sharing PBFG fetches across the batch's keys.
+//
+// The steady-state GET allocates exactly once on a hit (the returned value
+// copy) and not at all on a clean miss — pinned by allocation-regression
+// tests; BenchmarkParallelGet and `nemobench -getbench` (which writes the
+// BENCH_get.json CI baseline) measure the resulting single-shard
+// goroutine scaling.
+//
+// Driven serially, the three-phase path performs the identical reads with
+// identical statistics to the historical fully-locked path (one deliberate
+// improvement aside: index-cache publication is deferred to the commit
+// phase, which removes the old path's duplicate PBFG fetches within a
+// single capacity-pressured lookup), so every equivalence and determinism
+// pin (shards=1 vs seed, `-compare -notime` across worker counts) holds
+// unchanged. Under truly concurrent GETs,
+// hit/miss results and every write-side counter stay exact; only the
+// index-cache lookup/miss counters and the flash-read counters can
+// inflate, because a conflicted attempt's device reads really happened and
+// racing readers may duplicate a PBFG fetch before either publishes it.
+// GET-path device read errors are never swallowed: a failed read degrades
+// to a miss and lands in Stats.ReadErrors (surfaced by the -replay and
+// -compare tables).
+//
 // EngineV2 bundles the core and all three extensions. Cache and
 // ShardedCache implement it natively;
 // Adapt upgrades any plain Engine (the four paper baselines) by delegating

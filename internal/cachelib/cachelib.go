@@ -58,6 +58,12 @@ type Stats struct {
 	FlashBytesRead uint64
 	// FlashReadOps counts page read operations.
 	FlashReadOps uint64
+	// ReadErrors counts GET-path device read failures. The engines degrade
+	// a failed read to a miss (a cache may always miss), but the failure is
+	// never silent: it lands here and in the replay/compare tables, so an
+	// unhealthy device shows up as a counter instead of a mystery hit-ratio
+	// drop.
+	ReadErrors uint64
 	// Evictions counts objects dropped from the cache.
 	Evictions uint64
 }
@@ -74,6 +80,7 @@ func (s Stats) Add(o Stats) Stats {
 		DeviceBytesWritten: s.DeviceBytesWritten + o.DeviceBytesWritten,
 		FlashBytesRead:     s.FlashBytesRead + o.FlashBytesRead,
 		FlashReadOps:       s.FlashReadOps + o.FlashReadOps,
+		ReadErrors:         s.ReadErrors + o.ReadErrors,
 		Evictions:          s.Evictions + o.Evictions,
 	}
 }

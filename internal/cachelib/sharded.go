@@ -21,7 +21,11 @@ import (
 // package's NewSharded partitions its zone budget into per-shard engines
 // and wraps them here. Batches take one hash pass (PlanFPs), group into
 // per-shard sub-batches (GroupByShard), and fan out across shards in
-// parallel; Stats sums per-shard counters without a global lock.
+// parallel; Stats sums per-shard counters without a global lock. The
+// fan-out composes with whatever read concurrency the shard engine itself
+// offers: a sub-batch handed to an engine with a three-phase GetMany
+// (core.Cache) overlaps its flash I/O within the shard, on top of the
+// cross-shard parallelism added here.
 //
 // With one shard a ShardedEngine is behaviorally identical to the bare
 // engine it wraps: every request routes to shard 0 in the order issued, so

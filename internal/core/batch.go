@@ -28,17 +28,17 @@ var (
 	_ cachelib.Sharder  = (*Sharded)(nil)
 )
 
-// GetMany implements cachelib.BatchEngine: all lookups execute under one
-// lock acquisition. values[i] is a fresh copy (nil on miss), hits[i] the
-// presence flag.
+// GetMany implements cachelib.BatchEngine with the batched three-phase
+// read protocol (readpath.go): one locked plan pass over all keys, one
+// unlocked flash I/O pass that overlaps the batch's reads on the device
+// channels, one locked commit pass. values[i] is a fresh copy (nil on
+// miss), hits[i] the presence flag.
 func (c *Cache) GetMany(keys [][]byte) (values [][]byte, hits []bool) {
 	values = make([][]byte, len(keys))
 	hits = make([]bool, len(keys))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i, k := range keys {
-		values[i], hits[i] = c.getLocked(hashing.Fingerprint(k), k)
-	}
+	c.getBatch(nil, keys, func(j int, v []byte, ok bool) {
+		values[j], hits[j] = v, ok
+	})
 	return values, hits
 }
 
@@ -58,24 +58,20 @@ func (c *Cache) SetMany(keys, values [][]byte) error {
 }
 
 // getManyFP is the pre-fingerprinted sub-batch path used by the sharded
-// fan-out: one lock acquisition, results scattered to positions pos[i] of
-// the caller's slices (each shard owns disjoint positions).
+// fan-out: the batched three-phase lookup, results scattered to positions
+// pos[i] of the caller's slices (each shard owns disjoint positions).
 func (c *Cache) getManyFP(fps []uint64, keys [][]byte, pos []int32, values [][]byte, hits []bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range keys {
-		values[pos[i]], hits[pos[i]] = c.getLocked(fps[i], keys[i])
-	}
+	c.getBatch(fps, keys, func(j int, v []byte, ok bool) {
+		values[pos[j]], hits[pos[j]] = v, ok
+	})
 }
 
 // getManyFPSeq is getManyFP for a whole-batch sub-batch (positions 0..n-1),
 // sparing the single-shard fast path the position indirection.
 func (c *Cache) getManyFPSeq(fps []uint64, keys [][]byte, values [][]byte, hits []bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range keys {
-		values[i], hits[i] = c.getLocked(fps[i], keys[i])
-	}
+	c.getBatch(fps, keys, func(j int, v []byte, ok bool) {
+		values[j], hits[j] = v, ok
+	})
 }
 
 // setManyFP is the pre-fingerprinted sub-batch insert path.

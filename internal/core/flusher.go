@@ -8,7 +8,10 @@ import "sync"
 // a flusher goroutine performs the flush (serialization, device appends,
 // Bloom-filter build, group bookkeeping) under the cache's own lock, off the
 // inserting worker's critical path. A Sharded cache shares one pool across
-// all shards so K flushers service every shard's queue.
+// all shards so K flushers service every shard's queue. Every flush (and
+// any eviction it triggers) advances the shard's SG epoch, which in-flight
+// optimistic readers detect at commit time and retry (readpath.go) — the
+// pool needs no extra coordination with the concurrent read path.
 //
 // Each cache holds at most one outstanding job (Cache.flushPending), and the
 // job channel is sized for one slot per registered cache, so enqueue — which

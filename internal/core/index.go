@@ -111,11 +111,30 @@ type pbfgKey struct {
 
 // pbfgCache is the FIFO in-memory index cache (§5.1: "The index cache is
 // FIFO-style, which reduces lock contention ... compared to LRU").
+//
+// Cached pages are immutable: once put, a page's bytes are never modified
+// or recycled, so the concurrent read path may Bloom-test a page slice it
+// snapshotted under the lock after releasing it (readpath.go). Eviction
+// and dropGroup only drop references; a reader still holding one keeps the
+// page alive.
 type pbfgCache struct {
 	capacity int
 	queue    []pbfgKey
 	head     int // index of the oldest entry within queue
 	pages    map[pbfgKey][]byte
+
+	// byGroup indexes the cached set offsets per group so dropGroup is
+	// O(pages-in-group) instead of a scan over the whole page map.
+	byGroup map[int]map[int]struct{}
+
+	// droppedUpTo is the dead-group watermark: SG pools retire index
+	// groups strictly in id order (the pool is FIFO and ids are dense), so
+	// every group ≤ the watermark is dead and its queue entries can never
+	// be re-put. stale approximates how many such entries linger in the
+	// queue; compaction sweeps them once they dominate.
+	droppedUpTo int
+	stale       int
+	queued      map[int]int // queue entries per group (for the stale count)
 
 	lookups uint64 // sealed-group PBFG queries
 	misses  uint64 // queries requiring a flash fetch
@@ -125,7 +144,13 @@ func newPBFGCache(capacity int) *pbfgCache {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &pbfgCache{capacity: capacity, pages: make(map[pbfgKey][]byte)}
+	return &pbfgCache{
+		capacity:    capacity,
+		pages:       make(map[pbfgKey][]byte),
+		byGroup:     make(map[int]map[int]struct{}),
+		queued:      make(map[int]int),
+		droppedUpTo: -1,
+	}
 }
 
 func (pc *pbfgCache) has(k pbfgKey) bool {
@@ -148,24 +173,84 @@ func (pc *pbfgCache) put(k pbfgKey, page []byte) {
 	for len(pc.pages) >= pc.capacity {
 		old := pc.queue[pc.head]
 		pc.head++
+		pc.popQueued(old.group)
 		if _, ok := pc.pages[old]; ok {
 			delete(pc.pages, old)
+			pc.forget(old)
 		}
 		pc.maybeCompact()
 	}
 	pc.pages[k] = page
 	pc.queue = append(pc.queue, k)
+	pc.queued[k.group]++
+	sets := pc.byGroup[k.group]
+	if sets == nil {
+		sets = make(map[int]struct{})
+		pc.byGroup[k.group] = sets
+	}
+	sets[k.set] = struct{}{}
 }
 
-// dropGroup purges a dead group's pages so stale entries stop consuming
-// capacity.
-func (pc *pbfgCache) dropGroup(group int) {
-	for k := range pc.pages {
-		if k.group == group {
-			delete(pc.pages, k)
+// forget removes k from the per-group index after its page left the map.
+func (pc *pbfgCache) forget(k pbfgKey) {
+	if sets := pc.byGroup[k.group]; sets != nil {
+		delete(sets, k.set)
+		if len(sets) == 0 {
+			delete(pc.byGroup, k.group)
 		}
 	}
-	// Queue entries for deleted keys are skipped on eviction.
+}
+
+// popQueued retires one queue entry of the group from the stale accounting.
+func (pc *pbfgCache) popQueued(group int) {
+	if n, ok := pc.queued[group]; ok {
+		if n <= 1 {
+			delete(pc.queued, group)
+		} else {
+			pc.queued[group] = n - 1
+		}
+	}
+	if group <= pc.droppedUpTo && pc.stale > 0 {
+		pc.stale--
+	}
+}
+
+// dropGroup purges a dead group's pages — O(pages cached for the group) via
+// the per-group index — and schedules the queue entries it strands for
+// compaction once they dominate the queue.
+func (pc *pbfgCache) dropGroup(group int) {
+	for set := range pc.byGroup[group] {
+		delete(pc.pages, pbfgKey{group: group, set: set})
+	}
+	delete(pc.byGroup, group)
+	if group > pc.droppedUpTo {
+		pc.droppedUpTo = group
+	}
+	pc.stale += pc.queued[group]
+	delete(pc.queued, group)
+	pc.compactStale()
+}
+
+// compactStale rewrites the queue without dead-group leftovers once they
+// outnumber the live entries. Entries of live groups — including stale
+// duplicates from evict/re-put cycles — are preserved verbatim so the
+// eviction order of live pages is untouched; dead-group entries can never
+// be re-put (the group is gone from the group list), so removing them
+// changes no future eviction decision.
+func (pc *pbfgCache) compactStale() {
+	live := len(pc.queue) - pc.head - pc.stale
+	if pc.stale < 64 || pc.stale <= live {
+		return
+	}
+	kept := pc.queue[:0]
+	for _, k := range pc.queue[pc.head:] {
+		if k.group > pc.droppedUpTo {
+			kept = append(kept, k)
+		}
+	}
+	pc.queue = kept
+	pc.head = 0
+	pc.stale = 0
 }
 
 func (pc *pbfgCache) maybeCompact() {
@@ -175,30 +260,18 @@ func (pc *pbfgCache) maybeCompact() {
 	}
 }
 
-// getPBFG returns the raw PBFG page for (group, set o), consulting the
-// unsealed buffer, the index cache, or flash in that order. The returned
-// completion time is zero unless a flash read was issued.
-func (c *Cache) getPBFG(g *idxGroup, o int) (raw []byte, done time.Duration, err error) {
-	return c.fetchPBFG(g, o, true)
-}
-
-// fetchPBFG implements getPBFG; countStats distinguishes lookup-path
-// queries (counted in the Figure 19b index-cache miss ratio) from
-// eviction-path shadow checks (flash reads still accounted, but not as
-// index-cache traffic).
-func (c *Cache) fetchPBFG(g *idxGroup, o int, countStats bool) (raw []byte, done time.Duration, err error) {
+// fetchPBFG returns the raw PBFG page for (group, set o) on behalf of the
+// write-path shadow checks (deletion and writeback), consulting the index
+// cache or flash. Flash reads are still accounted, but not as index-cache
+// traffic — the Figure 19b miss ratio counts only lookup-path queries,
+// which the read path charges itself during its plan phase (readpath.go).
+func (c *Cache) fetchPBFG(g *idxGroup, o int) (raw []byte, done time.Duration, err error) {
 	if !g.sealed {
 		return nil, 0, nil // caller tests unsealed filters per slot
 	}
 	k := pbfgKey{group: g.id, set: o}
-	if countStats {
-		c.icache.lookups++
-	}
 	if page, ok := c.icache.get(k); ok {
 		return page, 0, nil
-	}
-	if countStats {
-		c.icache.misses++
 	}
 	page := make([]byte, c.pageSize)
 	d, err := c.dev.ReadPage(c.pageAddrIn(g.zones, o), page)

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
@@ -13,9 +12,12 @@ import (
 	"nemo/internal/setblock"
 )
 
-// Cache is a Nemo flash cache. Safe for concurrent use (coarse lock; the
-// production system's fine-grained locking is a throughput optimization
-// orthogonal to the metrics reproduced here).
+// Cache is a Nemo flash cache. Safe for concurrent use: writers (Set,
+// Delete, flush, eviction) serialize on the shard mutex, while GETs hold
+// it only for a short plan and commit phase and perform all flash I/O
+// unlocked against an epoch-validated snapshot (see readpath.go), so
+// concurrent lookups on one shard overlap their device reads instead of
+// serializing on lock hold time.
 //
 // Consistency model: Get returns the most recent Set for a key as long as
 // that copy is still cached. Because Nemo deliberately has no exact
@@ -62,13 +64,16 @@ type Cache struct {
 	flushLog []FlushRecord
 	hist     metrics.Histogram
 
-	scratch    []byte
-	pageBuf    []byte
-	readBufs   [][]byte // reusable candidate-read buffers (guarded by mu)
-	candidates []*flashSG
-	addrs      []int
-	probes     *bloom.ProbeSet
-	flushing   bool // guards against recursive flush via writeback
+	scratch  []byte
+	pageBuf  []byte
+	probes   *bloom.ProbeSet // write-path probe scratch (guarded by mu)
+	flushing bool            // guards against recursive flush via writeback
+
+	// getPool recycles per-goroutine read-path scratch (probe sets,
+	// snapshot arenas, candidate read buffers) so a steady-state Get
+	// allocates nothing beyond the returned value copy. See readpath.go
+	// for the plan/I-O/commit protocol these scratches serve.
+	getPool sync.Pool
 
 	// Background flush pipeline (nil when Config.Flushers == 0). SetAsync
 	// hands full in-memory SGs to the pool instead of flushing inline on
@@ -107,6 +112,9 @@ func New(cfg Config) (*Cache, error) {
 		pageBuf:   make([]byte, 0, dev.PageSize()),
 	}
 	c.probes = bloom.NewProbeSet(0, c.bfBits, c.bfK)
+	c.getPool.New = func() any {
+		return &getScratch{probes: bloom.NewProbeSet(0, c.bfBits, c.bfK)}
+	}
 	for i := 0; i < cfg.InMemSGs; i++ {
 		c.memq = append(c.memq, newMemSG(c.setsPerSG, c.pageSize))
 	}
@@ -303,7 +311,7 @@ func (c *Cache) mayExistOnFlashLocked(fp uint64, o int) (bool, error) {
 		}
 		var page []byte
 		if g.sealed {
-			p, _, err := c.fetchPBFG(g, o, false)
+			p, _, err := c.fetchPBFG(g, o)
 			if err != nil {
 				return true, err
 			}
@@ -417,114 +425,12 @@ func (c *Cache) asyncFlushDueLocked() bool {
 }
 
 // Get looks up an object (operation ❷, §4.1): in-memory SGs first, then
-// PBFG-identified candidate SGs read in parallel.
+// PBFG-identified candidate SGs read in parallel. Flash I/O runs outside
+// the shard mutex under the plan/I-O/commit protocol (readpath.go), so
+// concurrent Gets on one shard overlap their device reads.
 func (c *Cache) Get(key []byte) ([]byte, bool) {
 	fp := hashing.Fingerprint(key)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.getLocked(fp, key)
-}
-
-// getLocked is the lookup path shared by Get and GetMany; the caller holds
-// the cache lock and has already fingerprinted the key.
-func (c *Cache) getLocked(fp uint64, key []byte) ([]byte, bool) {
-	c.stats.Gets++
-	start := c.dev.Clock().Now()
-	o := c.setOf(fp)
-
-	// 1. In-memory SGs, front to rear (a key exists in at most one).
-	for _, sg := range c.memq {
-		if v, ok := sg.lookup(o, fp, key); ok {
-			if len(v) == 0 {
-				// Tombstone: the key was deleted; the marker shadows any
-				// older flash copy, so stop here.
-				c.hist.Record(time.Microsecond)
-				return nil, false
-			}
-			c.stats.Hits++
-			c.hist.Record(time.Microsecond)
-			return append([]byte(nil), v...), true
-		}
-	}
-	if len(c.pool) == 0 {
-		c.hist.Record(time.Microsecond)
-		return nil, false
-	}
-
-	// 2. Identify candidate SGs through the PBFGs (index cache or index
-	// pool), then read candidate set pages in parallel and search them
-	// newest-first so updated objects shadow stale flash copies.
-	c.probes.Reuse(fp, c.bfBits)
-	var maxDone time.Duration
-	candidates := c.candidates[:0]
-	for gi := len(c.groups) - 1; gi >= 0; gi-- {
-		g := c.groups[gi]
-		if g.liveCount == 0 {
-			continue
-		}
-		page, done, err := c.getPBFG(g, o)
-		if err != nil {
-			c.hist.Record(time.Microsecond)
-			return nil, false
-		}
-		if done > maxDone {
-			maxDone = done
-		}
-		for s := len(g.members) - 1; s >= 0; s-- {
-			m := g.members[s]
-			if m.dead || m.setCounts[o] == 0 {
-				continue
-			}
-			if c.testMember(g, page, s, o, c.probes) {
-				candidates = append(candidates, m)
-			}
-		}
-	}
-	c.candidates = candidates
-	if len(candidates) == 0 {
-		c.hist.Record(maxDone - start + time.Microsecond)
-		return nil, false
-	}
-	// Parallel candidate reads (the paper reads all candidate sets at the
-	// hashed offset concurrently; read amplification counts each page).
-	for len(c.readBufs) < len(candidates) {
-		c.readBufs = append(c.readBufs, make([]byte, c.pageSize))
-	}
-	pages := c.readBufs[:len(candidates)]
-	addrs := c.addrs[:0]
-	for _, m := range candidates {
-		addrs = append(addrs, c.pageAddrIn(m.zones, o))
-	}
-	c.addrs = addrs
-	done, err := c.dev.ReadPages(addrs, pages)
-	if err != nil {
-		c.hist.Record(time.Microsecond)
-		return nil, false
-	}
-	if done > maxDone {
-		maxDone = done
-	}
-	c.stats.FlashReadOps += uint64(len(candidates))
-	c.stats.FlashBytesRead += uint64(len(candidates) * c.pageSize)
-	for i, m := range candidates {
-		v, slot, ok := setblock.Scan(pages[i], fp, key)
-		if !ok {
-			c.extra.FalsePositiveReads++
-			continue
-		}
-		if len(v) == 0 {
-			// Tombstone on flash: candidates are scanned newest-first, so
-			// the deletion shadows every older copy.
-			c.hist.Record(maxDone - start + time.Microsecond)
-			return nil, false
-		}
-		c.stats.Hits++
-		c.markHot(m, o, slot)
-		c.hist.Record(maxDone - start + time.Microsecond)
-		return append([]byte(nil), v...), true
-	}
-	c.hist.Record(maxDone - start + time.Microsecond)
-	return nil, false
+	return c.get(fp, key)
 }
 
 // markHot records an access bit when the SG is inside the tracked tail of
@@ -777,7 +683,7 @@ func (c *Cache) shadowedByNewer(fp uint64, o int, newerThan uint64, key []byte) 
 		}
 		var page []byte
 		if g.sealed {
-			p, _, err := c.fetchPBFG(g, o, false)
+			p, _, err := c.fetchPBFG(g, o)
 			if err != nil {
 				return false, err
 			}

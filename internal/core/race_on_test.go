@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether the race detector is instrumenting
+// this build; allocation-count pins are skipped under -race because the
+// instrumentation itself allocates.
+const raceDetectorEnabled = true

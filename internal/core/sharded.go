@@ -12,8 +12,11 @@ import (
 // engines, each owning a disjoint slice of the shared device's zones, its
 // own in-memory SGs, PBFG index, and lock. Get and Set route by a dedicated
 // hash lane of the key fingerprint and take only the owning shard's lock, so
-// requests for different shards proceed fully in parallel; Stats and the
-// other aggregate accessors sum per-shard counters without any global lock.
+// requests for different shards proceed fully in parallel — and within one
+// shard, concurrent GETs additionally overlap their flash I/O through the
+// shard's three-phase read path (readpath.go), so read throughput scales
+// with goroutines even on a single hot shard. Stats and the other aggregate
+// accessors sum per-shard counters without any global lock.
 //
 // With Shards = 1 a Sharded cache is bit-for-bit the unsharded engine: the
 // single shard sees the identical configuration, zone layout, and request

@@ -8,6 +8,16 @@ import (
 
 // NemoStats extends the common counters with the quantities the paper's
 // design-breakdown and overhead sections report.
+//
+// Determinism under concurrency: driven serially (as every replay harness
+// drives a shard), all counters are exact and reproducible. Under truly
+// concurrent GETs racing writers, hit/miss outcomes and every write-side
+// counter stay exact, but FalsePositiveReads, the index-cache
+// lookup/miss pair (PBFGStats), the flash-read counters, and — on a
+// faulty device — ReadErrors may inflate: an epoch-conflicted read
+// attempt's device reads (and read failures) are real and are counted
+// before the attempt retries, and racing readers may duplicate a PBFG
+// fetch before either publishes it (see readpath.go).
 type NemoStats struct {
 	// SGsFlushed counts SG flushes; FillSum accumulates their fill rates,
 	// so FillSum/SGsFlushed is the mean flushed-SG fill rate (Figure 17).

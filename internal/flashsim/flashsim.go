@@ -381,6 +381,14 @@ func (d *Device) Append(zoneID int, data []byte) (firstPage int, done time.Durat
 // ReadPage copies the page into dst (which must hold PageSize bytes) and
 // returns the virtual completion time. Reading an unwritten page yields
 // zeroes, matching deallocated-read behaviour of real zoned devices.
+//
+// Buffer ownership: dst belongs to the caller. The device fills it
+// synchronously, before returning, and never retains a reference — so
+// callers may serve dst from a sync.Pool and recycle it the moment they
+// are done with the bytes (the cache engines' zero-allocation read paths
+// do exactly that). The converse also holds: the device never hands out
+// internal buffers, so a returned read is a stable snapshot even if the
+// zone is concurrently appended or reset afterwards.
 func (d *Device) ReadPage(page int, dst []byte) (done time.Duration, err error) {
 	if page < 0 || page >= d.TotalPages() {
 		return 0, fmt.Errorf("flashsim: page %d out of range [0,%d)", page, d.TotalPages())
@@ -411,7 +419,11 @@ func (d *Device) ReadPage(page int, dst []byte) (done time.Duration, err error) 
 
 // ReadPages reads every page into the matching dst buffer, issuing them
 // concurrently across channels, and returns the completion time of the
-// slowest read (the paper's parallel candidate-SG and PBFG reads).
+// slowest read (the paper's parallel candidate-SG and PBFG reads). The
+// ReadPage buffer-ownership contract applies to every dst: caller-owned,
+// filled synchronously, never retained. On error, buffers before the
+// failing page have been filled and the rest are untouched; the error is
+// the first one encountered in page order.
 func (d *Device) ReadPages(pages []int, dst [][]byte) (done time.Duration, err error) {
 	for i, p := range pages {
 		t, err := d.ReadPage(p, dst[i])

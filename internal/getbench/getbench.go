@@ -1,0 +1,83 @@
+// Package getbench is the shared GET-path benchmark harness behind both
+// BenchmarkParallelGet/TestParallelGetScaling (the test binary) and
+// `nemobench -getbench` (the BENCH_get.json CI baseline). Keeping the
+// geometry, prefill shape, and access pattern in one place guarantees the
+// two measurements stay comparable when either is tuned.
+package getbench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nemo/internal/core"
+	"nemo/internal/flashsim"
+)
+
+// Zones is the benchmark's total SG pool — the -replay geometry, held
+// constant across shard counts and large enough that the vast majority of
+// hits serve from flash rather than the in-memory SGs.
+const Zones = 48
+
+// Build constructs a sharded cache on a fresh simulated device and
+// prefills it to roughly 3/4 of pool capacity with deterministic keys
+// (prebuilt, so measurement loops charge no fmt allocations to the GET
+// path). Index groups never seal at this geometry (48 SGs < the 50-SG
+// group width), so lookups exercise the in-memory filter path plus the
+// candidate flash read — the common production shape.
+func Build(shards int) (*core.Sharded, [][]byte, error) {
+	perData := Zones / shards
+	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
+	dev := flashsim.New(flashsim.Config{PagesPerZone: 64, Zones: shards * (perData + perIdx)})
+	cfg := core.DefaultConfig(dev, Zones)
+	cfg.Shards = shards
+	cache, err := core.NewSharded(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := Zones * dev.PagesPerZone() * 10
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = Key(i)
+		if err := cache.Set(keys[i], Value(i)); err != nil {
+			cache.Close()
+			return nil, nil, err
+		}
+	}
+	return cache, keys, nil
+}
+
+// Key returns the deterministic benchmark key for index i.
+func Key(i int) []byte {
+	return []byte(fmt.Sprintf("gb-key-%08d-padpadpad", i))
+}
+
+// Value returns the deterministic benchmark value for index i.
+func Value(i int) []byte {
+	return []byte(fmt.Sprintf("gb-value-%08d-payload-payload-payload", i))
+}
+
+// Run issues ops GETs spread over goroutines — each walking the key space
+// with a co-prime stride (uniform coverage, no rand allocations) — and
+// returns the elapsed wall clock.
+func Run(cache *core.Sharded, keys [][]byte, goroutines, ops int) time.Duration {
+	var wg sync.WaitGroup
+	per := ops / goroutines
+	if per < 1 {
+		per = 1
+	}
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			idx := g * 7919
+			for i := 0; i < per; i++ {
+				idx += 6007
+				cache.Get(keys[idx%len(keys)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	return time.Since(start)
+}

@@ -1,0 +1,98 @@
+package nemo_test
+
+// BenchmarkParallelGet and the GET-scaling assertion for the concurrent
+// three-phase read path: flash I/O runs outside the shard mutex, so GETs on
+// a single shard should scale with goroutines instead of serializing on
+// lock hold time. The workload (cache geometry, prefill, stride walk) is
+// the shared internal/getbench harness — the same measurement `nemobench
+// -getbench` runs to write the BENCH_get.json CI baseline.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"nemo"
+	"nemo/internal/getbench"
+)
+
+func buildGetBenchCache(tb testing.TB, shards int) (*nemo.ShardedCache, [][]byte) {
+	tb.Helper()
+	c, keys, err := getbench.Build(shards)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c, keys
+}
+
+// runParallelGets issues ops GETs spread over goroutines and returns the
+// wall-clock ops/s.
+func runParallelGets(c *nemo.ShardedCache, keys [][]byte, goroutines, ops int) float64 {
+	elapsed := getbench.Run(c, keys, goroutines, ops)
+	return float64(ops/goroutines*goroutines) / elapsed.Seconds()
+}
+
+// BenchmarkParallelGet measures GET throughput at 1/4/8 goroutines against
+// one shard (pure read-path concurrency: every goroutine contends on the
+// same shard's plan/commit lock) and at 8 shards (sharding stacked on
+// top). Run with -benchmem to see the per-op allocation count the
+// zero-allocation pins guard.
+func BenchmarkParallelGet(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		c, keys := buildGetBenchCache(b, shards)
+		for _, gs := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, gs), func(b *testing.B) {
+				b.ReportAllocs()
+				ops := b.N
+				if ops < gs {
+					ops = gs
+				}
+				b.ResetTimer()
+				elapsed := getbench.Run(c, keys, gs, ops)
+				b.StopTimer()
+				b.ReportMetric(float64(ops/gs*gs)*float64(time.Second)/float64(elapsed), "ops/s")
+			})
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestParallelGetScaling is the acceptance gate for moving flash I/O off
+// the shard lock: on a single shard — one mutex, so the old fully-locked
+// path could never exceed 1× — eight goroutines must sustain at least 2×
+// the one-goroutine GET throughput. Like the other wall-clock assertions,
+// it only runs where the parallelism is physically attainable (≥ 8 CPUs,
+// no race instrumentation).
+func TestParallelGetScaling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("skipping wall-clock assertion under -race")
+	}
+	if runtime.NumCPU() < 8 {
+		t.Skipf("skipping ≥2× GET-scaling assertion on %d CPUs", runtime.NumCPU())
+	}
+	c, keys := buildGetBenchCache(t, 1)
+	defer c.Close()
+
+	const ops = 160_000
+	runParallelGets(c, keys, 8, ops/4) // warm-up: scratch pools, hot bitmaps
+	ops1 := runParallelGets(c, keys, 1, ops)
+	ops8 := runParallelGets(c, keys, 8, ops)
+	speedup := ops8 / ops1
+	t.Logf("single shard: 1 goroutine %.0f ops/s, 8 goroutines %.0f ops/s (%.2f×) on %d CPUs",
+		ops1, ops8, speedup, runtime.NumCPU())
+	if speedup < 2 {
+		// One retry damps scheduler noise on loaded hosts.
+		ops1b := runParallelGets(c, keys, 1, ops)
+		ops8b := runParallelGets(c, keys, 8, ops)
+		if retry := ops8b / ops1b; retry > speedup {
+			speedup = retry
+			t.Logf("retry: %.2f×", speedup)
+		}
+	}
+	if speedup < 2 {
+		t.Fatalf("8 goroutines sustained only %.2f× the single-goroutine GET throughput on one shard, want ≥ 2×", speedup)
+	}
+}
