@@ -11,6 +11,7 @@
 //	nemobench -compare [-shards 1,2,4] [-engines nemo,log,set,kg,fw]
 //	          [-parallel] [-notime] [-scale small|medium|large] [...]
 //	nemobench -getbench [-shards 1,8] [-ops N] [-json BENCH_get.json]
+//	nemobench -setbench [-shards 1,8] [-ops N] [-flushers K] [-json BENCH_set.json]
 //	nemobench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -replay runs the parallel trace-replay benchmark: the same materialized
@@ -33,8 +34,14 @@
 // -getbench measures the concurrent GET path: parallel lookup throughput
 // and per-op allocations at 1/4/8 goroutines per shard count, written to
 // -json (default BENCH_get.json) so CI keeps a machine-readable perf
-// baseline for the read path. -cpuprofile/-memprofile write pprof profiles
-// for any mode.
+// baseline for the read path.
+//
+// -setbench is the write-path mirror: parallel SET throughput, per-call
+// p50/p99 latency, and ALWA at 1/4/8 goroutines per shard count, in both
+// synchronous and async-flush mode (default BENCH_set.json). The
+// sync-vs-async setp99 gap in one table is the three-phase background
+// flush pipeline's measured win on this host. -cpuprofile/-memprofile
+// write pprof profiles for any mode.
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
@@ -69,7 +76,7 @@ func run() int {
 		workers  = flag.Int("workers", 0, "replay worker goroutines (0 = one per shard)")
 		batch    = flag.Int("batch", 0, "per-shard batch size for -replay (<=1 = unbatched)")
 		async    = flag.Bool("async", false, "-replay: fills via SetAsync + background flusher pool")
-		flushers = flag.Int("flushers", 2, "-replay: background flusher goroutines with -async")
+		flushers = flag.Int("flushers", 2, "background flusher goroutines: -replay/-compare with -async, and -setbench's async rows")
 		setFrac  = flag.Float64("setfrac", 0, "fraction of requests rewritten to explicit SETs (-compare defaults to 0.1)")
 		delFrac  = flag.Float64("delfrac", 0, "fraction of requests rewritten to DELETEs (-compare defaults to 0.02)")
 		compare  = flag.Bool("compare", false, "run the cross-engine sharded comparison harness")
@@ -77,7 +84,8 @@ func run() int {
 		parallel = flag.Bool("parallel", false, "-compare: replay the engines of one shard count concurrently")
 		noTime   = flag.Bool("notime", false, "-compare: omit wall-clock columns (byte-deterministic table)")
 		getbench = flag.Bool("getbench", false, "run the parallel GET-path benchmark")
-		jsonOut  = flag.String("json", "BENCH_get.json", "-getbench: machine-readable output path (empty = table only)")
+		setbench = flag.Bool("setbench", false, "run the parallel SET-path (flush pipeline) benchmark")
+		jsonOut  = flag.String("json", "", "-getbench/-setbench: machine-readable output path (unset: BENCH_get.json / BENCH_set.json per mode; pass -json '' explicitly for table-only output)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -111,11 +119,43 @@ func run() int {
 		}()
 	}
 
+	// -json defaults per benchmark mode (BENCH_get.json / BENCH_set.json);
+	// an explicitly passed value — including the empty string, which means
+	// "table only" — wins.
+	jsonExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			jsonExplicit = true
+		}
+	})
+
 	if *getbench {
+		path := *jsonOut
+		if !jsonExplicit {
+			path = "BENCH_get.json"
+		}
 		err := runGetBench(os.Stdout, getBenchOptions{
 			shardList: *shards,
 			ops:       *ops,
-			jsonPath:  *jsonOut,
+			jsonPath:  path,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *setbench {
+		path := *jsonOut
+		if !jsonExplicit {
+			path = "BENCH_set.json"
+		}
+		err := runSetBench(os.Stdout, setBenchOptions{
+			shardList: *shards,
+			ops:       *ops,
+			flushers:  *flushers,
+			jsonPath:  path,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -60,8 +60,8 @@ func runReplay(out io.Writer, o replayOptions) error {
 	}
 	reqs := nemo.Materialize(stream, o.ops)
 
-	fmt.Fprintf(out, "%-7s %-8s %-6s %-10s %-12s %-12s %-7s %-7s %-7s %-6s %-10s %-10s\n",
-		"shards", "workers", "batch", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA", "rderr", "setp50", "setp99")
+	fmt.Fprintf(out, "%-7s %-8s %-6s %-10s %-12s %-12s %-7s %-7s %-7s %-6s %-6s %-10s %-10s\n",
+		"shards", "workers", "batch", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA", "rderr", "wrerr", "setp50", "setp99")
 	for _, shards := range shardCounts {
 		if replayDataZones%shards != 0 {
 			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, replayDataZones)
@@ -90,10 +90,10 @@ func runReplay(out io.Writer, o replayOptions) error {
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
 		st := res.Final
-		fmt.Fprintf(out, "%-7d %-8d %-6d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f %-6d %-10v %-10v\n",
+		fmt.Fprintf(out, "%-7d %-8d %-6d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f %-6d %-6d %-10v %-10v\n",
 			res.Shards, res.Workers, o.batch, res.Ops, res.Elapsed.Round(1e6),
 			res.OpsPerSec, (1-st.MissRatio())*100, cache.PaperWA(), st.ALWA(),
-			st.ReadErrors, res.SetLatency.P50, res.SetLatency.P99)
+			st.ReadErrors, st.WriteErrors, res.SetLatency.P50, res.SetLatency.P99)
 		if err := cache.Close(); err != nil {
 			return fmt.Errorf("shards=%d: close: %w", shards, err)
 		}

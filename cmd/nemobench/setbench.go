@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"nemo/internal/setbench"
+)
+
+// setBenchOptions carries the -setbench flag set.
+type setBenchOptions struct {
+	shardList string // comma-separated shard counts
+	ops       int    // SET count per configuration
+	flushers  int    // background flusher goroutines for the async rows
+	jsonPath  string // output path for the machine-readable baseline
+}
+
+// setBenchRow is one measured configuration, serialized to BENCH_set.json
+// so CI runs accumulate a comparable perf trajectory for the write path —
+// the mirror of -getbench's BENCH_get.json.
+type setBenchRow struct {
+	Shards     int     `json:"shards"`
+	Goroutines int     `json:"goroutines"`
+	Async      bool    `json:"async"`
+	Flushers   int     `json:"flushers"`
+	Ops        int     `json:"ops"`
+	SetsPerSec float64 `json:"sets_per_sec"`
+	SetP50Ns   int64   `json:"set_p50_ns"`
+	SetP99Ns   int64   `json:"set_p99_ns"`
+	ALWA       float64 `json:"alwa"`
+	WriteErrs  uint64  `json:"write_errors"`
+	NumCPU     int     `json:"num_cpu"`
+}
+
+// runSetBench measures parallel SET throughput and per-call latency
+// percentiles at 1/4/8 goroutines for each shard count, in both
+// synchronous and async-flush mode, prints the table, and writes the JSON
+// baseline. The workload is the shared internal/setbench harness; the
+// async rows route fills through SetAsync and the three-phase background
+// flush pipeline (core/writepath.go), so the sync-vs-async setp99 gap in
+// one table is the pipeline's measured win on this host.
+func runSetBench(out io.Writer, o setBenchOptions) error {
+	shardCounts, err := parseShardList(o.shardList)
+	if err != nil {
+		return err
+	}
+	if o.ops <= 0 {
+		o.ops = 200_000
+	}
+	if o.flushers <= 0 {
+		o.flushers = 2
+	}
+
+	keys, vals := setbench.Workload()
+	var rows []setBenchRow
+	fmt.Fprintf(out, "%-7s %-11s %-6s %-10s %-12s %-10s %-10s %-7s %-6s\n",
+		"shards", "goroutines", "async", "ops", "sets/s", "setp50", "setp99", "ALWA", "wrerr")
+	for _, shards := range shardCounts {
+		if setbench.Zones%shards != 0 {
+			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, setbench.Zones)
+			continue
+		}
+		for _, async := range []bool{false, true} {
+			flushers := 0
+			if async {
+				flushers = o.flushers
+			}
+			for _, gs := range []int{1, 4, 8} {
+				// A fresh cache per row keeps every configuration's
+				// cold-start-to-steady-state shape identical.
+				cache, err := setbench.Build(shards, flushers)
+				if err != nil {
+					return fmt.Errorf("shards=%d: %w", shards, err)
+				}
+				// Warm-up pass: fills the buffers and part of the pool so
+				// the measured loop spends its time in the flush/evict
+				// steady state.
+				if _, err := setbench.Run(cache, keys, vals, gs, o.ops/4, async); err != nil {
+					cache.Close()
+					return fmt.Errorf("shards=%d warmup: %w", shards, err)
+				}
+				res, err := setbench.Run(cache, keys, vals, gs, o.ops, async)
+				if err != nil {
+					cache.Close()
+					return fmt.Errorf("shards=%d: %w", shards, err)
+				}
+				if err := cache.Close(); err != nil {
+					return fmt.Errorf("shards=%d: close: %w", shards, err)
+				}
+				row := setBenchRow{
+					Shards:     shards,
+					Goroutines: gs,
+					Async:      async,
+					Flushers:   flushers,
+					Ops:        res.Sets,
+					SetsPerSec: res.SetsPerSec,
+					SetP50Ns:   res.P50.Nanoseconds(),
+					SetP99Ns:   res.P99.Nanoseconds(),
+					ALWA:       res.ALWA,
+					WriteErrs:  res.WriteErrs,
+					NumCPU:     runtime.NumCPU(),
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(out, "%-7d %-11d %-6v %-10d %-12.0f %-10v %-10v %-7.3f %-6d\n",
+					row.Shards, row.Goroutines, row.Async, row.Ops, row.SetsPerSec,
+					res.P50, res.P99, row.ALWA, row.WriteErrs)
+			}
+		}
+	}
+
+	if o.jsonPath != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.jsonPath)
+	}
+	return nil
+}

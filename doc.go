@@ -71,6 +71,58 @@
 // to a miss and lands in Stats.ReadErrors (surfaced by the -replay and
 // -compare tables).
 //
+// # The concurrent write path
+//
+// SG flushes mirror the same protocol, so neither half of the cache holds
+// the shard lock across flash I/O. A flush runs in three phases: a locked
+// seal (the eviction victim is popped and its zones — plus its index
+// group's, when the group retires with it — return to the free lists; the
+// flush's data zones and, for a group-completing SG, its index zones are
+// reserved; the SG id is assigned, advancing the SG epoch; and the front
+// in-memory SG detaches into a sealed slot with a fresh rear rotated in),
+// an unlocked build (the eviction victim's set pages are read back, and —
+// after a short locked interlude that runs the hotness/shadow liveness
+// filtering and inserts writeback survivors into the sealed SG — the freed
+// zones are erased, the sealed SG serializes through pooled buffers onto
+// the reserved data zones, its Bloom filters are built, and a completing
+// index group's PBFG pages are assembled and appended), and a locked
+// commit (the flash SG publishes into its group and the FIFO pool, the
+// write-side counters apply, cooling runs if due).
+//
+// Between seal and commit the flushing SG's objects are served from the
+// sealed slot: reads probe it after memq (any memq copy is newer), a
+// racing Delete still plants its tombstone, and writeback never resurrects
+// a version it shadows. The epoch rule extends naturally: a seal bumps the
+// flush sequence (and an eviction moves the pool head) before any zone is
+// erased or rewritten, so optimistic readers that planned before the seal
+// replan, while readers that plan during the build never reference the
+// unpublished SG or the victim's zones. At most one flush is in flight per
+// shard; a synchronous flush that finds one in flight waits it out and
+// coalesces (the committed flush already rotated the queue, so re-flushing
+// would only write a fresh, nearly-empty front).
+//
+// Driven serially the three phases run back to back and are write-for-write
+// and stat-for-stat identical to the historical fully-locked flush — every
+// equivalence and determinism pin (shards=1 vs seed, `-compare -notime`
+// byte-identity, batch/worker independence) holds unchanged. Under
+// concurrency, foreground GETs and SETs on a shard overlap the entire SG
+// write and eviction read-back; hit/miss outcomes and the write-side
+// counters stay exact, with only the racing-reader inflations documented
+// above (and Nemo's async flusher timing, which shifts flush boundaries
+// and therefore SG fill rates, remains the one documented -compare
+// nondeterminism). A steady-state Set
+// that triggers no flush allocates nothing (pinned by
+// allocation-regression tests); `nemobench -setbench` writes the
+// BENCH_set.json CI baseline for the write path, whose sync-vs-async
+// setp99 gap is the pipeline's measured win.
+//
+// A flush that hits a device error cannot wedge the shard: the reserved
+// and freed zones are erased and returned, the sealed SG's objects are
+// dropped (counted as Evictions — a cache may always miss), and the
+// failure lands in Stats.WriteErrors the moment it happens (surfaced as
+// the wrerr column in the -replay/-compare tables) as well as in the Set
+// error (sync) or Drain/Close error (async).
+//
 // EngineV2 bundles the core and all three extensions. Cache and
 // ShardedCache implement it natively;
 // Adapt upgrades any plain Engine (the four paper baselines) by delegating

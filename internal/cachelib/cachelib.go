@@ -64,6 +64,14 @@ type Stats struct {
 	// unhealthy device shows up as a counter instead of a mystery hit-ratio
 	// drop.
 	ReadErrors uint64
+	// WriteErrors counts write-path (flush-pipeline) failures: a device
+	// error while appending, sealing, or evicting an SG fails that flush,
+	// whose buffered objects are dropped (counted as Evictions). The
+	// counter increments the moment the flush fails — in particular for
+	// asynchronous flushes, whose error value otherwise surfaces only on
+	// Drain/Close — so the replay/compare tables expose an unhealthy
+	// device's write side as it happens.
+	WriteErrors uint64
 	// Evictions counts objects dropped from the cache.
 	Evictions uint64
 }
@@ -81,6 +89,7 @@ func (s Stats) Add(o Stats) Stats {
 		FlashBytesRead:     s.FlashBytesRead + o.FlashBytesRead,
 		FlashReadOps:       s.FlashReadOps + o.FlashReadOps,
 		ReadErrors:         s.ReadErrors + o.ReadErrors,
+		WriteErrors:        s.WriteErrors + o.WriteErrors,
 		Evictions:          s.Evictions + o.Evictions,
 	}
 }

@@ -51,10 +51,13 @@ type Config struct {
 	// Flushers is the size of the background flusher pool backing SetAsync
 	// (cachelib.AsyncEngine): full in-memory SGs are handed to this many
 	// goroutines instead of flushing inline on the inserting worker, which
-	// removes the flush from the Set path's p99. 0 (the default) disables
-	// the pool — SetAsync then degrades to the synchronous Set, and the
-	// engine behaves exactly as before this option existed. A sharded
-	// cache shares one pool across all shards.
+	// removes the flush from the Set path's p99. A deferred flush runs the
+	// three-phase seal/build/commit protocol (writepath.go), holding the
+	// shard lock only for its locked sub-phases, so foreground GETs and
+	// SETs overlap the SG write itself. 0 (the default) disables the pool —
+	// SetAsync then degrades to the synchronous Set, and the engine behaves
+	// exactly as before this option existed. A sharded cache shares one
+	// pool across all shards.
 	Flushers int
 
 	// FlushThreshold is p_th: the number of sacrificed (early-evicted)

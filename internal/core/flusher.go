@@ -5,11 +5,14 @@ import "sync"
 // flusherPool executes deferred SG flushes on K background goroutines — the
 // pipeline behind cachelib.AsyncEngine. SetAsync inserts into the in-memory
 // SG and returns; when a flush trigger fires, the cache is enqueued here and
-// a flusher goroutine performs the flush (serialization, device appends,
-// Bloom-filter build, group bookkeeping) under the cache's own lock, off the
-// inserting worker's critical path. A Sharded cache shares one pool across
-// all shards so K flushers service every shard's queue. Every flush (and
-// any eviction it triggers) advances the shard's SG epoch, which in-flight
+// a flusher goroutine runs the three-phase flush protocol (writepath.go):
+// the shard lock is held only for the seal, liveness-filter, and commit
+// sub-phases, while the serialization, device appends, Bloom-filter build,
+// group sealing, and eviction read-back all run unlocked — so a deferred
+// flush no longer stalls the shard's foreground GETs and SETs, and with a
+// Sharded cache (which shares one pool across all shards) the K flushers
+// overlap every shard's flush I/O with every shard's foreground traffic.
+// Each flush's seal advances the shard's SG epoch, which in-flight
 // optimistic readers detect at commit time and retry (readpath.go) — the
 // pool needs no extra coordination with the concurrent read path.
 //
@@ -48,17 +51,7 @@ func newFlusherPool(k, caches int) *flusherPool {
 func (p *flusherPool) worker() {
 	defer p.wg.Done()
 	for c := range p.jobs {
-		c.mu.Lock()
-		c.flushPending = false
-		var err error
-		// Re-check the trigger: an intervening synchronous flush may have
-		// already rotated the queue, and flushing a fresh front would only
-		// hurt the fill rate.
-		if c.asyncFlushDueLocked() {
-			err = c.flushFrontLocked()
-		}
-		c.mu.Unlock()
-		p.finish(err)
+		p.finish(c.runDeferredFlush())
 	}
 }
 

@@ -88,18 +88,11 @@ type idxGroup struct {
 	liveCount int
 	// slotBF[s] holds member s's filters: SetsPerSG filters of bfBytes
 	// each, concatenated by set offset. Retained until sealing; the page
-	// for offset o is assembled by gathering slice o from every member.
+	// for offset o is assembled at seal time (writepath.go buildAndAppend)
+	// by gathering slice o from every member. Each member's slice is
+	// immutable once appended, which is what lets the unlocked build phase
+	// assemble PBFG pages from a seal-phase snapshot of this list.
 	slotBF [][]byte
-}
-
-// pageFor assembles the PBFG page for intra-SG offset o from the unsealed
-// buffer (used at seal time).
-func (g *idxGroup) pageFor(o, bfBytes, pageSize int) []byte {
-	page := make([]byte, 0, pageSize)
-	for _, bf := range g.slotBF {
-		page = append(page, bf[o*bfBytes:(o+1)*bfBytes]...)
-	}
-	return page
 }
 
 // pbfgKey identifies one PBFG page: the filters of intra-SG offset Set

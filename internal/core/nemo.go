@@ -12,12 +12,15 @@ import (
 	"nemo/internal/setblock"
 )
 
-// Cache is a Nemo flash cache. Safe for concurrent use: writers (Set,
-// Delete, flush, eviction) serialize on the shard mutex, while GETs hold
-// it only for a short plan and commit phase and perform all flash I/O
-// unlocked against an epoch-validated snapshot (see readpath.go), so
-// concurrent lookups on one shard overlap their device reads instead of
-// serializing on lock hold time.
+// Cache is a Nemo flash cache. Safe for concurrent use, and neither reads
+// nor writes hold the shard mutex across flash I/O: GETs run a short
+// locked plan and commit phase around unlocked device reads validated by
+// the SG epoch (readpath.go), and SG flushes — including group sealing and
+// eviction's victim read-back — run the mirrored seal / build+I/O / commit
+// protocol (writepath.go), so foreground traffic on a shard overlaps both
+// the reads of concurrent lookups and the appends of an in-flight flush.
+// In-memory inserts, deletes, and the locked sub-phases still serialize on
+// the shard mutex.
 //
 // Consistency model: Get returns the most recent Set for a key as long as
 // that copy is still cached. Because Nemo deliberately has no exact
@@ -64,10 +67,18 @@ type Cache struct {
 	flushLog []FlushRecord
 	hist     metrics.Histogram
 
-	scratch  []byte
-	pageBuf  []byte
-	probes   *bloom.ProbeSet // write-path probe scratch (guarded by mu)
-	flushing bool            // guards against recursive flush via writeback
+	probes *bloom.ProbeSet // write-path probe scratch (guarded by mu)
+
+	// Flush protocol state (writepath.go). sealed is the detached front SG
+	// of the in-flight flush, probed by readers under mu; flushInFlight
+	// serializes flushes per cache (waiters on flushCond coalesce);
+	// flushing is the same-goroutine recursion guard, true only while the
+	// flush owner holds mu; fscratch is the owner-exclusive build buffers.
+	sealed        *sealedFlush
+	flushInFlight bool
+	flushing      bool
+	flushCond     *sync.Cond
+	fscratch      flushScratch
 
 	// getPool recycles per-goroutine read-path scratch (probe sets,
 	// snapshot arenas, candidate read buffers) so a steady-state Get
@@ -108,9 +119,9 @@ func New(cfg Config) (*Cache, error) {
 		bfBytes:   bfBytes,
 		bfBits:    bfBits,
 		bfK:       bloom.NumHashes(cfg.BloomFPR),
-		scratch:   make([]byte, dev.PageSize()),
-		pageBuf:   make([]byte, 0, dev.PageSize()),
 	}
+	c.fscratch.pageBuf = make([]byte, 0, dev.PageSize())
+	c.flushCond = sync.NewCond(&c.mu)
 	c.probes = bloom.NewProbeSet(0, c.bfBits, c.bfK)
 	c.getPool.New = func() any {
 		return &getScratch{probes: bloom.NewProbeSet(0, c.bfBits, c.bfK)}
@@ -278,20 +289,30 @@ func (c *Cache) deleteLocked(fp uint64, key []byte) error {
 	for _, sg := range c.memq {
 		sg.remove(o, fp, key)
 	}
-	if len(c.pool) == 0 {
+	// The sealed SG of an in-flight flush is immutable — its copy cannot be
+	// removed and WILL land on flash at commit — so a copy there always
+	// demands a tombstone (inserted into memq, hence newer: it shadows the
+	// flash copy the moment it exists).
+	sealedHas := false
+	if c.sealed != nil {
+		_, sealedHas = c.sealed.mem.lookup(o, fp, key)
+	}
+	if len(c.pool) == 0 && !sealedHas {
 		// No flash copies can exist: dropping in-memory copies suffices.
 		return nil
 	}
-	// A tombstone is only needed when some SG's Bloom filter admits the
-	// key might be on flash; definite absence (the common case for
-	// upstream invalidations of never-admitted objects) costs no SG space.
-	// A false positive merely inserts a harmless tombstone.
-	may, err := c.mayExistOnFlashLocked(fp, o)
-	if err != nil {
-		return err
-	}
-	if !may {
-		return nil
+	if !sealedHas {
+		// A tombstone is only needed when some SG's Bloom filter admits the
+		// key might be on flash; definite absence (the common case for
+		// upstream invalidations of never-admitted objects) costs no SG
+		// space. A false positive merely inserts a harmless tombstone.
+		may, err := c.mayExistOnFlashLocked(fp, o)
+		if err != nil {
+			return err
+		}
+		if !may {
+			return nil
+		}
 	}
 	// placeLocked removes the in-memory copies (again, a no-op here)
 	// before inserting, so exactly one zero-length version remains.
@@ -449,97 +470,6 @@ func (c *Cache) markHot(sg *flashSG, o, slot int) {
 	}
 }
 
-// flushFrontLocked flushes the front in-memory SG to a free data zone
-// (evicting the oldest on-flash SG first when the pool is full), appends
-// its Bloom filters to the open index group, and rotates the queue.
-func (c *Cache) flushFrontLocked() error {
-	if c.flushing {
-		return nil
-	}
-	c.flushing = true
-	defer func() { c.flushing = false }()
-
-	front := c.memq[0]
-	if len(c.freeDataZones) < c.cfg.ZonesPerSG {
-		if err := c.evictOldestLocked(front); err != nil {
-			return err
-		}
-	}
-	zones := popZones(&c.freeDataZones, c.cfg.ZonesPerSG)
-	if zones == nil {
-		return fmt.Errorf("core: no free data zones after eviction")
-	}
-
-	g := c.openGroup()
-	sg := &flashSG{
-		id:        c.nextSGID,
-		zones:     zones,
-		group:     g,
-		slot:      len(g.members),
-		setCounts: make([]uint16, c.setsPerSG),
-		fill:      front.fillRate(),
-	}
-	c.nextSGID++
-
-	// Serialize sets to flash and build this SG's set-level filters.
-	ppz := c.dev.PagesPerZone()
-	bfs := make([]byte, c.setsPerSG*c.bfBytes)
-	filter := bloom.New(c.cfg.TargetObjsPerSet, c.cfg.BloomFPR)
-	for o, blk := range front.sets {
-		c.pageBuf = blk.AppendTo(c.pageBuf[:0])
-		if _, _, err := c.dev.AppendPage(zones[o/ppz], c.pageBuf); err != nil {
-			return fmt.Errorf("core: flushing SG: %w", err)
-		}
-		sg.setCounts[o] = uint16(blk.Count())
-		sg.objCount += blk.Count()
-		filter.Reset()
-		blk.Range(func(_ int, e setblock.Entry) bool {
-			filter.Add(e.FP)
-			return true
-		})
-		copy(bfs[o*c.bfBytes:], filter.AppendBytes(c.pageBuf[:0]))
-	}
-	zoneBytes := uint64(c.setsPerSG * c.pageSize)
-	c.stats.FlashBytesWritten += zoneBytes
-	c.stats.DeviceBytesWritten += zoneBytes
-	c.extra.DataBytesWritten += zoneBytes
-	c.extra.SGsFlushed++
-	c.extra.FillSum += sg.fill
-	c.extra.NewBytes += front.newBytes
-	c.extra.WriteBackBytes += front.wbBytes
-	c.bytesSinceCool += zoneBytes
-	if len(c.flushLog) < maxFlushLog {
-		c.flushLog = append(c.flushLog, FlushRecord{
-			Fill:     sg.fill,
-			NewObjs:  front.newObjs,
-			WBObjs:   front.wbObjs,
-			NewBytes: front.newBytes,
-			WBBytes:  front.wbBytes,
-		})
-	}
-
-	g.members = append(g.members, sg)
-	g.slotBF = append(g.slotBF, bfs)
-	g.liveCount++
-	c.pool = append(c.pool, sg)
-	if len(g.members) == c.cfg.SGsPerIndexGroup {
-		if err := c.sealGroup(g); err != nil {
-			return err
-		}
-	}
-
-	// Rotate: drop the front, add a fresh rear.
-	copy(c.memq, c.memq[1:])
-	c.memq[len(c.memq)-1] = newMemSG(c.setsPerSG, c.pageSize)
-	c.sacCount = 0
-
-	if c.bytesSinceCool >= uint64(c.cfg.CoolingWriteRatio*float64(c.poolCapacityBytes())) {
-		c.coolLocked()
-		c.bytesSinceCool = 0
-	}
-	return nil
-}
-
 func (c *Cache) poolCapacityBytes() int {
 	return c.cfg.DataZones * c.dev.PagesPerZone() * c.pageSize
 }
@@ -555,119 +485,23 @@ func (c *Cache) openGroup() *idxGroup {
 	return g
 }
 
-// sealGroup packs the group's filters into PBFG pages (one per intra-SG
-// offset, §4.3 "packed BF layout") and writes them to an index zone.
-func (c *Cache) sealGroup(g *idxGroup) error {
-	zones := popZones(&c.freeIndexZones, c.cfg.ZonesPerSG)
-	if zones == nil {
-		return fmt.Errorf("core: no free index zones to seal group %d", g.id)
-	}
-	ppz := c.dev.PagesPerZone()
-	for o := 0; o < c.setsPerSG; o++ {
-		page := g.pageFor(o, c.bfBytes, c.pageSize)
-		if _, _, err := c.dev.AppendPage(zones[o/ppz], page); err != nil {
-			return fmt.Errorf("core: sealing index group: %w", err)
-		}
-	}
-	idxBytes := uint64(c.setsPerSG * c.pageSize)
-	c.stats.FlashBytesWritten += idxBytes
-	c.stats.DeviceBytesWritten += idxBytes
-	c.extra.IndexBytesWritten += idxBytes
-	g.zones = zones
-	g.sealed = true
-	g.slotBF = nil // buffer released; filters now live in the index pool
-	return nil
-}
-
-// evictOldestLocked evicts the earliest SG from the pool (operation ❸).
-// With writeback enabled, hot objects — access bit set and PBFG resident
-// (§4.4) — are re-inserted into the to-be-flushed SG dst.
-func (c *Cache) evictOldestLocked(dst *memSG) error {
-	if len(c.pool) == 0 {
-		return fmt.Errorf("core: pool empty but no free data zones")
-	}
-	victim := c.pool[0]
-	c.pool = c.pool[1:]
-
-	if c.cfg.Writeback && victim.objCount > 0 {
-		for o := 0; o < c.setsPerSG; o++ {
-			if victim.setCounts[o] == 0 {
-				continue
-			}
-			resident := c.pbfgResident(victim.group, o)
-			if !resident && victim.bits == nil {
-				// Neither hotness signal can fire: skip the read entirely.
-				c.stats.Evictions += uint64(victim.setCounts[o])
-				continue
-			}
-			if _, err := c.dev.ReadPage(c.pageAddrIn(victim.zones, o), c.scratch); err != nil {
-				return err
-			}
-			c.stats.FlashReadOps++
-			c.stats.FlashBytesRead += uint64(c.pageSize)
-			blk, err := setblock.Parse(c.scratch, c.pageSize)
-			if err != nil {
-				return fmt.Errorf("core: parsing evicted set: %w", err)
-			}
-			var wbErr error
-			blk.Range(func(slot int, e setblock.Entry) bool {
-				// Tombstones (zero-length deletion markers) age out with
-				// their SG; never write them back.
-				hot := resident && victim.bit(o, slot) && len(e.Value) > 0
-				if hot {
-					shadowed, err := c.shadowedByNewer(e.FP, o, victim.id, e.Key)
-					if err != nil {
-						wbErr = err
-						return false
-					}
-					if !shadowed && dst.canFit(o, e.FP, e.Key, len(e.Value)) {
-						dst.insert(o, e.FP, e.Key, e.Value, insWriteback)
-						c.extra.WriteBackObjs++
-						return true
-					}
-				}
-				c.stats.Evictions++
-				return true
-			})
-			if wbErr != nil {
-				return wbErr
-			}
-		}
-	} else {
-		c.stats.Evictions += uint64(victim.objCount)
-	}
-
-	victim.dead = true
-	victim.group.liveCount--
-	if victim.group.liveCount == 0 && victim.group.sealed {
-		for _, z := range victim.group.zones {
-			if _, err := c.dev.ResetZone(z); err != nil {
-				return err
-			}
-			c.freeIndexZones = append(c.freeIndexZones, z)
-		}
-		c.icache.dropGroup(victim.group.id)
-		c.dropDeadGroups()
-	}
-	for _, z := range victim.zones {
-		if _, err := c.dev.ResetZone(z); err != nil {
-			return err
-		}
-		c.freeDataZones = append(c.freeDataZones, z)
-	}
-	return nil
-}
-
 // shadowedByNewer reports whether a newer version of (fp, key) may exist
-// anywhere ahead of the evicted SG: the in-memory SGs are checked exactly,
-// and newer flash SGs through their Bloom filters (fetching PBFG pages on
-// demand — the paper's write-back reads; fetched pages enter the index
-// cache so the cost amortizes over the hot sets). A Bloom positive
-// conservatively suppresses the writeback: an object may be dropped early,
-// but a stale version is never resurrected over a fresh one.
+// anywhere ahead of the evicted SG: the in-memory SGs — including the
+// sealed SG of an in-flight flush, whose contents are bound for flash and
+// strictly newer than any eviction victim — are checked exactly, and newer
+// flash SGs through their Bloom filters (fetching PBFG pages on demand —
+// the paper's write-back reads; fetched pages enter the index cache so the
+// cost amortizes over the hot sets). A Bloom positive conservatively
+// suppresses the writeback: an object may be dropped early, but a stale
+// version is never resurrected over a fresh one.
 func (c *Cache) shadowedByNewer(fp uint64, o int, newerThan uint64, key []byte) (bool, error) {
 	for _, sg := range c.memq {
 		if _, ok := sg.lookup(o, fp, key); ok {
+			return true, nil
+		}
+	}
+	if c.sealed != nil {
+		if _, ok := c.sealed.mem.lookup(o, fp, key); ok {
 			return true, nil
 		}
 	}
@@ -738,9 +572,13 @@ func (c *Cache) coolLocked() {
 }
 
 // Flush forces the front in-memory SG to flash (mainly for tests and
-// orderly shutdown in examples).
+// orderly shutdown in examples). Unlike the trigger-driven internal
+// callers — which coalesce with a flush already in flight — Flush waits
+// any in-flight flush out and then flushes the current front regardless,
+// so objects inserted after that flush sealed still reach the device.
 func (c *Cache) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.waitFlushIdleLocked()
 	return c.flushFrontLocked()
 }

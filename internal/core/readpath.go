@@ -184,8 +184,21 @@ func (c *Cache) planGetLocked(sc *getScratch, att *getAttempt, key []byte, owner
 	att.resolved = false
 	fp, o := att.fp, att.o
 
-	// 1. In-memory SGs, front to rear (a key exists in at most one).
-	for _, sg := range c.memq {
+	// 1. In-memory SGs, front to rear, then the sealed-but-uncommitted SG
+	// of an in-flight flush (writepath.go): its objects are not yet
+	// discoverable on flash, and any memq copy of the same key was inserted
+	// after the seal and is therefore newer, so the sealed SG probes last.
+	// Driven serially the sealed slot is always empty and this is exactly
+	// the historical memq probe.
+	for i := 0; i <= len(c.memq); i++ {
+		var sg *memSG
+		if i < len(c.memq) {
+			sg = c.memq[i]
+		} else if c.sealed != nil {
+			sg = c.sealed.mem
+		} else {
+			break
+		}
 		if v, ok := sg.lookup(o, fp, key); ok {
 			if len(v) == 0 {
 				// Tombstone: the key was deleted; the marker shadows any

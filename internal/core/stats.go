@@ -37,21 +37,29 @@ type NemoStats struct {
 
 	FalsePositiveReads uint64
 	CoolingRuns        uint64
+
+	// FlushRecordsDropped counts SG flushes whose FlushRecord was discarded
+	// because the retained history had already reached maxFlushLog. A
+	// nonzero value means FlushLog covers only the run's first maxFlushLog
+	// flushes — per-SG breakdown experiments on longer runs must either
+	// accept the truncation or sample earlier.
+	FlushRecordsDropped uint64
 }
 
 // Add returns the field-wise sum n + o, for aggregating per-shard counters.
 func (n NemoStats) Add(o NemoStats) NemoStats {
 	return NemoStats{
-		SGsFlushed:         n.SGsFlushed + o.SGsFlushed,
-		FillSum:            n.FillSum + o.FillSum,
-		NewBytes:           n.NewBytes + o.NewBytes,
-		WriteBackBytes:     n.WriteBackBytes + o.WriteBackBytes,
-		WriteBackObjs:      n.WriteBackObjs + o.WriteBackObjs,
-		Sacrificed:         n.Sacrificed + o.Sacrificed,
-		DataBytesWritten:   n.DataBytesWritten + o.DataBytesWritten,
-		IndexBytesWritten:  n.IndexBytesWritten + o.IndexBytesWritten,
-		FalsePositiveReads: n.FalsePositiveReads + o.FalsePositiveReads,
-		CoolingRuns:        n.CoolingRuns + o.CoolingRuns,
+		SGsFlushed:          n.SGsFlushed + o.SGsFlushed,
+		FillSum:             n.FillSum + o.FillSum,
+		NewBytes:            n.NewBytes + o.NewBytes,
+		WriteBackBytes:      n.WriteBackBytes + o.WriteBackBytes,
+		WriteBackObjs:       n.WriteBackObjs + o.WriteBackObjs,
+		Sacrificed:          n.Sacrificed + o.Sacrificed,
+		DataBytesWritten:    n.DataBytesWritten + o.DataBytesWritten,
+		IndexBytesWritten:   n.IndexBytesWritten + o.IndexBytesWritten,
+		FalsePositiveReads:  n.FalsePositiveReads + o.FalsePositiveReads,
+		CoolingRuns:         n.CoolingRuns + o.CoolingRuns,
+		FlushRecordsDropped: n.FlushRecordsDropped + o.FlushRecordsDropped,
 	}
 }
 
@@ -65,10 +73,17 @@ type FlushRecord struct {
 	WBBytes  uint64
 }
 
-// maxFlushLog bounds the retained flush history.
+// maxFlushLog bounds the retained flush history: the log keeps the run's
+// FIRST maxFlushLog flush records and silently retains nothing afterwards.
+// The cap exists so a production-length replay cannot grow an unbounded
+// per-flush history; every flush past it increments
+// NemoStats.FlushRecordsDropped, so truncation is observable instead of
+// silent.
 const maxFlushLog = 4096
 
-// FlushLog returns up to the first maxFlushLog per-SG flush records.
+// FlushLog returns up to the first maxFlushLog per-SG flush records (see
+// maxFlushLog for the truncation contract; NemoStats.FlushRecordsDropped
+// counts what the cap discarded).
 func (c *Cache) FlushLog() []FlushRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -168,13 +183,18 @@ func (c *Cache) PoolLen() int {
 	return len(c.pool)
 }
 
-// MemObjects returns the number of objects currently buffered in memory.
+// MemObjects returns the number of objects currently buffered in memory,
+// including the sealed SG of an in-flight flush (its objects are still
+// served from memory until the flush commits).
 func (c *Cache) MemObjects() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for _, sg := range c.memq {
 		n += sg.objCount()
+	}
+	if c.sealed != nil {
+		n += c.sealed.mem.objCount()
 	}
 	return n
 }

@@ -1,0 +1,536 @@
+package core
+
+// The concurrent write path: flush, group-seal, and eviction I/O happen
+// outside the shard mutex, completing the plan/IO/commit architecture the
+// read path introduced (readpath.go) across both halves of the cache.
+//
+// A flush runs in three phases, all executed by one owner goroutine (the
+// inserting worker on the synchronous path, a flusher-pool goroutine on the
+// SetAsync path):
+//
+//   - seal (locked): everything whose outcome depends on shared mutable
+//     state is decided under the lock. The eviction victim (the pool head)
+//     is popped and marked dead; its data zones — and, when its index group
+//     retires with it, the group's index zones — return to the free lists;
+//     the flush's data zones (and, when this SG completes its index group,
+//     the group's index zones) are reserved from those lists in exactly the
+//     order the historical fully-locked path consumed them; the SG id is
+//     assigned and nextSGID advances; and the front in-memory SG is
+//     detached from memq into c.sealed — immutable from here on except for
+//     the writeback survivors the owner itself inserts under the lock —
+//     with a fresh rear rotated in so inserts keep landing while the flush
+//     is in flight. Bumping nextSGID (and, with eviction, moving the pool
+//     head) is the SG-epoch advance: every optimistic reader that planned
+//     before the seal fails commit validation and replans, so no reader
+//     ever trusts bytes from a zone this flush is about to reset or
+//     rewrite.
+//   - build + I/O (unlocked): the victim's set pages are read back from
+//     flash into owner-exclusive pooled buffers; a short locked interlude
+//     then runs the hotness/shadow liveness filtering and inserts the
+//     surviving objects into the sealed SG (the filters consult memq, the
+//     unsealed group buffers, and the index cache, all lock-guarded);
+//     finally — unlocked again — the freed zones are erased, the sealed
+//     SG's set blocks are serialized through a pooled page buffer and
+//     appended to the reserved data zones, the per-set Bloom filters are
+//     built, and a completing index group's PBFG pages are assembled and
+//     appended to the reserved index zones. No foreground GET or SET on the
+//     shard waits on any of this device I/O.
+//   - commit (locked): the flashSG publishes into its index group and the
+//     FIFO pool, the write-side counters and the flush log apply, and the
+//     cooling pass runs if due. Readers that planned during the build are
+//     unaffected: their snapshots never referenced the unpublished SG, and
+//     the sealed SG they could probe in memory is dropped in the same
+//     critical section that makes the flash copy discoverable.
+//
+// Readers and the sealed SG: between seal and commit the flushing SG's
+// objects exist only in c.sealed. The read plan (planGetLocked) probes it
+// after memq — any memq copy of the same key was inserted after the seal
+// and is therefore newer — and the write-side shadow checks
+// (shadowedByNewer, deleteLocked) treat it as "will be on flash": a Delete
+// racing a flush still plants its tombstone, and writeback never
+// resurrects a version the sealed SG shadows. Driven serially the sealed
+// window is never observable (the three phases run back to back on the
+// caller with nothing interleaved), which is what keeps the serial path
+// write-for-write and stat-for-stat identical to the historical
+// fully-locked flush: same zones claimed in the same order, same pages
+// appended with the same contents, same counter totals.
+//
+// Mutual exclusion: at most one flush is in flight per cache
+// (c.flushInFlight; concurrent flushers wait on c.flushCond, mirroring the
+// blocking the old design imposed through the mutex itself). c.flushing is
+// the historical same-goroutine recursion guard; the owner keeps it true
+// only while actually holding the lock, so other goroutines can never
+// observe it.
+//
+// Failure: a device error mid-flush cannot wedge the cache. The owner
+// erases the partially written zones, returns every zone this flush
+// touched to its free list, drops the sealed SG (its objects count as
+// evictions — a cache may always miss), increments Stats.WriteErrors, and
+// surfaces the error: inline on the synchronous path, via the flusher
+// pool's deferred error (Drain/Close) on the async path — and in both
+// cases immediately in the WriteErrors counter the replay tables print.
+
+import (
+	"fmt"
+
+	"nemo/internal/bloom"
+	"nemo/internal/setblock"
+)
+
+// sealedFlush is the sealed-but-uncommitted front SG of an in-flight
+// flush. Readers probe mem under the cache lock; the flush owner mutates
+// it only during locked sub-phases (writeback survivor insertion) and
+// reads it without the lock during serialization, after it is frozen.
+type sealedFlush struct {
+	mem *memSG
+}
+
+// flushScratch holds the owner-exclusive buffers a flush reuses across
+// flushes. Only one flush is ever in flight per cache (flushInFlight), so
+// the owner uses them without further locking.
+type flushScratch struct {
+	victimBufs [][]byte      // eviction read-back pages
+	pageBuf    []byte        // serialization / PBFG-assembly scratch
+	filter     *bloom.Filter // per-set filter builder
+	readSets   []int         // victim set offsets scheduled for read-back
+}
+
+// evictPlan is the seal phase's snapshot of one eviction: which victim set
+// pages the unlocked pass reads back, and which zones the build pass must
+// erase before any append could land on them.
+type evictPlan struct {
+	victim   *flashSG
+	readSets []int     // ascending set offsets to read back (aliases fscratch)
+	retired  *idxGroup // victim's group when it died with the victim, else nil
+	idxReset []int     // retired group's index zones to erase
+}
+
+// flushFrontLocked flushes the front in-memory SG through the three-phase
+// seal / build+I/O / commit protocol above. It is called with c.mu held
+// and returns with it held; the lock is released during the build phase's
+// device I/O so foreground traffic on the shard overlaps the SG write.
+//
+// If another goroutine's flush is already in flight, this call waits for
+// it to finish and then returns WITHOUT flushing (flush coalescing): the
+// caller's trigger observation predates a flush that has since rotated the
+// queue, so flushing again would write the fresh, nearly-empty front —
+// exactly the condition runDeferredFlush's trigger re-check exists to
+// avoid. Callers that need room rather than a flush per se (the insert
+// path) re-check their condition and call again, now unhindered; callers
+// that must flush the current front regardless (Flush) wait out the
+// in-flight flush themselves first.
+func (c *Cache) flushFrontLocked() error {
+	if c.flushing {
+		return nil // same-goroutine recursion guard (historical behavior)
+	}
+	if c.flushInFlight {
+		c.waitFlushIdleLocked()
+		return nil
+	}
+	c.flushing, c.flushInFlight = true, true
+	err := c.flushOwner()
+	c.flushing, c.flushInFlight = false, false
+	c.sealed = nil
+	c.flushCond.Broadcast()
+	return err
+}
+
+// waitFlushIdleLocked blocks (releasing c.mu via the cond) until no flush
+// is in flight. What happens next is the caller's choice: trigger-driven
+// callers coalesce, Flush flushes the current front, and the deferred-job
+// runner re-checks its trigger.
+func (c *Cache) waitFlushIdleLocked() {
+	for c.flushInFlight {
+		c.flushCond.Wait()
+	}
+}
+
+// unlockForBuild and relockAfterBuild bracket the owner's unlocked I/O
+// windows, keeping the recursion guard accurate: c.flushing is true only
+// while the owner actually holds the lock.
+func (c *Cache) unlockForBuild() {
+	c.flushing = false
+	c.mu.Unlock()
+}
+
+func (c *Cache) relockAfterBuild() {
+	c.mu.Lock()
+	c.flushing = true
+}
+
+// flushOwner runs the three phases on the owning goroutine. Entered and
+// exited with c.mu held.
+func (c *Cache) flushOwner() error {
+	// ---- Phase 1: seal (locked) ----
+	front := c.memq[0]
+	var ev *evictPlan
+	if len(c.freeDataZones) < c.cfg.ZonesPerSG {
+		var err error
+		if ev, err = c.sealEvictLocked(); err != nil {
+			return err
+		}
+	}
+	zones := popZones(&c.freeDataZones, c.cfg.ZonesPerSG)
+	if zones == nil {
+		c.abortEvictLocked(ev)
+		c.eraseLocked(ev, nil, nil)
+		return fmt.Errorf("core: no free data zones after eviction")
+	}
+	g := c.openGroup()
+	sg := &flashSG{
+		id:        c.nextSGID,
+		zones:     zones,
+		group:     g,
+		slot:      len(g.members),
+		setCounts: make([]uint16, c.setsPerSG),
+	}
+	willSeal := len(g.members)+1 == c.cfg.SGsPerIndexGroup
+	var idxZones []int
+	if willSeal {
+		if idxZones = popZones(&c.freeIndexZones, c.cfg.ZonesPerSG); idxZones == nil {
+			c.freeDataZones = append(c.freeDataZones, zones...)
+			c.abortEvictLocked(ev)
+			c.eraseLocked(ev, nil, nil)
+			return fmt.Errorf("core: no free index zones to seal group %d", g.id)
+		}
+	}
+	c.nextSGID++         // SG-epoch advance: in-flight optimistic readers will replan
+	memberBF := g.slotBF // existing member filters; immutable, appended to only at commit
+	c.sealed = &sealedFlush{mem: front}
+	copy(c.memq, c.memq[1:])
+	c.memq[len(c.memq)-1] = newMemSG(c.setsPerSG, c.pageSize)
+	c.sacCount = 0
+
+	// ---- Phase 2a: eviction read-back (unlocked) + liveness filter (locked) ----
+	if ev != nil {
+		nRead := 0
+		var readErr error
+		if len(ev.readSets) > 0 {
+			c.unlockForBuild()
+			nRead, readErr = c.readVictimPages(ev)
+			c.relockAfterBuild()
+		}
+		if err := c.evictFilterLocked(ev, front, nRead, readErr); err != nil {
+			return c.recoverFailedFlushLocked(ev, front, zones, idxZones, err)
+		}
+	}
+	fill := front.fillRate() // writeback survivors included, as in the locked path
+
+	// ---- Phase 2b: build (unlocked) ----
+	c.unlockForBuild()
+	bfs, buildErr := c.buildAndAppend(ev, front, sg, zones, idxZones, willSeal, memberBF)
+	c.relockAfterBuild()
+	if buildErr != nil {
+		return c.recoverFailedFlushLocked(ev, front, zones, idxZones, buildErr)
+	}
+
+	// ---- Phase 3: commit (locked) ----
+	sg.fill = fill
+	zoneBytes := uint64(c.setsPerSG * c.pageSize)
+	c.stats.FlashBytesWritten += zoneBytes
+	c.stats.DeviceBytesWritten += zoneBytes
+	c.extra.DataBytesWritten += zoneBytes
+	c.extra.SGsFlushed++
+	c.extra.FillSum += sg.fill
+	c.extra.NewBytes += front.newBytes
+	c.extra.WriteBackBytes += front.wbBytes
+	c.bytesSinceCool += zoneBytes
+	if len(c.flushLog) < maxFlushLog {
+		c.flushLog = append(c.flushLog, FlushRecord{
+			Fill:     sg.fill,
+			NewObjs:  front.newObjs,
+			WBObjs:   front.wbObjs,
+			NewBytes: front.newBytes,
+			WBBytes:  front.wbBytes,
+		})
+	} else {
+		c.extra.FlushRecordsDropped++
+	}
+	g.members = append(g.members, sg)
+	g.slotBF = append(g.slotBF, bfs)
+	g.liveCount++
+	c.pool = append(c.pool, sg)
+	if willSeal {
+		c.stats.FlashBytesWritten += zoneBytes
+		c.stats.DeviceBytesWritten += zoneBytes
+		c.extra.IndexBytesWritten += zoneBytes
+		g.zones = idxZones
+		g.sealed = true
+		g.slotBF = nil // buffer released; filters now live in the index pool
+	}
+	if c.bytesSinceCool >= uint64(c.cfg.CoolingWriteRatio*float64(c.poolCapacityBytes())) {
+		c.coolLocked()
+		c.bytesSinceCool = 0
+	}
+	return nil
+}
+
+// sealEvictLocked is the locked half of eviction (operation ❸): pop the
+// pool head, decide which of its set pages the unlocked pass reads back
+// for hotness-aware writeback, and return its zones — plus its index
+// group's, when the group dies with it — to the free lists. The zones are
+// erased later, in the build phase; no other flush can claim them before
+// this one commits.
+func (c *Cache) sealEvictLocked() (*evictPlan, error) {
+	if len(c.pool) == 0 {
+		return nil, fmt.Errorf("core: pool empty but no free data zones")
+	}
+	victim := c.pool[0]
+	c.pool = c.pool[1:]
+	ev := &evictPlan{victim: victim}
+
+	// A set page is read back only when a hotness signal could fire for it:
+	// always when the victim carries an access bitmap, and otherwise only
+	// when the set's PBFG is memory-resident (the recency half of the
+	// hybrid signal, §4.4) — though with no bitmap nothing can test hot, so
+	// those reads only feed the eviction counters, exactly as the locked
+	// path behaved. With no bitmap the filter pass performs no shadow
+	// checks, so the index cache cannot change between this snapshot and
+	// the residency the filter would have observed.
+	if c.cfg.Writeback && victim.objCount > 0 {
+		sets := c.fscratch.readSets[:0]
+		for o := 0; o < c.setsPerSG; o++ {
+			if victim.setCounts[o] == 0 {
+				continue
+			}
+			if victim.bits == nil && !c.pbfgResident(victim.group, o) {
+				continue
+			}
+			sets = append(sets, o)
+		}
+		c.fscratch.readSets = sets
+		ev.readSets = sets
+	}
+	victim.dead = true
+	victim.group.liveCount--
+	if victim.group.liveCount == 0 && victim.group.sealed {
+		ev.retired = victim.group
+		ev.idxReset = victim.group.zones
+		c.freeIndexZones = append(c.freeIndexZones, victim.group.zones...)
+	}
+	c.freeDataZones = append(c.freeDataZones, victim.zones...)
+	return ev, nil
+}
+
+// abortEvictLocked settles an eviction whose flush died before the
+// liveness filter could run (a seal-phase zone-reservation failure): the
+// victim is already popped and dead, so its objects count as evictions and
+// a retired group's pages leave the index cache — the same bookkeeping
+// evictFilterLocked would have done, minus the writeback pass.
+func (c *Cache) abortEvictLocked(ev *evictPlan) {
+	if ev == nil {
+		return
+	}
+	c.stats.Evictions += uint64(ev.victim.objCount)
+	if ev.retired != nil {
+		c.icache.dropGroup(ev.retired.id)
+		c.dropDeadGroups()
+	}
+}
+
+// readVictimPages is the unlocked eviction I/O pass: it reads the planned
+// victim set pages into the owner's pooled buffers, stopping at the first
+// device error, and reports how many reads completed.
+func (c *Cache) readVictimPages(ev *evictPlan) (int, error) {
+	sc := &c.fscratch
+	for len(sc.victimBufs) < len(ev.readSets) {
+		sc.victimBufs = append(sc.victimBufs, make([]byte, c.pageSize))
+	}
+	for i, o := range ev.readSets {
+		if _, err := c.dev.ReadPage(c.pageAddrIn(ev.victim.zones, o), sc.victimBufs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(ev.readSets), nil
+}
+
+// evictFilterLocked runs the liveness filtering over the read-back pages
+// under the lock: per entry, the hybrid hotness test, the newer-copy
+// shadow check (which may fetch PBFG pages, exactly as the locked path
+// did), and the writeback insertion into the sealed SG dst. Set order,
+// filter order, and every counter match the historical eviction loop. On
+// every exit — error paths included — each of the victim's objects ends up
+// accounted exactly once (written back, or counted in Evictions) and a
+// retired index group's pages leave the index cache.
+func (c *Cache) evictFilterLocked(ev *evictPlan, dst *memSG, nRead int, readErr error) error {
+	victim := ev.victim
+	c.stats.FlashReadOps += uint64(nRead)
+	c.stats.FlashBytesRead += uint64(nRead * c.pageSize)
+	// resolved counts victim objects already dispatched (evicted or written
+	// back); finish settles the remainder as evictions — the whole victim
+	// is leaving flash no matter how the filtering ends — and retires the
+	// group, so no exit path can leak objects from the accounting.
+	resolved := 0
+	finish := func(err error) error {
+		c.stats.Evictions += uint64(victim.objCount - resolved)
+		if ev.retired != nil {
+			c.icache.dropGroup(ev.retired.id)
+			c.dropDeadGroups()
+		}
+		return err
+	}
+	if c.cfg.Writeback && victim.objCount > 0 {
+		ri := 0
+		for o := 0; o < c.setsPerSG; o++ {
+			if victim.setCounts[o] == 0 {
+				continue
+			}
+			if ri >= len(ev.readSets) || ev.readSets[ri] != o {
+				// Neither hotness signal could fire: no read-back happened.
+				c.stats.Evictions += uint64(victim.setCounts[o])
+				resolved += int(victim.setCounts[o])
+				continue
+			}
+			if ri >= nRead {
+				// The read-back pass stopped at a device error before this
+				// set; the reads that did happen are already accounted.
+				return finish(readErr)
+			}
+			buf := c.fscratch.victimBufs[ri]
+			ri++
+			resident := c.pbfgResident(victim.group, o)
+			blk, err := setblock.Parse(buf, c.pageSize)
+			if err != nil {
+				return finish(fmt.Errorf("core: parsing evicted set: %w", err))
+			}
+			var wbErr error
+			blk.Range(func(slot int, e setblock.Entry) bool {
+				// Tombstones (zero-length deletion markers) age out with
+				// their SG; never write them back.
+				hot := resident && victim.bit(o, slot) && len(e.Value) > 0
+				if hot {
+					shadowed, err := c.shadowedByNewer(e.FP, o, victim.id, e.Key)
+					if err != nil {
+						wbErr = err
+						return false
+					}
+					if !shadowed && dst.canFit(o, e.FP, e.Key, len(e.Value)) {
+						dst.insert(o, e.FP, e.Key, e.Value, insWriteback)
+						c.extra.WriteBackObjs++
+						resolved++
+						return true
+					}
+				}
+				c.stats.Evictions++
+				resolved++
+				return true
+			})
+			if wbErr != nil {
+				return finish(wbErr)
+			}
+		}
+	}
+	return finish(nil)
+}
+
+// buildAndAppend is the unlocked build phase: erase the zones this flush's
+// eviction freed, serialize the sealed SG's set blocks into the reserved
+// data zones while building its per-set Bloom filters, and — when this SG
+// completes its index group — assemble and append the group's PBFG pages.
+// The device-op multiset and per-zone append order match the historical
+// locked path exactly.
+func (c *Cache) buildAndAppend(ev *evictPlan, front *memSG, sg *flashSG, zones, idxZones []int, willSeal bool, memberBF [][]byte) ([]byte, error) {
+	if ev != nil {
+		for _, z := range ev.idxReset {
+			if _, err := c.dev.ResetZone(z); err != nil {
+				return nil, err
+			}
+		}
+		for _, z := range ev.victim.zones {
+			if _, err := c.dev.ResetZone(z); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sc := &c.fscratch
+	if sc.filter == nil {
+		sc.filter = bloom.New(c.cfg.TargetObjsPerSet, c.cfg.BloomFPR)
+	}
+	ppz := c.dev.PagesPerZone()
+	bfs := make([]byte, c.setsPerSG*c.bfBytes)
+	for o, blk := range front.sets {
+		sc.pageBuf = blk.AppendTo(sc.pageBuf[:0])
+		if _, _, err := c.dev.AppendPage(zones[o/ppz], sc.pageBuf); err != nil {
+			return nil, fmt.Errorf("core: flushing SG: %w", err)
+		}
+		sg.setCounts[o] = uint16(blk.Count())
+		sg.objCount += blk.Count()
+		sc.filter.Reset()
+		blk.Range(func(_ int, e setblock.Entry) bool {
+			sc.filter.Add(e.FP)
+			return true
+		})
+		copy(bfs[o*c.bfBytes:], sc.filter.AppendBytes(sc.pageBuf[:0]))
+	}
+	if willSeal {
+		// One PBFG page per intra-SG offset (§4.3 "packed BF layout"): the
+		// filters of offset o across every member SG, this one last.
+		for o := 0; o < c.setsPerSG; o++ {
+			page := sc.pageBuf[:0]
+			for _, bf := range memberBF {
+				page = append(page, bf[o*c.bfBytes:(o+1)*c.bfBytes]...)
+			}
+			page = append(page, bfs[o*c.bfBytes:(o+1)*c.bfBytes]...)
+			sc.pageBuf = page
+			if _, _, err := c.dev.AppendPage(idxZones[o/ppz], page); err != nil {
+				return nil, fmt.Errorf("core: sealing index group: %w", err)
+			}
+		}
+	}
+	return bfs, nil
+}
+
+// recoverFailedFlushLocked unwinds a flush that died mid-build so the
+// cache stays consistent: every zone the flush touched is erased and
+// returned to its free list, and the sealed SG is dropped — its objects
+// count as evictions. This is strictly saner than the historical locked
+// path, which left partially written zones claimed and the front SG queued
+// for a doomed re-flush. Called and returns with c.mu held.
+func (c *Cache) recoverFailedFlushLocked(ev *evictPlan, front *memSG, zones, idxZones []int, cause error) error {
+	c.eraseLocked(ev, zones, idxZones)
+	c.freeDataZones = append(c.freeDataZones, zones...)
+	c.freeIndexZones = append(c.freeIndexZones, idxZones...)
+	c.stats.Evictions += uint64(front.objCount())
+	// Every path through here was killed by a device failure (a read-back,
+	// parse, shadow-fetch, reset, or append error); seal-phase
+	// zone-exhaustion errors — configuration conditions, not hardware —
+	// return before recovery and are deliberately NOT counted here.
+	c.stats.WriteErrors++
+	return cause
+}
+
+// eraseLocked best-effort resets the zones an aborted flush may have left
+// un-erased (an eviction's freed zones are erased only in the build phase,
+// and reserved zones may hold partial appends). Reset failures are
+// structurally impossible for in-range zones and are ignored.
+func (c *Cache) eraseLocked(ev *evictPlan, zones, idxZones []int) {
+	if ev != nil {
+		for _, z := range ev.idxReset {
+			c.dev.ResetZone(z)
+		}
+		for _, z := range ev.victim.zones {
+			c.dev.ResetZone(z)
+		}
+	}
+	for _, z := range zones {
+		c.dev.ResetZone(z)
+	}
+	for _, z := range idxZones {
+		c.dev.ResetZone(z)
+	}
+}
+
+// runDeferredFlush executes one deferred flush job on a flusher-pool
+// goroutine. The trigger is re-checked — after waiting out any flush
+// already in flight — because an intervening flush may have rotated the
+// queue, and flushing a fresh front would only hurt the fill rate.
+func (c *Cache) runDeferredFlush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushPending = false
+	c.waitFlushIdleLocked()
+	if !c.asyncFlushDueLocked() {
+		return nil
+	}
+	return c.flushFrontLocked()
+}

@@ -274,7 +274,7 @@ func RunCompare(o CompareConfig) error {
 		}
 	}
 	fmt.Fprintln(o.Out, title)
-	header := fmt.Sprintf("%-6s %-7s %-6s %-7s %-8s %-8s %-6s", "engine", "shards", "batch", "hit%", "ALWA", "totalWA", "rderr")
+	header := fmt.Sprintf("%-6s %-7s %-6s %-7s %-8s %-8s %-6s %-6s", "engine", "shards", "batch", "hit%", "ALWA", "totalWA", "rderr", "wrerr")
 	if o.HostTime {
 		header += fmt.Sprintf(" %-12s %-10s %-10s", "ops/s", "setp50", "setp99")
 	}
@@ -337,9 +337,9 @@ func (o CompareConfig) runOne(g compareGeometry, e compareEngine, n int, reqs []
 		return "", fmt.Errorf("close: %w", err)
 	}
 	st := res.Final
-	row := fmt.Sprintf("%-6s %-7d %-6d %-7.2f %-8.3f %-8.3f %-6d",
+	row := fmt.Sprintf("%-6s %-7d %-6d %-7.2f %-8.3f %-8.3f %-6d %-6d",
 		eng.Name(), res.Shards, o.Batch,
-		(1-st.MissRatio())*100, st.ALWA(), st.TotalWA(), st.ReadErrors)
+		(1-st.MissRatio())*100, st.ALWA(), st.TotalWA(), st.ReadErrors, st.WriteErrors)
 	if o.HostTime {
 		row += fmt.Sprintf(" %-12.0f %-10v %-10v", res.OpsPerSec, res.SetLatency.P50, res.SetLatency.P99)
 	}

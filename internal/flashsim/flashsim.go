@@ -168,7 +168,8 @@ type Device struct {
 	bytesWritten atomic.Uint64
 	bytesRead    atomic.Uint64
 
-	readFault atomic.Pointer[func(page int) error] // fault injection; nil when disabled
+	readFault  atomic.Pointer[func(page int) error] // fault injection; nil when disabled
+	writeFault atomic.Pointer[func(zone int) error]
 }
 
 // New creates a device with the given configuration (zero fields take
@@ -239,6 +240,20 @@ func (d *Device) SetReadFault(f func(page int) error) {
 		return
 	}
 	d.readFault.Store(&f)
+}
+
+// SetWriteFault installs a fault-injection hook invoked with the zone ID on
+// every append, before any device state changes; a non-nil return aborts
+// the append with that error. The hook runs outside the zone lock, so a
+// test may also block inside it to hold an append mid-flight (e.g. to
+// observe a cache's in-flight flush window) without stalling reads or
+// appends to other zones. Pass nil to disable.
+func (d *Device) SetWriteFault(f func(zone int) error) {
+	if f == nil {
+		d.writeFault.Store(nil)
+		return
+	}
+	d.writeFault.Store(&f)
 }
 
 // schedule books lat on the channel for global page index, returning the
@@ -318,6 +333,11 @@ func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Durati
 	}
 	if len(data) > d.cfg.PageSize {
 		return 0, 0, fmt.Errorf("flashsim: write of %d bytes exceeds page size %d", len(data), d.cfg.PageSize)
+	}
+	if f := d.writeFault.Load(); f != nil {
+		if err := (*f)(zoneID); err != nil {
+			return 0, 0, err
+		}
 	}
 	z := &d.zones[zoneID]
 	z.mu.Lock()

@@ -2,6 +2,7 @@ package flashsim
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -221,5 +222,37 @@ func TestAddressingHelpers(t *testing.T) {
 	page := d.PageAddr(2, 3)
 	if d.ZoneOf(page) != 2 || d.OffsetOf(page) != 3 {
 		t.Fatal("addressing round trip failed")
+	}
+}
+
+func TestWriteFaultInjection(t *testing.T) {
+	d := small()
+	calls := 0
+	d.SetWriteFault(func(zone int) error {
+		calls++
+		if zone == 1 {
+			return fmt.Errorf("injected fault on zone %d", zone)
+		}
+		return nil
+	})
+	if _, _, err := d.AppendPage(0, []byte("ok")); err != nil {
+		t.Fatalf("hooked append to healthy zone failed: %v", err)
+	}
+	if _, _, err := d.AppendPage(1, []byte("bad")); err == nil {
+		t.Fatal("append to faulted zone should fail")
+	}
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+	// A faulted append must not move the write pointer or the counters.
+	if wp := d.ZoneWP(1); wp != 0 {
+		t.Fatalf("faulted zone advanced its write pointer to %d", wp)
+	}
+	if got := d.Stats().PagesWritten; got != 1 {
+		t.Fatalf("pages written = %d, want 1", got)
+	}
+	d.SetWriteFault(nil)
+	if _, _, err := d.AppendPage(1, []byte("recovered")); err != nil {
+		t.Fatalf("append after clearing fault failed: %v", err)
 	}
 }

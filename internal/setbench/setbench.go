@@ -1,0 +1,168 @@
+// Package setbench is the shared write-path benchmark harness behind
+// `nemobench -setbench` (the BENCH_set.json CI baseline) and the write-path
+// perf tests. Like its read-side sibling internal/getbench, it keeps the
+// geometry, key shape, and access pattern in one place so every measurement
+// of the three-phase flush pipeline (core/writepath.go) stays comparable:
+// the sync rows pay whole-SG flushes inline on the inserting goroutine,
+// while the async rows hand them to the background flusher pool, whose
+// build-phase I/O now runs off the shard lock entirely — the p99 gap
+// between the two modes is the pipeline's win.
+package setbench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nemo/internal/core"
+	"nemo/internal/flashsim"
+	"nemo/internal/metrics"
+)
+
+// Zones is the benchmark's total SG pool — the same -replay/-getbench
+// geometry, held constant across shard counts; pagesPerZone and pageSize
+// fix the device so the key-space sizing below is a compile-time shape.
+const (
+	Zones        = 48
+	pagesPerZone = 64
+	pageSize     = 4096
+)
+
+// keyFactor sizes the key space so its total bytes are a small multiple of
+// pool capacity: a measured walk overflows every shard's in-memory SGs and
+// cycles the on-flash pool, so flush, group sealing, AND eviction run
+// continuously at every shard count (at high shard counts a small key
+// space would fit entirely in the per-shard memq and never flush).
+const keyFactor = 3
+
+// Result is one measured configuration.
+type Result struct {
+	Sets       int           // write calls issued
+	Elapsed    time.Duration // host wall clock for the measured loop
+	SetsPerSec float64
+	P50, P99   time.Duration // per-call Set latency percentiles (host time)
+	ALWA       float64       // application-level write amplification
+	WriteErrs  uint64        // flush-pipeline device failures (expect 0)
+}
+
+// Build constructs a sharded cache on a fresh simulated device, with a
+// flusher pool of the given size (0 = synchronous flushes only). Each
+// measured configuration gets its own cache so every row shares the same
+// cold-start-to-steady-state shape.
+func Build(shards, flushers int) (*core.Sharded, error) {
+	perData := Zones / shards
+	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
+	dev := flashsim.New(flashsim.Config{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: shards * (perData + perIdx)})
+	cfg := core.DefaultConfig(dev, Zones)
+	cfg.Shards = shards
+	cfg.Flushers = flushers
+	return core.NewSharded(cfg)
+}
+
+// Workload returns the prebuilt key and value sets (so measurement loops
+// charge no fmt allocations to the Set path), shared across every cache a
+// sweep builds.
+func Workload() (keys, vals [][]byte) {
+	const poolBytes = Zones * pagesPerZone * pageSize
+	n := keyFactor * poolBytes / valueSize
+	keys = make([][]byte, n)
+	vals = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = Key(i)
+		vals[i] = Value(i)
+	}
+	return keys, vals
+}
+
+// Key returns the deterministic benchmark key for index i.
+func Key(i int) []byte {
+	return []byte(fmt.Sprintf("sb-key-%08d-padpadpad", i))
+}
+
+// valueSize is the object payload size — the paper's tiny-object regime
+// (~250 B), and the denominator of the key-space sizing above.
+const valueSize = 250
+
+// Value returns the deterministic benchmark value for index i.
+func Value(i int) []byte {
+	v := make([]byte, valueSize)
+	n := copy(v, fmt.Sprintf("sb-value-%08d-", i))
+	for j := n; j < valueSize; j++ {
+		v[j] = byte('a' + (i+j)%26)
+	}
+	return v
+}
+
+// Run issues ops SETs spread over goroutines, timing every engine call.
+// Each goroutine walks its own disjoint block of the key space (distinct
+// goroutines must write distinct keys — overlapping walks would coalesce
+// as in-memory overwrites and starve the flush pipeline the benchmark
+// exists to measure), wrapping into overwrite churn only once its block is
+// exhausted. async routes the writes through SetAsync; the run is drained
+// before statistics are sampled either way, so ALWA reflects every
+// deferred flush.
+func Run(cache *core.Sharded, keys, vals [][]byte, goroutines, ops int, async bool) (Result, error) {
+	per := ops / goroutines
+	if per < 1 {
+		per = 1
+	}
+	write := cache.Set
+	if async {
+		write = cache.SetAsync
+	}
+	hists := make([]metrics.Histogram, goroutines)
+	errs := make([]error, goroutines)
+	before := cache.Stats()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := &hists[g]
+			lo := g * len(keys) / goroutines
+			span := (g+1)*len(keys)/goroutines - lo
+			for i := 0; i < per; i++ {
+				k := lo + i%span
+				t0 := time.Now()
+				err := write(keys[k], vals[k])
+				h.Record(time.Since(t0))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := cache.Drain(); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var merged metrics.Histogram
+	for g := range hists {
+		merged.Merge(&hists[g])
+	}
+	snap := merged.Snapshot()
+	after := cache.Stats()
+	delta := after
+	delta.LogicalBytes -= before.LogicalBytes
+	delta.FlashBytesWritten -= before.FlashBytesWritten
+	res := Result{
+		Sets:      int(merged.Count()),
+		Elapsed:   elapsed,
+		P50:       snap.P50,
+		P99:       snap.P99,
+		ALWA:      delta.ALWA(),
+		WriteErrs: after.WriteErrors - before.WriteErrors,
+	}
+	if elapsed > 0 {
+		res.SetsPerSec = float64(res.Sets) / elapsed.Seconds()
+	}
+	return res, nil
+}
