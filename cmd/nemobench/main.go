@@ -12,6 +12,8 @@
 //	          [-parallel] [-notime] [-scale small|medium|large] [...]
 //	nemobench -getbench [-shards 1,8] [-ops N] [-json BENCH_get.json]
 //	nemobench -setbench [-shards 1,8] [-ops N] [-flushers K] [-json BENCH_set.json]
+//	nemobench -servebench [-shards 1,8] [-conns K] [-pipeline P] [-ops N]
+//	          [-flushers K] [-json BENCH_serve.json]
 //	nemobench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -replay runs the parallel trace-replay benchmark: the same materialized
@@ -43,6 +45,13 @@
 // flush pipeline's measured win on this host. -cpuprofile/-memprofile
 // write pprof profiles for any mode.
 //
+// -servebench measures the serving layer end to end: a live loopback
+// listener (internal/server) driven by -conns memcached-protocol client
+// connections issuing depth -pipeline batches of mixed gets and sets, in
+// sync-set and async (SetAsync + -flushers pool) mode per shard count. The
+// table and BENCH_serve.json report whole-stack ops/s and batch round-trip
+// get/set p50/p99 — the network-path extension of the BENCH trajectory.
+//
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
 package main
@@ -65,29 +74,32 @@ func main() {
 // run holds main's body so profile teardown survives every exit path.
 func run() int {
 	var (
-		exp      = flag.String("exp", "", "experiment ID to run (see -list)")
-		all      = flag.Bool("all", false, "run every registered experiment")
-		list     = flag.Bool("list", false, "list experiments")
-		scale    = flag.String("scale", "medium", "device/workload scale: small, medium, large")
-		ops      = flag.Int("ops", 0, "override request count (0 = scale default)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		replay   = flag.Bool("replay", false, "run the parallel trace-replay benchmark")
-		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -replay")
-		workers  = flag.Int("workers", 0, "replay worker goroutines (0 = one per shard)")
-		batch    = flag.Int("batch", 0, "per-shard batch size for -replay (<=1 = unbatched)")
-		async    = flag.Bool("async", false, "-replay: fills via SetAsync + background flusher pool")
-		flushers = flag.Int("flushers", 2, "background flusher goroutines: -replay/-compare with -async, and -setbench's async rows")
-		setFrac  = flag.Float64("setfrac", 0, "fraction of requests rewritten to explicit SETs (-compare defaults to 0.1)")
-		delFrac  = flag.Float64("delfrac", 0, "fraction of requests rewritten to DELETEs (-compare defaults to 0.02)")
-		compare  = flag.Bool("compare", false, "run the cross-engine sharded comparison harness")
-		engines  = flag.String("engines", "", "-compare: comma-separated engine filter (nemo,log,set,kg,fw; empty = all)")
-		parallel = flag.Bool("parallel", false, "-compare: replay the engines of one shard count concurrently")
-		noTime   = flag.Bool("notime", false, "-compare: omit wall-clock columns (byte-deterministic table)")
-		getbench = flag.Bool("getbench", false, "run the parallel GET-path benchmark")
-		setbench = flag.Bool("setbench", false, "run the parallel SET-path (flush pipeline) benchmark")
-		jsonOut  = flag.String("json", "", "-getbench/-setbench: machine-readable output path (unset: BENCH_get.json / BENCH_set.json per mode; pass -json '' explicitly for table-only output)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		exp       = flag.String("exp", "", "experiment ID to run (see -list)")
+		all       = flag.Bool("all", false, "run every registered experiment")
+		list      = flag.Bool("list", false, "list experiments")
+		scale     = flag.String("scale", "medium", "device/workload scale: small, medium, large")
+		ops       = flag.Int("ops", 0, "override request count (0 = scale default)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		replay    = flag.Bool("replay", false, "run the parallel trace-replay benchmark")
+		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -replay")
+		workers   = flag.Int("workers", 0, "replay worker goroutines (0 = one per shard)")
+		batch     = flag.Int("batch", 0, "per-shard batch size for -replay (<=1 = unbatched)")
+		async     = flag.Bool("async", false, "-replay: fills via SetAsync + background flusher pool")
+		flushers  = flag.Int("flushers", 2, "background flusher goroutines: -replay/-compare with -async, and -setbench's async rows")
+		setFrac   = flag.Float64("setfrac", 0, "fraction of requests rewritten to explicit SETs (-compare defaults to 0.1)")
+		delFrac   = flag.Float64("delfrac", 0, "fraction of requests rewritten to DELETEs (-compare defaults to 0.02)")
+		compare   = flag.Bool("compare", false, "run the cross-engine sharded comparison harness")
+		engines   = flag.String("engines", "", "-compare: comma-separated engine filter (nemo,log,set,kg,fw; empty = all)")
+		parallel  = flag.Bool("parallel", false, "-compare: replay the engines of one shard count concurrently")
+		noTime    = flag.Bool("notime", false, "-compare: omit wall-clock columns (byte-deterministic table)")
+		getbench  = flag.Bool("getbench", false, "run the parallel GET-path benchmark")
+		setbench  = flag.Bool("setbench", false, "run the parallel SET-path (flush pipeline) benchmark")
+		srvbench  = flag.Bool("servebench", false, "run the end-to-end serving-layer (loopback memcached protocol) benchmark")
+		conns     = flag.Int("conns", 4, "-servebench: client connections")
+		pipelineN = flag.Int("pipeline", 8, "-servebench: requests per pipelined batch")
+		jsonOut   = flag.String("json", "", "-getbench/-setbench/-servebench: machine-readable output path (unset: BENCH_get.json / BENCH_set.json / BENCH_serve.json per mode; pass -json '' explicitly for table-only output)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -154,6 +166,26 @@ func run() int {
 		err := runSetBench(os.Stdout, setBenchOptions{
 			shardList: *shards,
 			ops:       *ops,
+			flushers:  *flushers,
+			jsonPath:  path,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *srvbench {
+		path := *jsonOut
+		if !jsonExplicit {
+			path = "BENCH_serve.json"
+		}
+		err := runServeBench(os.Stdout, serveBenchOptions{
+			shardList: *shards,
+			conns:     *conns,
+			ops:       *ops,
+			pipeline:  *pipelineN,
 			flushers:  *flushers,
 			jsonPath:  path,
 		})

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"nemo/internal/servebench"
+)
+
+// serveBenchOptions carries the -servebench flag set.
+type serveBenchOptions struct {
+	shardList string // comma-separated shard counts
+	conns     int    // client connections
+	ops       int    // total requests per configuration
+	pipeline  int    // requests per pipelined batch
+	flushers  int    // background flushers for the async rows
+	jsonPath  string // output path for the machine-readable baseline
+}
+
+// serveBenchRow is one measured configuration, serialized to
+// BENCH_serve.json so CI keeps an end-to-end (network-path) perf baseline
+// next to the in-process get/set ones. Latencies are depth-`pipeline`
+// batch round trips in microseconds.
+type serveBenchRow struct {
+	Shards      int     `json:"shards"`
+	Conns       int     `json:"conns"`
+	Pipeline    int     `json:"pipeline"`
+	Async       bool    `json:"async"`
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	GetP50Us    float64 `json:"get_p50_us"`
+	GetP99Us    float64 `json:"get_p99_us"`
+	SetP50Us    float64 `json:"set_p50_us"`
+	SetP99Us    float64 `json:"set_p99_us"`
+	Hits        int     `json:"hits"`
+	Errors      int     `json:"errors"`
+	ReadErrors  uint64  `json:"read_errors"`
+	WriteErrors uint64  `json:"write_errors"`
+	NumCPU      int     `json:"num_cpu"`
+}
+
+// runServeBench drives the full serving stack — live loopback listener,
+// pipelined memcached-protocol clients, batched engine rounds, graceful
+// drain — for each shard count, in async (SetAsync + flusher pool) and
+// sync-set mode, prints the table, and writes the JSON baseline.
+func runServeBench(out io.Writer, o serveBenchOptions) error {
+	shardCounts, err := parseShardList(o.shardList)
+	if err != nil {
+		return err
+	}
+	if o.ops <= 0 {
+		o.ops = 100_000
+	}
+	if o.conns <= 0 {
+		o.conns = 4
+	}
+
+	var rows []serveBenchRow
+	fmt.Fprintf(out, "%-7s %-6s %-9s %-6s %-9s %-10s %-9s %-9s %-9s %-9s %-7s %-6s\n",
+		"shards", "conns", "pipeline", "mode", "ops", "ops/s", "getp50", "getp99", "setp50", "setp99", "hits", "errs")
+	for _, shards := range shardCounts {
+		if servebench.Zones%shards != 0 {
+			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, servebench.Zones)
+			continue
+		}
+		for _, async := range []bool{false, true} {
+			flushers := 0
+			if async {
+				flushers = o.flushers
+			}
+			res, err := servebench.Run(servebench.Config{
+				Shards:   shards,
+				Flushers: flushers,
+				SyncSet:  !async,
+				Conns:    o.conns,
+				Ops:      o.ops,
+				Pipeline: o.pipeline,
+			})
+			if err != nil {
+				return fmt.Errorf("shards=%d async=%v: %w", shards, async, err)
+			}
+			mode := "sync"
+			if async {
+				mode = "async"
+			}
+			row := serveBenchRow{
+				Shards:      res.Shards,
+				Conns:       res.Conns,
+				Pipeline:    res.Pipeline,
+				Async:       async,
+				Ops:         res.Ops,
+				OpsPerSec:   res.OpsPerSec,
+				GetP50Us:    us(res.GetP50),
+				GetP99Us:    us(res.GetP99),
+				SetP50Us:    us(res.SetP50),
+				SetP99Us:    us(res.SetP99),
+				Hits:        res.Hits,
+				Errors:      res.Errors,
+				ReadErrors:  res.ReadErrors,
+				WriteErrors: res.WriteErrors,
+				NumCPU:      runtime.NumCPU(),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(out, "%-7d %-6d %-9d %-6s %-9d %-10.0f %-9v %-9v %-9v %-9v %-7d %-6d\n",
+				row.Shards, row.Conns, row.Pipeline, mode, row.Ops, row.OpsPerSec,
+				res.GetP50.Round(time.Microsecond), res.GetP99.Round(time.Microsecond),
+				res.SetP50.Round(time.Microsecond), res.SetP99.Round(time.Microsecond),
+				row.Hits, row.Errors)
+		}
+	}
+
+	if o.jsonPath != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// us converts a duration to float microseconds for the JSON rows.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -1,0 +1,110 @@
+// Command nemoserve runs the Nemo cache as a memcached-text-protocol
+// network service on the simulated flash device.
+//
+// Usage:
+//
+//	nemoserve [-addr 127.0.0.1:11211] [-shards 8] [-zones 48]
+//	          [-flushers 2] [-sync-set] [-max-batch 64]
+//
+// The server speaks the protocol subset documented in the package docs
+// (get/gets multi-key, set, delete, stats, version, quit, noreply):
+// pipelined requests coalesce into batched engine rounds, SETs ride the
+// asynchronous flush pipeline unless -sync-set, and SIGINT/SIGTERM trigger
+// the graceful drain (stop accepting, answer in-flight batches, Drain the
+// engine) before exit. `nemobench -servebench` drives the same serving
+// stack over loopback and records the BENCH_serve.json baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nemo/internal/core"
+	"nemo/internal/flashsim"
+	"nemo/internal/server"
+	"nemo/internal/setblock"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
+		shards   = flag.Int("shards", 8, "cache shards (data zones must divide evenly)")
+		zones    = flag.Int("zones", 48, "total SG-pool data zones across shards")
+		flushers = flag.Int("flushers", 2, "background flusher goroutines (async SETs)")
+		syncSet  = flag.Bool("sync-set", false, "serve SETs through the synchronous path")
+		maxBatch = flag.Int("max-batch", 64, "pipelined requests coalesced per engine round")
+	)
+	flag.Parse()
+
+	if *shards < 1 || *zones%*shards != 0 {
+		fmt.Fprintf(os.Stderr, "nemoserve: %d data zones not divisible by %d shards\n", *zones, *shards)
+		return 2
+	}
+	const pageSize = 4096
+	perData := *zones / *shards
+	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
+	dev := flashsim.New(flashsim.Config{
+		PageSize:     pageSize,
+		PagesPerZone: 256,
+		Zones:        *shards * (perData + perIdx),
+	})
+	cfg := core.DefaultConfig(dev, *zones)
+	cfg.Shards = *shards
+	cfg.Flushers = *flushers
+	cache, err := core.NewSharded(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nemoserve:", err)
+		return 1
+	}
+	defer cache.Close()
+
+	srv, err := server.New(server.Config{
+		Engine:   cache,
+		SyncSet:  *syncSet,
+		MaxBatch: *maxBatch,
+		// Exactly the engine's per-object capacity: key + stored value
+		// (data plus the item envelope) must fit one set page.
+		MaxItemBytes: pageSize - setblock.HeaderSize - setblock.EntryOverhead,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nemoserve:", err)
+		return 1
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nemoserve:", err)
+		return 1
+	}
+	fmt.Printf("nemoserve: listening on %s (%d shards, %d data zones, %d flushers, sync-set=%v)\n",
+		l.Addr(), *shards, *zones, *flushers, *syncSet)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case s := <-sig:
+		fmt.Printf("nemoserve: %v — draining\n", s)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "nemoserve:", err)
+		return 1
+	}
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "nemoserve: drain:", err)
+		return 1
+	}
+	st := cache.Stats()
+	fmt.Printf("nemoserve: drained (gets=%d hits=%d sets=%d deletes=%d rderr=%d wrerr=%d)\n",
+		st.Gets, st.Hits, st.Sets, st.Deletes, st.ReadErrors, st.WriteErrors)
+	return 0
+}

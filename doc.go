@@ -133,6 +133,47 @@
 // KindDelete) rides on the trace itself — NewMixedStream generates mixed
 // GET/SET/DELETE workloads.
 //
+// # The serving layer
+//
+// internal/server turns the engine into a network service: a memcached
+// text-protocol front end over EngineV2, run by cmd/nemoserve and driven
+// over loopback by `nemobench -servebench` (which writes the
+// BENCH_serve.json end-to-end baseline). The protocol subset is get/gets
+// (multi-key), set, delete, stats, version, and quit, with noreply
+// honored on set/delete. Each connection is one goroutine whose read loop
+// accumulates the requests already pipelined on the wire — never blocking
+// on a half-received line — into a batch (Config.MaxBatch, default 64);
+// consecutive gets coalesce into one GetMany round and, in SyncSet mode,
+// consecutive sets into one SetMany, so the PR 2–5 batch machinery is what
+// actually serves the wire. Replies are written strictly in request order
+// and flushed once per batch; a malformed request occupies its pipeline
+// position as an ERROR/CLIENT_ERROR reply and never kills the connection.
+//
+// Stored values carry a 4-byte big-endian flags envelope ahead of the
+// data, which round-trips memcached flags and keeps protocol-level empty
+// values representable (the engine reserves zero-length values for
+// tombstones); the `gets` cas token is an FNV-1a fingerprint of the stored
+// value, a change detector only — the cas verb itself is not implemented.
+// Three deliberate protocol departures, all consequences of Nemo having no
+// exact per-object index: delete always answers DELETED (a tombstone
+// insert cannot know whether the key existed), exptime is accepted and
+// ignored (TTL rides elsewhere), and flush_all is absent.
+//
+// SETs ride SetAsync by default — STORED means "accepted", and flush
+// errors surface in Stats.WriteErrors, in the `stats` verb (which reports
+// the server's protocol counters next to every cachelib.Stats field under
+// an engine_ prefix), and on drain; `-sync-set` serves stores through the
+// synchronous path instead, making STORED mean "survived any flush it
+// triggered". Shutdown is a graceful drain: stop accepting, interrupt
+// blocked reads, let every handler answer its in-flight batch, then Drain
+// the engine — so no acknowledged write is left behind in a memory SG.
+// The suite pinning all of this: golden byte-for-byte conformance
+// transcripts over net.Pipe, FuzzParseCommand (checked-in corpus; a key
+// with an embedded CR/LF can never survive parsing), a loopback stress
+// test under -race asserting server stats equal client-side tallies
+// exactly, and graceful-drain tests including a blockable write fault
+// released mid-shutdown.
+//
 // # What the package exposes
 //
 //   - The Nemo cache itself (New, Config, DefaultConfig).

@@ -94,6 +94,34 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// Field is one named counter of a Stats snapshot, for surfaces that render
+// stats generically (the memcached `stats` verb of internal/server, log
+// lines, dashboards). Names are stable snake_case identifiers.
+type Field struct {
+	Name  string
+	Value uint64
+}
+
+// Fields returns every Stats counter as an ordered name/value list, in
+// struct-declaration order. Surfaces that iterate Fields automatically pick
+// up counters added to Stats later; a reflection test pins the two in sync.
+func (s Stats) Fields() []Field {
+	return []Field{
+		{"gets", s.Gets},
+		{"hits", s.Hits},
+		{"sets", s.Sets},
+		{"deletes", s.Deletes},
+		{"logical_bytes", s.LogicalBytes},
+		{"flash_bytes_written", s.FlashBytesWritten},
+		{"device_bytes_written", s.DeviceBytesWritten},
+		{"flash_bytes_read", s.FlashBytesRead},
+		{"flash_read_ops", s.FlashReadOps},
+		{"read_errors", s.ReadErrors},
+		{"write_errors", s.WriteErrors},
+		{"evictions", s.Evictions},
+	}
+}
+
 // ALWA returns application-level write amplification (1 when no writes).
 func (s Stats) ALWA() float64 {
 	if s.LogicalBytes == 0 {

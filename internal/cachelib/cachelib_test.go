@@ -1,6 +1,7 @@
 package cachelib
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -143,5 +144,31 @@ func TestStatsDerivedMetrics(t *testing.T) {
 	s2 := Stats{LogicalBytes: 100, FlashBytesWritten: 200, DeviceBytesWritten: 0}
 	if s2.TotalWA() != 2 {
 		t.Fatalf("TotalWA clamp = %v", s2.TotalWA())
+	}
+}
+
+// TestStatsFieldsCoverStruct pins Fields to the Stats struct: every uint64
+// counter must appear exactly once, in declaration order, with its value —
+// so a counter added to Stats without a Fields entry (which would silently
+// vanish from the server's `stats` verb) fails here.
+func TestStatsFieldsCoverStruct(t *testing.T) {
+	s := Stats{}
+	rv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetUint(uint64(i + 1)) // distinct, nonzero
+	}
+	fields := s.Fields()
+	if len(fields) != rv.NumField() {
+		t.Fatalf("Fields() has %d entries, Stats has %d fields", len(fields), rv.NumField())
+	}
+	seen := map[string]bool{}
+	for i, f := range fields {
+		if f.Value != uint64(i+1) {
+			t.Fatalf("Fields()[%d] = %q/%d, want declaration-order value %d", i, f.Name, f.Value, i+1)
+		}
+		if seen[f.Name] {
+			t.Fatalf("duplicate field name %q", f.Name)
+		}
+		seen[f.Name] = true
 	}
 }

@@ -1,0 +1,264 @@
+// Package servebench is the end-to-end serving-layer benchmark harness
+// behind `nemobench -servebench` (the BENCH_serve.json CI baseline) and the
+// loopback perf tests: a live internal/server listener on 127.0.0.1 driven
+// by K client connections speaking the memcached text protocol through
+// internal/memclient. Where getbench and setbench measure the engine
+// in-process, servebench measures the whole stack — parser, per-connection
+// batcher, engine round, reply writer — under real goroutine churn, which
+// is exactly the traffic shape the ROADMAP's "millions of users" item asks
+// the BENCH trajectory to track.
+package servebench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nemo/internal/core"
+	"nemo/internal/flashsim"
+	"nemo/internal/memclient"
+	"nemo/internal/metrics"
+	"nemo/internal/server"
+	"nemo/internal/setblock"
+)
+
+// Zones is the benchmark's total SG pool — the same -replay/-getbench/
+// -setbench geometry, held constant across shard counts.
+const (
+	Zones        = 48
+	pagesPerZone = 64
+	pageSize     = 4096
+)
+
+// valueSize is the object payload size (the paper's tiny-object regime).
+const valueSize = 250
+
+// Config parameterizes one servebench run.
+type Config struct {
+	Shards   int
+	Flushers int  // background flusher goroutines (async SETs)
+	SyncSet  bool // serve SETs synchronously instead
+	Conns    int  // client connections, one goroutine each (default 4)
+	Ops      int  // total requests across all connections
+	Pipeline int  // requests per pipelined batch (default 8)
+	SetFrac  float64
+}
+
+// Result is one measured configuration. Latency percentiles are round-trip
+// times of one depth-Pipeline batch (queue, flush, read every reply) —
+// the latency a pipelining client observes, not a per-request service
+// time.
+type Result struct {
+	Shards, Conns, Pipeline int
+	Ops                     int // requests issued (gets + sets)
+	GetOps, SetOps          int
+	Hits                    int // VALUE replies observed by the clients
+	Errors                  int // non-STORED / unexpected replies
+	Elapsed                 time.Duration
+	OpsPerSec               float64
+	GetP50, GetP99          time.Duration // get-batch RTT
+	SetP50, SetP99          time.Duration // set-batch RTT
+	ReadErrors, WriteErrors uint64        // engine device-error counters after drain
+}
+
+// Key returns the deterministic benchmark key for index i (fixed keys keep
+// BENCH_serve.json deterministic in shape).
+func Key(i int) []byte {
+	return []byte(fmt.Sprintf("svb-key-%08d-padpad", i))
+}
+
+// Value returns the deterministic benchmark value for index i.
+func Value(i int) []byte {
+	v := make([]byte, valueSize)
+	n := copy(v, fmt.Sprintf("svb-value-%08d-", i))
+	for j := n; j < valueSize; j++ {
+		v[j] = byte('a' + (i+j)%26)
+	}
+	return v
+}
+
+// Build constructs the benchmark engine: the shared 48-zone geometry over a
+// fresh simulated device.
+func Build(shards, flushers int) (*core.Sharded, error) {
+	perData := Zones / shards
+	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
+	dev := flashsim.New(flashsim.Config{
+		PageSize:     pageSize,
+		PagesPerZone: pagesPerZone,
+		Zones:        shards * (perData + perIdx),
+	})
+	cfg := core.DefaultConfig(dev, Zones)
+	cfg.Shards = shards
+	cfg.Flushers = flushers
+	return core.NewSharded(cfg)
+}
+
+// Run builds the engine and server, serves on an ephemeral loopback port,
+// drives the configured client load, shuts the server down (graceful
+// drain), and closes the engine.
+func Run(cfg Config) (Result, error) {
+	if cfg.Shards < 1 || Zones%cfg.Shards != 0 {
+		return Result{}, fmt.Errorf("servebench: %d data zones not divisible by %d shards", Zones, cfg.Shards)
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 8
+	}
+	if cfg.SetFrac <= 0 {
+		cfg.SetFrac = 0.3
+	}
+	cache, err := Build(cfg.Shards, cfg.Flushers)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cache.Close()
+
+	srv, err := server.New(server.Config{
+		Engine:       cache,
+		SyncSet:      cfg.SyncSet,
+		MaxItemBytes: pageSize - setblock.HeaderSize - setblock.EntryOverhead,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	go srv.Serve(l)
+
+	// The key space is a small multiple of pool capacity (the setbench
+	// sizing), split into one disjoint block per connection so concurrent
+	// writers churn the flush pipeline instead of coalescing in memory.
+	const poolBytes = Zones * pagesPerZone * pageSize
+	keySpace := 3 * poolBytes / valueSize
+
+	tallies := make([]connTally, cfg.Conns)
+	perConn := cfg.Ops / cfg.Conns
+	if perConn < cfg.Pipeline {
+		perConn = cfg.Pipeline
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.Conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			t := &tallies[g]
+			nc, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.err = err
+				return
+			}
+			defer nc.Close()
+			t.err = driveConn(memclient.New(nc), g, cfg, keySpace, t)
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	drainErr := srv.Shutdown()
+	st := cache.Stats()
+
+	res := Result{
+		Shards:      cfg.Shards,
+		Conns:       cfg.Conns,
+		Pipeline:    cfg.Pipeline,
+		Elapsed:     elapsed,
+		ReadErrors:  st.ReadErrors,
+		WriteErrors: st.WriteErrors,
+	}
+	var getHist, setHist metrics.Histogram
+	for g := range tallies {
+		t := &tallies[g]
+		if t.err != nil {
+			return Result{}, t.err
+		}
+		res.GetOps += t.gets
+		res.SetOps += t.sets
+		res.Hits += t.hits
+		res.Errors += t.errors
+		getHist.Merge(&t.getHist)
+		setHist.Merge(&t.setHist)
+	}
+	res.Ops = res.GetOps + res.SetOps
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	gs, ss := getHist.Snapshot(), setHist.Snapshot()
+	res.GetP50, res.GetP99 = gs.P50, gs.P99
+	res.SetP50, res.SetP99 = ss.P50, ss.P99
+	return res, drainErr
+}
+
+// connTally accumulates one client connection's observations.
+type connTally struct {
+	gets, sets, hits, errors int
+	getHist, setHist         metrics.Histogram
+	err                      error
+}
+
+// driveConn issues perConn requests as depth-Pipeline batches: a
+// deterministic schedule alternates set batches (sequential walk of this
+// connection's key block) and get batches (strided walk of the same
+// block), so every run issues the identical request sequence.
+func driveConn(cl *memclient.Client, g int, cfg Config, keySpace int, t *connTally) error {
+	perConn := cfg.Ops / cfg.Conns
+	if perConn < cfg.Pipeline {
+		perConn = cfg.Pipeline
+	}
+	lo := g * keySpace / cfg.Conns
+	span := (g+1)*keySpace/cfg.Conns - lo
+	setCursor := 0
+	batches := perConn / cfg.Pipeline
+	setEvery := int(1 / cfg.SetFrac)
+	if setEvery < 1 {
+		setEvery = 1
+	}
+	for b := 0; b < batches; b++ {
+		isSet := b%setEvery == 0
+		t0 := time.Now()
+		if isSet {
+			for i := 0; i < cfg.Pipeline; i++ {
+				k := lo + setCursor%span
+				setCursor++
+				cl.QueueSet(Key(k), Value(k), uint32(k), false)
+			}
+			if err := cl.Flush(); err != nil {
+				return err
+			}
+			for i := 0; i < cfg.Pipeline; i++ {
+				status, err := cl.ReadStatus()
+				if err != nil {
+					return err
+				}
+				if status != "STORED" {
+					t.errors++
+				}
+			}
+			t.setHist.Record(time.Since(t0))
+			t.sets += cfg.Pipeline
+		} else {
+			for i := 0; i < cfg.Pipeline; i++ {
+				k := lo + (b*cfg.Pipeline+i)*6007%span
+				cl.QueueGet(false, Key(k))
+			}
+			if err := cl.Flush(); err != nil {
+				return err
+			}
+			for i := 0; i < cfg.Pipeline; i++ {
+				n, err := cl.ReadValues(nil)
+				if err != nil {
+					return err
+				}
+				t.hits += n
+			}
+			t.getHist.Record(time.Since(t0))
+			t.gets += cfg.Pipeline
+		}
+	}
+	return cl.Quit()
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strconv"
+)
+
+// This file is the per-connection handler: a read loop that accumulates
+// pipelined requests into a batch, an executor that coalesces consecutive
+// same-verb runs into GetMany/SetMany engine rounds, and the reply writers.
+// Replies are produced strictly in request order (a parse error occupies
+// its position in the pipeline like any other reply), and the write buffer
+// is flushed once per batch — the unit of amortization that makes pipelined
+// loopback throughput scale.
+
+// readBufSize bounds both the bufio reader (and therefore the longest
+// acceptable request line) and the reply writer.
+const readBufSize = 16 << 10
+
+// errClass classifies a request that failed before reaching the engine.
+type errClass uint8
+
+const (
+	errNone    errClass = iota
+	errGeneric          // "ERROR\r\n" — unknown verb
+	errClient           // "CLIENT_ERROR <msg>\r\n" — malformed request
+	errServer           // "SERVER_ERROR <msg>\r\n" — server-side rejection
+)
+
+// op is one slot of a connection's request batch. Slots own their key and
+// value storage and are reused batch over batch, so a steady-state
+// connection stops allocating once its slots have grown to the workload's
+// shape.
+type op struct {
+	kind    Kind
+	bad     errClass // != errNone: reply with the error, skip the engine
+	msg     string   // errClient/errServer message
+	keys    [][]byte // owned copies; keys[:nkeys] are live
+	nkeys   int
+	val     []byte // set: encoded item (envelope + data), owned
+	noreply bool
+}
+
+// setKeys copies the parsed (line-aliasing) keys into the slot's owned
+// storage.
+func (o *op) setKeys(src [][]byte) {
+	o.nkeys = len(src)
+	for len(o.keys) < len(src) {
+		o.keys = append(o.keys, nil)
+	}
+	for i, k := range src {
+		o.keys[i] = append(o.keys[i][:0], k...)
+	}
+}
+
+// conn is the per-connection state.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+
+	cmd  Command // parse scratch
+	ops  []op    // batch slots, reused
+	nops int
+
+	getKeys [][]byte // GetMany gather scratch
+	setKeys [][]byte // SetMany gather scratch
+	setVals [][]byte
+	num     [20]byte // strconv scratch
+}
+
+// serveConn runs one connection to completion.
+func (s *Server) serveConn(nc net.Conn) {
+	if !s.addConn(nc) {
+		nc.Close()
+		return
+	}
+	defer s.removeConn(nc)
+	defer nc.Close()
+	c := &conn{
+		srv: s,
+		nc:  nc,
+		r:   bufio.NewReaderSize(nc, readBufSize),
+		w:   bufio.NewWriterSize(nc, readBufSize),
+	}
+	for {
+		c.nops = 0
+		// First request of the batch: the one read that may block. A read
+		// error here (EOF, client reset, Shutdown's deadline) ends the
+		// connection with no batch in flight.
+		if err := c.readOp(); err != nil {
+			c.w.Flush()
+			return
+		}
+		// Accumulate while more pipelined requests are already buffered.
+		// The peek guard stops at a half-received line so a slow sender
+		// cannot park a batch of unexecuted requests behind a blocking
+		// read.
+		for c.nops < s.cfg.MaxBatch {
+			last := &c.ops[c.nops-1]
+			if last.bad == errNone && last.kind == KindQuit {
+				break
+			}
+			n := c.r.Buffered()
+			if n == 0 {
+				break
+			}
+			peek, _ := c.r.Peek(n)
+			if bytes.IndexByte(peek, '\n') < 0 {
+				break
+			}
+			if err := c.readOp(); err != nil {
+				// The pipeline died mid-request: execute and answer what
+				// was fully received, then close.
+				c.execute()
+				c.w.Flush()
+				return
+			}
+		}
+		quit := c.execute()
+		if err := c.w.Flush(); err != nil {
+			return
+		}
+		if quit || s.isClosed() {
+			return
+		}
+	}
+}
+
+// readLine reads one CRLF- (or LF-) terminated request line, stripping the
+// terminator. A line longer than the read buffer is consumed to its
+// newline and reported as tooLong, so the connection stays framed.
+func (c *conn) readLine() (line []byte, tooLong bool, err error) {
+	line, err = c.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		for err == bufio.ErrBufferFull {
+			_, err = c.r.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return nil, true, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, false, nil
+}
+
+// readOp reads one request (line plus, for set, its data block) into the
+// next batch slot. Malformed requests fill the slot with an error reply —
+// they hold their position in the pipeline and never kill the connection.
+// The returned error is reserved for connection-fatal I/O.
+func (c *conn) readOp() error {
+	if c.nops == len(c.ops) {
+		c.ops = append(c.ops, op{})
+	}
+	o := &c.ops[c.nops]
+	o.bad, o.msg, o.noreply, o.nkeys = errNone, "", false, 0
+
+	line, tooLong, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if tooLong {
+		o.bad, o.msg = errClient, "command line too long"
+		c.nops++
+		return nil
+	}
+	switch perr := ParseCommand(line, &c.cmd); perr.(type) {
+	case nil:
+	case *ClientError:
+		o.bad, o.msg = errClient, perr.(*ClientError).Msg
+		c.nops++
+		return nil
+	default: // ErrUnknownCommand
+		o.bad = errGeneric
+		c.nops++
+		return nil
+	}
+	o.kind = c.cmd.Kind
+	o.noreply = c.cmd.Noreply
+	o.setKeys(c.cmd.Keys)
+
+	if c.cmd.Kind == KindSet {
+		// The data block is consumed even when the object will be
+		// rejected — the connection must stay framed either way.
+		need := itemOverhead + c.cmd.Bytes
+		if cap(o.val) < need {
+			o.val = make([]byte, need)
+		}
+		o.val = o.val[:need]
+		binary.BigEndian.PutUint32(o.val[:itemOverhead], c.cmd.Flags)
+		if _, err := io.ReadFull(c.r, o.val[itemOverhead:]); err != nil {
+			return err
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(c.r, crlf[:]); err != nil {
+			return err
+		}
+		if crlf[0] != '\r' || crlf[1] != '\n' {
+			o.bad, o.msg = errClient, "bad data chunk"
+		} else if max := c.srv.cfg.MaxItemBytes; max > 0 && len(o.keys[0])+need > max {
+			o.bad, o.msg = errServer, "object too large for cache"
+		}
+	}
+	c.nops++
+	return nil
+}
+
+// execute answers the accumulated batch in request order, coalescing
+// consecutive get/gets requests into one GetMany and (in SyncSet mode)
+// consecutive sets into one SetMany. It reports whether a quit request
+// ends the connection.
+func (c *conn) execute() (quit bool) {
+	ops := c.ops[:c.nops]
+	for i := 0; i < len(ops); {
+		o := &ops[i]
+		if o.bad != errNone {
+			c.writeError(o)
+			i++
+			continue
+		}
+		switch o.kind {
+		case KindGet, KindGets:
+			j := i + 1
+			for j < len(ops) && ops[j].bad == errNone &&
+				(ops[j].kind == KindGet || ops[j].kind == KindGets) {
+				j++
+			}
+			c.execGets(ops[i:j])
+			i = j
+		case KindSet:
+			j := i + 1
+			for j < len(ops) && ops[j].bad == errNone && ops[j].kind == KindSet {
+				j++
+			}
+			c.execSets(ops[i:j])
+			i = j
+		case KindDelete:
+			c.execDelete(o)
+			i++
+		case KindStats:
+			c.writeStats()
+			i++
+		case KindVersion:
+			c.w.WriteString("VERSION nemo/1\r\n")
+			i++
+		case KindQuit:
+			return true
+		}
+	}
+	return false
+}
+
+// execGets serves a run of get/gets requests through one GetMany round.
+func (c *conn) execGets(run []op) {
+	c.getKeys = c.getKeys[:0]
+	total := 0
+	for i := range run {
+		o := &run[i]
+		c.getKeys = append(c.getKeys, o.keys[:o.nkeys]...)
+		total += o.nkeys
+	}
+	c.srv.cmdGet.Add(uint64(total))
+	values, hits := c.srv.cfg.Engine.GetMany(c.getKeys)
+	idx := 0
+	var hit, miss uint64
+	for i := range run {
+		o := &run[i]
+		for k := 0; k < o.nkeys; k++ {
+			if hits[idx] {
+				if flags, data, ok := decodeItem(values[idx]); ok {
+					hit++
+					c.writeValue(o.keys[k], flags, data, o.kind == KindGets, values[idx])
+					idx++
+					continue
+				}
+				// A value below the envelope size was not written through
+				// this serving layer; report a miss rather than invent
+				// framing for it.
+			}
+			miss++
+			idx++
+		}
+		c.w.WriteString("END\r\n")
+	}
+	c.srv.getHits.Add(hit)
+	c.srv.getMisses.Add(miss)
+}
+
+// writeValue emits one VALUE reply; raw is the stored value (envelope
+// included) the `gets` cas token is fingerprinted from.
+func (c *conn) writeValue(key []byte, flags uint32, data []byte, withCas bool, raw []byte) {
+	c.w.WriteString("VALUE ")
+	c.w.Write(key)
+	c.w.WriteByte(' ')
+	c.w.Write(strconv.AppendUint(c.num[:0], uint64(flags), 10))
+	c.w.WriteByte(' ')
+	c.w.Write(strconv.AppendUint(c.num[:0], uint64(len(data)), 10))
+	if withCas {
+		c.w.WriteByte(' ')
+		c.w.Write(strconv.AppendUint(c.num[:0], casToken(raw), 10))
+	}
+	c.w.WriteString("\r\n")
+	c.w.Write(data)
+	c.w.WriteString("\r\n")
+}
+
+// execSets serves a run of set requests: one SetMany round in SyncSet
+// mode, per-request SetAsync otherwise (STORED then means "accepted"; the
+// flush lands via the background pool, errors surface in Stats.WriteErrors
+// and on Drain — the serving layer's documented async contract).
+func (c *conn) execSets(run []op) {
+	c.srv.cmdSet.Add(uint64(len(run)))
+	eng := c.srv.cfg.Engine
+	if c.srv.cfg.SyncSet && len(run) > 1 {
+		c.setKeys, c.setVals = c.setKeys[:0], c.setVals[:0]
+		for i := range run {
+			c.setKeys = append(c.setKeys, run[i].keys[0])
+			c.setVals = append(c.setVals, run[i].val)
+		}
+		err := eng.SetMany(c.setKeys, c.setVals)
+		for i := range run {
+			if err != nil {
+				// A batch error cannot be attributed per key (SetMany
+				// reports the first error by shard order); every set of
+				// the run reports SERVER_ERROR. MaxItemBytes pre-checks
+				// keep object-size rejections out of this path, so only
+				// device-level failures land here.
+				c.replyStatus(&run[i], "SERVER_ERROR ", err.Error())
+				c.srv.serverErrs.Add(1)
+				continue
+			}
+			c.replyStatus(&run[i], "STORED", "")
+		}
+		return
+	}
+	for i := range run {
+		o := &run[i]
+		var err error
+		if c.srv.cfg.SyncSet {
+			err = eng.Set(o.keys[0], o.val)
+		} else {
+			err = eng.SetAsync(o.keys[0], o.val)
+		}
+		if err != nil {
+			c.replyStatus(o, "SERVER_ERROR ", err.Error())
+			c.srv.serverErrs.Add(1)
+			continue
+		}
+		c.replyStatus(o, "STORED", "")
+	}
+}
+
+// execDelete serves one delete. The engine's Delete is a tombstone insert
+// (Nemo has no exact index to probe), so existence is unknowable without a
+// flash read; the reply is always DELETED, documented as part of the
+// protocol subset.
+func (c *conn) execDelete(o *op) {
+	c.srv.cmdDelete.Add(1)
+	if err := c.srv.cfg.Engine.Delete(o.keys[0]); err != nil {
+		c.replyStatus(o, "SERVER_ERROR ", err.Error())
+		c.srv.serverErrs.Add(1)
+		return
+	}
+	c.replyStatus(o, "DELETED", "")
+}
+
+// replyStatus writes a one-line reply unless the request was noreply.
+func (c *conn) replyStatus(o *op, status, detail string) {
+	if o.noreply {
+		return
+	}
+	c.w.WriteString(status)
+	c.w.WriteString(detail)
+	c.w.WriteString("\r\n")
+}
+
+// writeError answers a request that failed before the engine. noreply
+// suppresses even error replies (the protocol's documented sharp edge: the
+// client asked not to be told).
+func (c *conn) writeError(o *op) {
+	switch o.bad {
+	case errGeneric:
+		c.srv.protoErrs.Add(1)
+		if !o.noreply {
+			c.w.WriteString("ERROR\r\n")
+		}
+	case errClient:
+		c.srv.protoErrs.Add(1)
+		if !o.noreply {
+			c.w.WriteString("CLIENT_ERROR ")
+			c.w.WriteString(o.msg)
+			c.w.WriteString("\r\n")
+		}
+	case errServer:
+		c.srv.serverErrs.Add(1)
+		if !o.noreply {
+			c.w.WriteString("SERVER_ERROR ")
+			c.w.WriteString(o.msg)
+			c.w.WriteString("\r\n")
+		}
+	}
+}
+
+// writeStats answers the stats verb: the server's protocol counters, then
+// every engine counter (cachelib.Stats.Fields, so counters added to Stats
+// appear here automatically) under an engine_ prefix.
+func (c *conn) writeStats() {
+	writeStatLine := func(name string, v uint64) {
+		c.w.WriteString("STAT ")
+		c.w.WriteString(name)
+		c.w.WriteByte(' ')
+		c.w.Write(strconv.AppendUint(c.num[:0], v, 10))
+		c.w.WriteString("\r\n")
+	}
+	for _, f := range c.srv.serverFields() {
+		writeStatLine(f.Name, f.Value)
+	}
+	for _, f := range c.srv.cfg.Engine.Stats().Fields() {
+		writeStatLine("engine_"+f.Name, f.Value)
+	}
+	c.w.WriteString("END\r\n")
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// This file is the memcached text-protocol command parser: one request line
+// (already stripped of its CRLF terminator) in, one Command out. The parser
+// is deliberately allocation-light — parsed keys alias the input line, and
+// the caller owns copying them before the line buffer is reused — and is
+// pinned by FuzzParseCommand: it must never panic, and a key containing a
+// space, CR, LF, or NUL must never survive parsing (an embedded CR/LF in a
+// key would desynchronize the framing of every later reply on the
+// connection).
+
+// MaxKeyLen is the protocol key-length cap (memcached's 250; the engine
+// accepts up to 255, so every protocol-legal key is engine-legal).
+const MaxKeyLen = 250
+
+// MaxDataLen is the protocol cap on a set's data block. The setblock codec
+// stores value lengths in a uint16, so nothing past 64 KiB could ever be
+// admitted; a parsed byte count above this cap is rejected before the
+// server commits to swallowing the block.
+const MaxDataLen = 64 << 10
+
+// Kind discriminates the protocol verbs the server implements.
+type Kind uint8
+
+const (
+	// KindGet is `get <key>+`: multi-key lookup.
+	KindGet Kind = iota
+	// KindGets is `gets <key>+`: multi-key lookup with cas tokens.
+	KindGets
+	// KindSet is `set <key> <flags> <exptime> <bytes> [noreply]` followed
+	// by a <bytes>-long data block.
+	KindSet
+	// KindDelete is `delete <key> [noreply]`.
+	KindDelete
+	// KindStats is `stats`.
+	KindStats
+	// KindQuit is `quit`: the client is done; close the connection.
+	KindQuit
+	// KindVersion is `version`.
+	KindVersion
+)
+
+// Command is one parsed request line. Keys alias the parsed line and are
+// invalidated by the next read into that buffer.
+type Command struct {
+	Kind    Kind
+	Keys    [][]byte // get/gets: all keys; set/delete: exactly one
+	Flags   uint32   // set: opaque client flags, stored with the item
+	Exptime int64    // set: accepted and ignored (documented; see doc.go)
+	Bytes   int      // set: data-block length
+	Noreply bool     // set/delete: suppress the reply
+}
+
+// ErrUnknownCommand reports a well-formed line whose verb the server does
+// not implement; the protocol answer is "ERROR\r\n" and the connection
+// stays usable.
+var ErrUnknownCommand = errors.New("unknown command")
+
+// ClientError is a malformed request line: the protocol answer is
+// "CLIENT_ERROR <msg>\r\n" and the connection stays usable.
+type ClientError struct{ Msg string }
+
+func (e *ClientError) Error() string { return "client error: " + e.Msg }
+
+func clientErrorf(format string, args ...any) error {
+	return &ClientError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseCommand parses one request line (no trailing CRLF) into cmd,
+// reusing cmd.Keys' backing array. It returns ErrUnknownCommand for
+// unimplemented verbs, a *ClientError for malformed lines, and nil on
+// success; on error cmd's contents are unspecified.
+func ParseCommand(line []byte, cmd *Command) error {
+	*cmd = Command{Keys: cmd.Keys[:0]}
+	fields, ok := splitFields(line)
+	if !ok {
+		return clientErrorf("control characters in command line")
+	}
+	if len(fields) == 0 {
+		return ErrUnknownCommand
+	}
+	verb, args := fields[0], fields[1:]
+	switch {
+	case bytes.Equal(verb, []byte("get")), bytes.Equal(verb, []byte("gets")):
+		cmd.Kind = KindGet
+		if len(verb) == 4 {
+			cmd.Kind = KindGets
+		}
+		if len(args) == 0 {
+			return clientErrorf("bad command line format")
+		}
+		for _, k := range args {
+			if err := checkKey(k); err != nil {
+				return err
+			}
+			cmd.Keys = append(cmd.Keys, k)
+		}
+		return nil
+	case bytes.Equal(verb, []byte("set")):
+		cmd.Kind = KindSet
+		if len(args) == 5 && bytes.Equal(args[4], []byte("noreply")) {
+			cmd.Noreply = true
+			args = args[:4]
+		}
+		if len(args) != 4 {
+			return clientErrorf("bad command line format")
+		}
+		if err := checkKey(args[0]); err != nil {
+			return err
+		}
+		flags, err1 := strconv.ParseUint(string(args[1]), 10, 32)
+		exp, err2 := strconv.ParseInt(string(args[2]), 10, 64)
+		n, err3 := strconv.ParseUint(string(args[3]), 10, 31)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return clientErrorf("bad command line format")
+		}
+		if n > MaxDataLen {
+			return clientErrorf("bad data chunk")
+		}
+		cmd.Keys = append(cmd.Keys, args[0])
+		cmd.Flags = uint32(flags)
+		cmd.Exptime = exp
+		cmd.Bytes = int(n)
+		return nil
+	case bytes.Equal(verb, []byte("delete")):
+		cmd.Kind = KindDelete
+		if len(args) == 2 && bytes.Equal(args[1], []byte("noreply")) {
+			cmd.Noreply = true
+			args = args[:1]
+		}
+		if len(args) != 1 {
+			return clientErrorf("bad command line format")
+		}
+		if err := checkKey(args[0]); err != nil {
+			return err
+		}
+		cmd.Keys = append(cmd.Keys, args[0])
+		return nil
+	case bytes.Equal(verb, []byte("stats")):
+		cmd.Kind = KindStats
+		if len(args) != 0 {
+			// Sub-statistics (`stats items`, ...) are not implemented.
+			return ErrUnknownCommand
+		}
+		return nil
+	case bytes.Equal(verb, []byte("quit")):
+		cmd.Kind = KindQuit
+		if len(args) != 0 {
+			return clientErrorf("bad command line format")
+		}
+		return nil
+	case bytes.Equal(verb, []byte("version")):
+		cmd.Kind = KindVersion
+		if len(args) != 0 {
+			return clientErrorf("bad command line format")
+		}
+		return nil
+	}
+	return ErrUnknownCommand
+}
+
+// splitFields splits a request line on single spaces, rejecting lines with
+// embedded control bytes (CR, LF, NUL): reporting ok=false rather than
+// passing such bytes through is what keeps a hostile key from breaking
+// reply framing. Empty fields (runs of spaces) collapse, matching
+// memcached's tokenizer.
+func splitFields(line []byte) (fields [][]byte, ok bool) {
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		var b byte
+		if i < len(line) {
+			b = line[i]
+		} else {
+			b = ' ' // virtual terminator flushes the last field
+		}
+		switch {
+		case b == ' ':
+			if start >= 0 {
+				fields = append(fields, line[start:i])
+				start = -1
+			}
+		case b == '\r' || b == '\n' || b == 0:
+			return nil, false
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	return fields, true
+}
+
+// checkKey enforces the protocol key contract: 1..MaxKeyLen bytes of
+// printable non-space ASCII-compatible bytes. splitFields already excludes
+// space/CR/LF/NUL; this adds the remaining control bytes and the length
+// caps.
+func checkKey(key []byte) error {
+	if len(key) == 0 {
+		return clientErrorf("bad command line format")
+	}
+	if len(key) > MaxKeyLen {
+		return clientErrorf("key too long (%d > %d)", len(key), MaxKeyLen)
+	}
+	for _, b := range key {
+		if b < 0x21 || b == 0x7f {
+			return clientErrorf("invalid key byte 0x%02x", b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package server is the memcached-text-protocol front end over the Engine
+// v2 surface: the piece that turns the in-process cache into a network
+// service. Per-connection goroutines parse pipelined requests into small
+// batches that coalesce into GetMany/SetMany calls (the batching machinery
+// PRs 2-5 built exists precisely for this front end), SETs ride the
+// asynchronous flush pipeline by default, and shutdown is a graceful drain:
+// stop accepting, let every connection finish and reply to its in-flight
+// batch, then Drain the engine so every acknowledged write has reached
+// flash. See doc.go at the repository root ("The serving layer") for the
+// protocol subset and the exact batching/async/drain contracts.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nemo/internal/cachelib"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown stops the listener.
+var ErrServerClosed = errors.New("server: closed")
+
+// shutdownWriteGrace bounds how long a closing connection may stay blocked
+// flushing its final replies to a client that stopped reading.
+const shutdownWriteGrace = time.Second
+
+// Config configures a Server. Engine is required; the zero value of every
+// other field is a sensible default.
+type Config struct {
+	// Engine serves the requests. The server never closes it — ownership
+	// stays with the caller, which typically wants the engine alive after
+	// Shutdown (to checkpoint, inspect stats, or serve again).
+	Engine cachelib.EngineV2
+	// SyncSet routes stores through the synchronous Set/SetMany path, so a
+	// STORED reply means the object survived any flush it triggered. The
+	// default (false) is SetAsync: STORED means the engine accepted the
+	// object, and Shutdown's Drain is the point where every deferred flush
+	// has completed or surfaced its error.
+	SyncSet bool
+	// MaxBatch caps how many pipelined requests one connection coalesces
+	// into a single engine round (default 64).
+	MaxBatch int
+	// MaxItemBytes, when positive, pre-rejects stores whose key + stored
+	// value (protocol data plus the 4-byte item envelope) exceed it,
+	// answering SERVER_ERROR without touching the engine. Set it to the
+	// engine's per-object capacity so a batched SetMany can never fail on
+	// an oversized object (whose per-key outcome a batch error cannot
+	// attribute). Zero trusts the engine to reject.
+	MaxItemBytes int
+}
+
+// Server is a memcached-text-protocol server over one cache engine. Create
+// with New, feed it listeners via Serve (or single connections via
+// ServeConn), stop it with Shutdown.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	handlers sync.WaitGroup
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// Protocol-level counters, surfaced by the `stats` verb next to the
+	// engine's cachelib.Stats.
+	currConns  atomic.Uint64
+	totalConns atomic.Uint64
+	cmdGet     atomic.Uint64 // keys requested by get/gets
+	cmdSet     atomic.Uint64
+	cmdDelete  atomic.Uint64
+	getHits    atomic.Uint64
+	getMisses  atomic.Uint64
+	protoErrs  atomic.Uint64 // ERROR + CLIENT_ERROR replies
+	serverErrs atomic.Uint64 // SERVER_ERROR replies
+}
+
+// New returns a Server over cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections on l until Shutdown, spawning one handler
+// goroutine per connection. It always returns a non-nil error:
+// ErrServerClosed after Shutdown, the accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// ServeConn serves one already-established connection (tests run the full
+// protocol over net.Pipe this way, no ports needed), blocking until the
+// client quits, the connection fails, or Shutdown drains it.
+func (s *Server) ServeConn(nc net.Conn) {
+	s.handlers.Add(1)
+	defer s.handlers.Done()
+	s.serveConn(nc)
+}
+
+// Shutdown gracefully stops the server: new connections stop being
+// accepted, every live connection finishes executing and replying to its
+// in-flight batch (a blocking read is interrupted via read deadline; final
+// replies get shutdownWriteGrace to flush), and once all handlers have
+// exited the engine is drained, so every acknowledged asynchronous SET has
+// reached flash — or surfaced its error as Shutdown's return value.
+// Shutdown runs once; concurrent and repeated calls return the first run's
+// error. The engine itself stays open (and owned by the caller).
+func (s *Server) Shutdown() error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.doShutdown() })
+	return s.shutdownErr
+}
+
+func (s *Server) doShutdown() error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	now := time.Now()
+	for nc := range s.conns {
+		nc.SetReadDeadline(now) // unblock handlers parked in Read
+		nc.SetWriteDeadline(now.Add(shutdownWriteGrace))
+	}
+	s.mu.Unlock()
+
+	s.handlers.Wait()
+	return s.cfg.Engine.Drain()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// addConn registers a live connection, reporting false when the server is
+// already closed (the race where Accept won against Shutdown).
+func (s *Server) addConn(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	s.currConns.Add(1)
+	s.totalConns.Add(1)
+	return true
+}
+
+func (s *Server) removeConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.currConns.Add(^uint64(0))
+}
+
+// serverFields returns the protocol-level counters in stable order; the
+// `stats` verb emits them ahead of the engine's cachelib.Stats fields.
+func (s *Server) serverFields() []cachelib.Field {
+	return []cachelib.Field{
+		{Name: "curr_connections", Value: s.currConns.Load()},
+		{Name: "total_connections", Value: s.totalConns.Load()},
+		{Name: "cmd_get", Value: s.cmdGet.Load()},
+		{Name: "cmd_set", Value: s.cmdSet.Load()},
+		{Name: "cmd_delete", Value: s.cmdDelete.Load()},
+		{Name: "get_hits", Value: s.getHits.Load()},
+		{Name: "get_misses", Value: s.getMisses.Load()},
+		{Name: "protocol_errors", Value: s.protoErrs.Load()},
+		{Name: "server_errors", Value: s.serverErrs.Load()},
+	}
+}

@@ -1,0 +1,202 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nemo/internal/memclient"
+	"nemo/internal/server"
+)
+
+// tally is one client's op counts; the stress test sums them and requires
+// the server's stats verb and the engine's counters to agree exactly.
+type tally struct {
+	gets, hits, sets, deletes uint64
+	errors                    int
+}
+
+// stressKey/stressData are the deterministic shared workload shape.
+func stressKey(i int) []byte { return []byte(fmt.Sprintf("stress-key-%04d", i)) }
+
+func stressData(i int) []byte {
+	n := 1 + (i*37)%180
+	d := make([]byte, n)
+	for j := range d {
+		d[j] = byte('a' + (i+j)%26)
+	}
+	return d
+}
+
+// TestLoopbackStress drives a live loopback listener from N concurrent
+// client connections doing pipelined mixed get/set/delete (the network
+// extension of the PR 4/5 concurrency stress family — run under -race in
+// CI), then asserts the server-reported `stats` counters exactly match the
+// summed client-side tallies, both over the wire and — after Shutdown's
+// Drain — straight off the engine.
+func TestLoopbackStress(t *testing.T) {
+	const (
+		conns    = 4
+		batches  = 150
+		pipeline = 16
+		keySpace = 600
+	)
+	eng, _ := newEngine(t, 2, 2)
+	defer eng.Close()
+	srv, err := server.New(server.Config{Engine: eng, MaxItemBytes: testMaxItem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	tallies := make([]tally, conns)
+	var wg sync.WaitGroup
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tl := &tallies[g]
+			nc, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				tl.errors++
+				return
+			}
+			defer nc.Close()
+			cl := memclient.New(nc)
+			kinds := make([]byte, 0, pipeline)
+			noreply := make([]bool, 0, pipeline)
+			for b := 0; b < batches; b++ {
+				kinds, noreply = kinds[:0], noreply[:0]
+				for i := 0; i < pipeline; i++ {
+					seq := b*pipeline + i
+					idx := (g*31 + seq*17) % keySpace
+					switch (g*7 + seq*13) % 10 {
+					case 0, 1, 2, 3, 4:
+						cl.QueueGet(seq%3 == 0, stressKey(idx))
+						kinds, noreply = append(kinds, 'g'), append(noreply, false)
+						tl.gets++
+					case 5, 6, 7, 8:
+						nr := seq%7 == 0
+						cl.QueueSet(stressKey(idx), stressData(idx), uint32(idx), nr)
+						kinds, noreply = append(kinds, 's'), append(noreply, nr)
+						tl.sets++
+					default:
+						nr := seq%5 == 0
+						cl.QueueDelete(stressKey(idx), nr)
+						kinds, noreply = append(kinds, 'd'), append(noreply, nr)
+						tl.deletes++
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					tl.errors++
+					return
+				}
+				for i, k := range kinds {
+					switch {
+					case k == 'g':
+						n, err := cl.ReadValues(nil)
+						if err != nil {
+							tl.errors++
+							return
+						}
+						tl.hits += uint64(n)
+					case noreply[i]:
+						// No reply to read.
+					default:
+						status, err := cl.ReadStatus()
+						if err != nil || (k == 's' && status != "STORED") || (k == 'd' && status != "DELETED") {
+							tl.errors++
+							return
+						}
+					}
+				}
+			}
+			if err := cl.Quit(); err != nil {
+				tl.errors++
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var sum tally
+	for g := range tallies {
+		if tallies[g].errors != 0 {
+			t.Fatalf("client %d saw %d errors", g, tallies[g].errors)
+		}
+		sum.gets += tallies[g].gets
+		sum.hits += tallies[g].hits
+		sum.sets += tallies[g].sets
+		sum.deletes += tallies[g].deletes
+	}
+
+	// Server-reported stats over the wire must match the client tallies
+	// exactly — protocol counters and engine counters both. The workers'
+	// connection teardown (quit → close → unregister) finishes shortly
+	// after their last reply, so the connection gauges are polled before
+	// the exact comparison.
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := memclient.New(nc)
+	var stats map[string]uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if stats, err = cl.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		if stats["curr_connections"] == 1 && stats["total_connections"] == conns+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker connections never unregistered: %v", stats)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	nc.Close()
+	for name, want := range map[string]uint64{
+		"cmd_get":             sum.gets,
+		"get_hits":            sum.hits,
+		"get_misses":          sum.gets - sum.hits,
+		"cmd_set":             sum.sets,
+		"cmd_delete":          sum.deletes,
+		"engine_gets":         sum.gets,
+		"engine_hits":         sum.hits,
+		"engine_sets":         sum.sets,
+		"engine_deletes":      sum.deletes,
+		"total_connections":   conns + 1,
+		"curr_connections":    1, // just the stats connection
+		"protocol_errors":     0,
+		"server_errors":       0,
+		"engine_read_errors":  0,
+		"engine_write_errors": 0,
+	} {
+		if got, ok := stats[name]; !ok || got != want {
+			t.Errorf("stats[%s] = %d (present=%v), want %d", name, got, ok, want)
+		}
+	}
+
+	// Drain, then re-check straight off the engine: nothing may have been
+	// double- or under-counted by the batching layers.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != server.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	st := eng.Stats()
+	if st.Gets != sum.gets || st.Hits != sum.hits || st.Sets != sum.sets || st.Deletes != sum.deletes {
+		t.Fatalf("engine stats after drain = gets %d hits %d sets %d deletes %d, client tallies %+v",
+			st.Gets, st.Hits, st.Sets, st.Deletes, sum)
+	}
+	if st.WriteErrors != 0 || st.ReadErrors != 0 {
+		t.Fatalf("unexpected device errors: %+v", st)
+	}
+}
