@@ -92,22 +92,22 @@ func BenchmarkNemoSteadyState(b *testing.B) {
 func BenchmarkEngineSetPath(b *testing.B) {
 	type mk struct {
 		name string
-		mk   func(*nemo.Device) (nemo.Engine, error)
+		mk   func(nemo.Device) (nemo.Engine, error)
 	}
 	engines := []mk{
-		{"Nemo", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Nemo", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.New(nemo.DefaultConfig(d, 48))
 		}},
-		{"Log", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Log", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewLogCache(nemo.LogCacheConfig{Device: d})
 		}},
-		{"Set", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Set", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewSetCache(nemo.SetCacheConfig{Device: d, OPRatio: 0.5})
 		}},
-		{"FW", func(d *nemo.Device) (nemo.Engine, error) {
+		{"FW", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewFairyWREN(nemo.FairyWRENConfig{Device: d})
 		}},
-		{"KG", func(d *nemo.Device) (nemo.Engine, error) {
+		{"KG", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewKangaroo(nemo.KangarooConfig{Device: d})
 		}},
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"strings"
 
+	"nemo/internal/backend"
 	"nemo/internal/experiments"
 )
 
@@ -21,9 +22,10 @@ type compareOptions struct {
 	setFrac   float64
 	delFrac   float64
 	scale     string
-	engines   string // comma-separated filter (nemo,log,set,kg,fw)
-	parallel  bool   // replay the engines of one shard count concurrently
-	noTime    bool   // omit wall-clock columns (byte-deterministic table)
+	engines   string       // comma-separated filter (nemo,log,set,kg,fw)
+	parallel  bool         // replay the engines of one shard count concurrently
+	noTime    bool         // omit wall-clock columns (byte-deterministic table)
+	device    backend.Spec // device backend every engine runs on
 }
 
 // runCompare drives the cross-engine comparison: the same materialized
@@ -51,6 +53,7 @@ func runCompare(out io.Writer, o compareOptions) error {
 		Engines:  engines,
 		Parallel: o.parallel,
 		HostTime: !o.noTime,
+		Device:   o.device,
 		Out:      out,
 	})
 }

@@ -7,14 +7,16 @@ import (
 	"os"
 	"runtime"
 
+	"nemo/internal/backend"
 	"nemo/internal/getbench"
 )
 
 // getBenchOptions carries the -getbench flag set.
 type getBenchOptions struct {
-	shardList string // comma-separated shard counts
-	ops       int    // GET count per configuration
-	jsonPath  string // output path for the machine-readable baseline
+	shardList string       // comma-separated shard counts
+	ops       int          // GET count per configuration
+	device    backend.Spec // device backend the rows run on
+	jsonPath  string       // output path for the machine-readable baseline
 }
 
 // getBenchRow is one measured configuration, serialized to BENCH_get.json
@@ -27,6 +29,7 @@ type getBenchRow struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	HitRatio    float64 `json:"hit_ratio"`
 	NumCPU      int     `json:"num_cpu"`
+	Device      string  `json:"device"`
 }
 
 // runGetBench measures parallel GET throughput and per-op allocations at
@@ -54,7 +57,7 @@ func runGetBench(out io.Writer, o getBenchOptions) error {
 			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, getbench.Zones)
 			continue
 		}
-		cache, keys, err := getbench.Build(shards)
+		cache, dev, keys, err := getbench.Build(o.device, shards)
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
@@ -76,6 +79,7 @@ func runGetBench(out io.Writer, o getBenchOptions) error {
 				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(delta),
 				HitRatio:    float64(after.Hits-before.Hits) / float64(delta),
 				NumCPU:      runtime.NumCPU(),
+				Device:      o.device.String(),
 			}
 			rows = append(rows, row)
 			fmt.Fprintf(out, "%-7d %-11d %-10d %-12.0f %-10.2f %-7.2f\n",
@@ -83,7 +87,11 @@ func runGetBench(out io.Writer, o getBenchOptions) error {
 				row.AllocsPerOp, row.HitRatio*100)
 		}
 		if err := cache.Close(); err != nil {
+			dev.Close()
 			return fmt.Errorf("shards=%d: close: %w", shards, err)
+		}
+		if err := dev.Close(); err != nil {
+			return fmt.Errorf("shards=%d: close device: %w", shards, err)
 		}
 	}
 

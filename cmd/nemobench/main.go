@@ -64,6 +64,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"nemo/internal/backend"
 	"nemo/internal/experiments"
 )
 
@@ -97,11 +98,18 @@ func run() int {
 		srvbench  = flag.Bool("servebench", false, "run the end-to-end serving-layer (loopback memcached protocol) benchmark")
 		conns     = flag.Int("conns", 4, "-servebench: client connections")
 		pipelineN = flag.Int("pipeline", 8, "-servebench: requests per pipelined batch")
+		deviceStr = flag.String("device", "sim", "device backend for -replay/-compare/-getbench/-setbench/-servebench: sim, or file:<path> (file-backed real device, measured latencies)")
 		jsonOut   = flag.String("json", "", "-getbench/-setbench/-servebench: machine-readable output path (unset: BENCH_get.json / BENCH_set.json / BENCH_serve.json per mode; pass -json '' explicitly for table-only output)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	deviceSpec, err := backend.Parse(*deviceStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -149,6 +157,7 @@ func run() int {
 		err := runGetBench(os.Stdout, getBenchOptions{
 			shardList: *shards,
 			ops:       *ops,
+			device:    deviceSpec,
 			jsonPath:  path,
 		})
 		if err != nil {
@@ -167,6 +176,7 @@ func run() int {
 			shardList: *shards,
 			ops:       *ops,
 			flushers:  *flushers,
+			device:    deviceSpec,
 			jsonPath:  path,
 		})
 		if err != nil {
@@ -187,6 +197,7 @@ func run() int {
 			ops:       *ops,
 			pipeline:  *pipelineN,
 			flushers:  *flushers,
+			device:    deviceSpec,
 			jsonPath:  path,
 		})
 		if err != nil {
@@ -222,6 +233,7 @@ func run() int {
 			engines:   *engines,
 			parallel:  *parallel,
 			noTime:    *noTime,
+			device:    deviceSpec,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -241,6 +253,7 @@ func run() int {
 			flushers:  *flushers,
 			setFrac:   *setFrac,
 			delFrac:   *delFrac,
+			device:    deviceSpec,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"nemo"
+	"nemo/internal/backend"
+	"nemo/internal/device"
 )
 
 // replayDataZones is the total SG-pool size used by -replay runs. It is held
@@ -17,15 +19,16 @@ const replayDataZones = 48
 
 // replayOptions carries the -replay flag set.
 type replayOptions struct {
-	shardList string  // comma-separated shard counts
-	workers   int     // replay goroutines (0 = one per shard)
-	ops       int     // request count
-	seed      int64   // workload seed
-	batch     int     // per-shard batch size (<=1 = unbatched)
-	async     bool    // route fills through SetAsync + the flusher pool
-	flushers  int     // background flusher goroutines when async
-	setFrac   float64 // fraction of requests rewritten to explicit SETs
-	delFrac   float64 // fraction of requests rewritten to DELETEs
+	shardList string       // comma-separated shard counts
+	workers   int          // replay goroutines (0 = one per shard)
+	ops       int          // request count
+	seed      int64        // workload seed
+	batch     int          // per-shard batch size (<=1 = unbatched)
+	async     bool         // route fills through SetAsync + the flusher pool
+	flushers  int          // background flusher goroutines when async
+	setFrac   float64      // fraction of requests rewritten to explicit SETs
+	delFrac   float64      // fraction of requests rewritten to DELETEs
+	device    backend.Spec // device backend every row runs on
 }
 
 // runReplay drives the parallel trace-replay benchmark: one row per shard
@@ -48,6 +51,7 @@ func runReplay(out io.Writer, o replayOptions) error {
 	geom := nemo.DeviceConfig{PagesPerZone: 64}
 	probe := nemo.NewDevice(geom)
 	dataBytes := int64(replayDataZones*probe.PagesPerZone()) * int64(probe.PageSize())
+	pageSize, pagesPerZone := probe.PageSize(), probe.PagesPerZone()
 	stream, err := nemo.NewWorkload(dataBytes*3/4, o.seed)
 	if err != nil {
 		return err
@@ -67,11 +71,16 @@ func runReplay(out io.Writer, o replayOptions) error {
 			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, replayDataZones)
 			continue
 		}
-		cfg := geom
 		perData := replayDataZones / shards
 		perIdx := nemo.IndexZonesFor(perData, 50)
-		cfg.Zones = shards * (perData + perIdx)
-		dev := nemo.NewDevice(cfg)
+		dev, err := o.device.Open(device.Geometry{
+			PageSize:     pageSize,
+			PagesPerZone: pagesPerZone,
+			Zones:        shards * (perData + perIdx),
+		})
+		if err != nil {
+			return fmt.Errorf("shards=%d: open device: %w", shards, err)
+		}
 		ccfg := nemo.DefaultConfig(dev, replayDataZones)
 		ccfg.Shards = shards
 		if o.async {
@@ -79,6 +88,7 @@ func runReplay(out io.Writer, o replayOptions) error {
 		}
 		cache, err := nemo.NewSharded(ccfg)
 		if err != nil {
+			dev.Close()
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
 		res, err := nemo.ParallelReplay(cache, reqs, nemo.ParallelReplayConfig{
@@ -87,6 +97,8 @@ func runReplay(out io.Writer, o replayOptions) error {
 			AsyncSets: o.async,
 		})
 		if err != nil {
+			cache.Close()
+			dev.Close()
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
 		st := res.Final
@@ -95,7 +107,11 @@ func runReplay(out io.Writer, o replayOptions) error {
 			res.OpsPerSec, (1-st.MissRatio())*100, cache.PaperWA(), st.ALWA(),
 			st.ReadErrors, st.WriteErrors, res.SetLatency.P50, res.SetLatency.P99)
 		if err := cache.Close(); err != nil {
+			dev.Close()
 			return fmt.Errorf("shards=%d: close: %w", shards, err)
+		}
+		if err := dev.Close(); err != nil {
+			return fmt.Errorf("shards=%d: close device: %w", shards, err)
 		}
 	}
 	return nil

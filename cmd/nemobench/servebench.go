@@ -8,17 +8,19 @@ import (
 	"runtime"
 	"time"
 
+	"nemo/internal/backend"
 	"nemo/internal/servebench"
 )
 
 // serveBenchOptions carries the -servebench flag set.
 type serveBenchOptions struct {
-	shardList string // comma-separated shard counts
-	conns     int    // client connections
-	ops       int    // total requests per configuration
-	pipeline  int    // requests per pipelined batch
-	flushers  int    // background flushers for the async rows
-	jsonPath  string // output path for the machine-readable baseline
+	shardList string       // comma-separated shard counts
+	conns     int          // client connections
+	ops       int          // total requests per configuration
+	pipeline  int          // requests per pipelined batch
+	flushers  int          // background flushers for the async rows
+	device    backend.Spec // device backend the rows run on
+	jsonPath  string       // output path for the machine-readable baseline
 }
 
 // serveBenchRow is one measured configuration, serialized to
@@ -41,6 +43,7 @@ type serveBenchRow struct {
 	ReadErrors  uint64  `json:"read_errors"`
 	WriteErrors uint64  `json:"write_errors"`
 	NumCPU      int     `json:"num_cpu"`
+	Device      string  `json:"device"`
 }
 
 // runServeBench drives the full serving stack — live loopback listener,
@@ -79,6 +82,7 @@ func runServeBench(out io.Writer, o serveBenchOptions) error {
 				Conns:    o.conns,
 				Ops:      o.ops,
 				Pipeline: o.pipeline,
+				Device:   o.device,
 			})
 			if err != nil {
 				return fmt.Errorf("shards=%d async=%v: %w", shards, async, err)
@@ -103,6 +107,7 @@ func runServeBench(out io.Writer, o serveBenchOptions) error {
 				ReadErrors:  res.ReadErrors,
 				WriteErrors: res.WriteErrors,
 				NumCPU:      runtime.NumCPU(),
+				Device:      o.device.String(),
 			}
 			rows = append(rows, row)
 			fmt.Fprintf(out, "%-7d %-6d %-9d %-6s %-9d %-10.0f %-9v %-9v %-9v %-9v %-7d %-6d\n",

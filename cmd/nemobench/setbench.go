@@ -7,15 +7,17 @@ import (
 	"os"
 	"runtime"
 
+	"nemo/internal/backend"
 	"nemo/internal/setbench"
 )
 
 // setBenchOptions carries the -setbench flag set.
 type setBenchOptions struct {
-	shardList string // comma-separated shard counts
-	ops       int    // SET count per configuration
-	flushers  int    // background flusher goroutines for the async rows
-	jsonPath  string // output path for the machine-readable baseline
+	shardList string       // comma-separated shard counts
+	ops       int          // SET count per configuration
+	flushers  int          // background flusher goroutines for the async rows
+	device    backend.Spec // device backend the rows run on
+	jsonPath  string       // output path for the machine-readable baseline
 }
 
 // setBenchRow is one measured configuration, serialized to BENCH_set.json
@@ -33,6 +35,7 @@ type setBenchRow struct {
 	ALWA       float64 `json:"alwa"`
 	WriteErrs  uint64  `json:"write_errors"`
 	NumCPU     int     `json:"num_cpu"`
+	Device     string  `json:"device"`
 }
 
 // runSetBench measures parallel SET throughput and per-call latency
@@ -71,7 +74,7 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 			for _, gs := range []int{1, 4, 8} {
 				// A fresh cache per row keeps every configuration's
 				// cold-start-to-steady-state shape identical.
-				cache, err := setbench.Build(shards, flushers)
+				cache, dev, err := setbench.Build(o.device, shards, flushers)
 				if err != nil {
 					return fmt.Errorf("shards=%d: %w", shards, err)
 				}
@@ -80,15 +83,21 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 				// steady state.
 				if _, err := setbench.Run(cache, keys, vals, gs, o.ops/4, async); err != nil {
 					cache.Close()
+					dev.Close()
 					return fmt.Errorf("shards=%d warmup: %w", shards, err)
 				}
 				res, err := setbench.Run(cache, keys, vals, gs, o.ops, async)
 				if err != nil {
 					cache.Close()
+					dev.Close()
 					return fmt.Errorf("shards=%d: %w", shards, err)
 				}
 				if err := cache.Close(); err != nil {
+					dev.Close()
 					return fmt.Errorf("shards=%d: close: %w", shards, err)
+				}
+				if err := dev.Close(); err != nil {
+					return fmt.Errorf("shards=%d: close device: %w", shards, err)
 				}
 				row := setBenchRow{
 					Shards:     shards,
@@ -102,6 +111,7 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 					ALWA:       res.ALWA,
 					WriteErrs:  res.WriteErrs,
 					NumCPU:     runtime.NumCPU(),
+					Device:     o.device.String(),
 				}
 				rows = append(rows, row)
 				fmt.Fprintf(out, "%-7d %-11d %-6v %-10d %-12.0f %-10v %-10v %-7.3f %-6d\n",

@@ -1,10 +1,12 @@
 // Command nemoserve runs the Nemo cache as a memcached-text-protocol
-// network service on the simulated flash device.
+// network service on a zoned flash device — the simulator by default, or a
+// file-backed real device via -device file:<path>.
 //
 // Usage:
 //
 //	nemoserve [-addr 127.0.0.1:11211] [-shards 8] [-zones 48]
 //	          [-flushers 2] [-sync-set] [-max-batch 64]
+//	          [-device sim|file:<path>]
 //
 // The server speaks the protocol subset documented in the package docs
 // (get/gets multi-key, set, delete, stats, version, quit, noreply):
@@ -23,8 +25,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"nemo/internal/backend"
 	"nemo/internal/core"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/server"
 	"nemo/internal/setblock"
 )
@@ -41,6 +44,7 @@ func run() int {
 		flushers = flag.Int("flushers", 2, "background flusher goroutines (async SETs)")
 		syncSet  = flag.Bool("sync-set", false, "serve SETs through the synchronous path")
 		maxBatch = flag.Int("max-batch", 64, "pipelined requests coalesced per engine round")
+		devStr   = flag.String("device", "sim", "device backend: sim, or file:<path> (file-backed real device)")
 	)
 	flag.Parse()
 
@@ -48,14 +52,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "nemoserve: %d data zones not divisible by %d shards\n", *zones, *shards)
 		return 2
 	}
+	spec, err := backend.Parse(*devStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nemoserve:", err)
+		return 2
+	}
 	const pageSize = 4096
 	perData := *zones / *shards
 	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-	dev := flashsim.New(flashsim.Config{
+	dev, err := spec.Open(device.Geometry{
 		PageSize:     pageSize,
 		PagesPerZone: 256,
 		Zones:        *shards * (perData + perIdx),
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nemoserve:", err)
+		return 1
+	}
+	defer dev.Close()
 	cfg := core.DefaultConfig(dev, *zones)
 	cfg.Shards = *shards
 	cfg.Flushers = *flushers
@@ -84,8 +98,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "nemoserve:", err)
 		return 1
 	}
-	fmt.Printf("nemoserve: listening on %s (%d shards, %d data zones, %d flushers, sync-set=%v)\n",
-		l.Addr(), *shards, *zones, *flushers, *syncSet)
+	fmt.Printf("nemoserve: listening on %s (%d shards, %d data zones, %d flushers, sync-set=%v, device=%s)\n",
+		l.Addr(), *shards, *zones, *flushers, *syncSet, spec)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -13,15 +13,15 @@ import (
 func main() {
 	builds := []struct {
 		name string
-		mk   func(*nemo.Device) (nemo.Engine, error)
+		mk   func(nemo.Device) (nemo.Engine, error)
 	}{
-		{"Nemo", func(d *nemo.Device) (nemo.Engine, error) { return nemo.New(nemo.DefaultConfig(d, 48)) }},
-		{"Log", func(d *nemo.Device) (nemo.Engine, error) { return nemo.NewLogCache(nemo.LogCacheConfig{Device: d}) }},
-		{"Set", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Nemo", func(d nemo.Device) (nemo.Engine, error) { return nemo.New(nemo.DefaultConfig(d, 48)) }},
+		{"Log", func(d nemo.Device) (nemo.Engine, error) { return nemo.NewLogCache(nemo.LogCacheConfig{Device: d}) }},
+		{"Set", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewSetCache(nemo.SetCacheConfig{Device: d, OPRatio: 0.5})
 		}},
-		{"FW", func(d *nemo.Device) (nemo.Engine, error) { return nemo.NewFairyWREN(nemo.FairyWRENConfig{Device: d}) }},
-		{"KG", func(d *nemo.Device) (nemo.Engine, error) { return nemo.NewKangaroo(nemo.KangarooConfig{Device: d}) }},
+		{"FW", func(d nemo.Device) (nemo.Engine, error) { return nemo.NewFairyWREN(nemo.FairyWRENConfig{Device: d}) }},
+		{"KG", func(d nemo.Device) (nemo.Engine, error) { return nemo.NewKangaroo(nemo.KangarooConfig{Device: d}) }},
 	}
 	for _, b := range builds {
 		dev := nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 32, Zones: 56})

@@ -174,6 +174,39 @@
 // exactly, and graceful-drain tests including a blockable write fault
 // released mid-shutdown.
 //
+// # The device contract
+//
+// Engines never see a concrete device type: internal/device defines the
+// zoned-device contract (the Device interface) and everything engine-facing
+// — core.Config.Device, every baseline's Config.Device, the sharded facades
+// — accepts it. A device is a fixed geometry (PageSize × PagesPerZone ×
+// Zones, optionally MaxOpenZones) of append-only zones: AppendPage programs
+// at a zone's write pointer (short appends are zero-padded to a full page),
+// ResetZone is the erase that rewinds it, and reading a page at or beyond
+// its zone's write pointer yields zeroes rather than stale bytes. Reads and
+// writes on distinct zones proceed in parallel; same-zone appends
+// serialize. Buffer ownership follows the PR 4 read-path rules: ReadPage's
+// dst belongs to the caller, is filled synchronously before the call
+// returns, and is never retained by the device. SetReadFault/SetWriteFault
+// install test hooks that run before any state change and outside every
+// zone lock, so a hook that blocks parks its caller without wedging the
+// rest of the device — the fault tests and the drain suite rely on exactly
+// that, and run against every implementation via internal/devtest.
+//
+// Two implementations ship. internal/flashsim is the simulator: virtual
+// time, a per-channel latency model, deterministic scheduling.
+// internal/filedev is the real file-backed device (OpenFileDevice, or
+// `-device=file:<path>` on nemobench/nemoserve): one flat image file,
+// each page append a single pwrite at zone*pagesPerZone*pageSize + off,
+// measured wall-clock latencies, optional O_DIRECT. Its durability caveats
+// are deliberate for a cache: appends are not individually fsynced (an OS
+// crash can lose recently acknowledged pages), no write-pointer metadata
+// is persisted, and Open always reformats — a reopened image
+// deterministically rebuilds every write pointer to zero rather than
+// recovering contents. Under `-notime` the quality half of the compare
+// table (hit ratio, ALWA, total WA, evictions) is byte-identical across
+// backends; only timing may differ.
+//
 // # What the package exposes
 //
 //   - The Nemo cache itself (New, Config, DefaultConfig).

@@ -19,22 +19,22 @@ func main() {
 
 	type build struct {
 		name string
-		mk   func(*nemo.Device) (nemo.Engine, error)
+		mk   func(nemo.Device) (nemo.Engine, error)
 	}
 	builds := []build{
-		{"Nemo", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Nemo", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.New(nemo.DefaultConfig(d, d.Zones()-nemo.IndexZonesFor(d.Zones()-4, 50)-1))
 		}},
-		{"Log", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Log", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewLogCache(nemo.LogCacheConfig{Device: d})
 		}},
-		{"Set", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Set", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewSetCache(nemo.SetCacheConfig{Device: d, OPRatio: 0.5})
 		}},
-		{"FW", func(d *nemo.Device) (nemo.Engine, error) {
+		{"FW", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewFairyWREN(nemo.FairyWRENConfig{Device: d, LogRatio: 0.05, OPRatio: 0.05})
 		}},
-		{"KG", func(d *nemo.Device) (nemo.Engine, error) {
+		{"KG", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewKangaroo(nemo.KangarooConfig{Device: d, LogRatio: 0.05, OPRatio: 0.05})
 		}},
 	}

@@ -13,11 +13,11 @@ import (
 	"nemo/internal/trace"
 )
 
-func newSmallDevice() *nemo.Device {
+func newSmallDevice() nemo.Device {
 	return nemo.NewDevice(nemo.DeviceConfig{PagesPerZone: 32, Zones: 56})
 }
 
-func newNemo(t testing.TB) (*nemo.Device, *nemo.Cache) {
+func newNemo(t testing.TB) (nemo.Device, *nemo.Cache) {
 	t.Helper()
 	dev := newSmallDevice()
 	c, err := nemo.New(nemo.DefaultConfig(dev, 48))
@@ -104,22 +104,22 @@ func TestAllEnginesServeSameWorkload(t *testing.T) {
 	}
 	type build struct {
 		name string
-		mk   func(*nemo.Device) (nemo.Engine, error)
+		mk   func(nemo.Device) (nemo.Engine, error)
 	}
 	builds := []build{
-		{"Nemo", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Nemo", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.New(nemo.DefaultConfig(d, 48))
 		}},
-		{"Log", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Log", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewLogCache(nemo.LogCacheConfig{Device: d})
 		}},
-		{"Set", func(d *nemo.Device) (nemo.Engine, error) {
+		{"Set", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewSetCache(nemo.SetCacheConfig{Device: d, OPRatio: 0.5})
 		}},
-		{"FW", func(d *nemo.Device) (nemo.Engine, error) {
+		{"FW", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewFairyWREN(nemo.FairyWRENConfig{Device: d})
 		}},
-		{"KG", func(d *nemo.Device) (nemo.Engine, error) {
+		{"KG", func(d nemo.Device) (nemo.Engine, error) {
 			return nemo.NewKangaroo(nemo.KangarooConfig{Device: d})
 		}},
 	}

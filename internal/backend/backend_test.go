@@ -1,0 +1,108 @@
+package backend
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nemo/internal/device"
+	"nemo/internal/filedev"
+	"nemo/internal/flashsim"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"", "sim", true},
+		{"sim", "sim", true},
+		{"file:/tmp/x.img", "file:/tmp/x.img", true},
+		{"file:", "", false},
+		{"disk", "", false},
+		{"FILE:/tmp/x", "", false},
+	}
+	for _, c := range cases {
+		spec, err := Parse(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("Parse(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if err == nil && spec.String() != c.want {
+			t.Fatalf("Parse(%q).String() = %q, want %q", c.in, spec.String(), c.want)
+		}
+	}
+}
+
+func TestZeroValueSpecIsSim(t *testing.T) {
+	var spec Spec
+	if spec.IsFile() {
+		t.Fatal("zero-value Spec claims to be file-backed")
+	}
+	if spec.String() != "sim" {
+		t.Fatalf("zero-value String() = %q, want sim", spec.String())
+	}
+	d, err := spec.Open(device.Geometry{PageSize: 512, PagesPerZone: 4, Zones: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, ok := d.(*flashsim.Device); !ok {
+		t.Fatalf("zero-value Spec opened %T, want *flashsim.Device", d)
+	}
+}
+
+func TestFileOpensGetUniquePaths(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "nemo.img")
+	spec := File(base)
+	g := device.Geometry{PageSize: 512, PagesPerZone: 4, Zones: 4}
+
+	var devs []device.Device
+	want := []string{base, base + ".1", base + ".2"}
+	for i, path := range want {
+		d, err := spec.Open(g)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		devs = append(devs, d)
+		fd, ok := d.(*filedev.Device)
+		if !ok {
+			t.Fatalf("open %d: got %T, want *filedev.Device", i, d)
+		}
+		if fd.Path() != path {
+			t.Fatalf("open %d: image at %q, want %q", i, fd.Path(), path)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("open %d: image missing: %v", i, err)
+		}
+	}
+	// Spec.Open sets RemoveOnClose: closing cleans every image up.
+	for i, d := range devs {
+		if err := d.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	for _, path := range want {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("image %q survived close: %v", path, err)
+		}
+	}
+}
+
+func TestOpenGeometryPassthrough(t *testing.T) {
+	g := device.Geometry{PageSize: 512, PagesPerZone: 8, Zones: 6, MaxOpenZones: 2}
+	for _, spec := range []Spec{Sim(), File(filepath.Join(t.TempDir(), "g.img"))} {
+		d, err := spec.Open(g)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if d.PageSize() != g.PageSize || d.PagesPerZone() != g.PagesPerZone ||
+			d.Zones() != g.Zones || d.MaxOpenZones() != g.MaxOpenZones {
+			t.Fatalf("%v: geometry %d/%d/%d/%d does not match %+v",
+				spec, d.PageSize(), d.PagesPerZone(), d.Zones(), d.MaxOpenZones(), g)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

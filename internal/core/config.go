@@ -8,16 +8,17 @@ package core
 import (
 	"fmt"
 
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 )
 
 // Config configures a Nemo cache. DefaultConfig gives the Table 3 defaults
 // scaled to the device geometry.
 type Config struct {
-	// Device is the zoned flash device. One SG occupies exactly one zone;
-	// the set size equals the device page size and SetsPerSG equals the
-	// device's pages per zone.
-	Device *flashsim.Device
+	// Device is the zoned flash device — any implementation of the
+	// internal/device contract (flashsim simulator, filedev file-backed).
+	// One SG occupies exactly one zone; the set size equals the device page
+	// size and SetsPerSG equals the device's pages per zone.
+	Device device.Device
 
 	// DataZones is the on-flash SG pool capacity in zones. The remaining
 	// zones host the index pool; New validates that enough exist.
@@ -114,7 +115,7 @@ const DefaultSGsPerIndexGroup = 50
 // index group, 0.1% Bloom FPR, 50% cached PBFGs, hotness tracked over the
 // last 30% of the pool, cooling every 10% of capacity written, and all
 // three fill-rate techniques enabled.
-func DefaultConfig(dev *flashsim.Device, dataZones int) Config {
+func DefaultConfig(dev device.Device, dataZones int) Config {
 	setsPerSG := dev.PagesPerZone()
 	pth := setsPerSG / 16
 	if pth < 8 {

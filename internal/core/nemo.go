@@ -6,7 +6,7 @@ import (
 
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/hashing"
 	"nemo/internal/metrics"
 	"nemo/internal/setblock"
@@ -34,7 +34,7 @@ import (
 // CacheLib deployment.
 type Cache struct {
 	cfg       Config
-	dev       *flashsim.Device
+	dev       device.Device
 	pageSize  int
 	setsPerSG int
 	bfBytes   int // serialized bytes of one set-level Bloom filter

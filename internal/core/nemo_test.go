@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"nemo/internal/device"
 	"nemo/internal/flashsim"
 	"nemo/internal/trace"
 )
@@ -12,6 +13,13 @@ import (
 func testCache(t *testing.T, mutate func(*Config)) *Cache {
 	t.Helper()
 	dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 16, Zones: 16})
+	return testCacheOn(t, dev, mutate)
+}
+
+// testCacheOn is testCache on a caller-supplied device, so fault tests can
+// run per backend through devtest.Run.
+func testCacheOn(t *testing.T, dev device.Device, mutate func(*Config)) *Cache {
+	t.Helper()
 	cfg := DefaultConfig(dev, 8)
 	cfg.SGsPerIndexGroup = 4
 	cfg.TargetObjsPerSet = 8

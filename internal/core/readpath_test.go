@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 
+	"nemo/internal/device"
+	"nemo/internal/devtest"
 	"nemo/internal/flashsim"
 )
 
@@ -18,6 +20,19 @@ import (
 func readPathConfig(t testing.TB, cachedRatio float64) (*flashsim.Device, *Cache) {
 	t.Helper()
 	dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 8, Zones: 16})
+	return dev, readPathCacheOn(t, dev, cachedRatio)
+}
+
+// readPathConfigOn is readPathConfig on an arbitrary device backend, for
+// the fault tests that must hold on every implementation of the contract.
+func readPathConfigOn(t *testing.T, b devtest.Backend, cachedRatio float64) (device.Device, *Cache) {
+	t.Helper()
+	dev := b.New(t, device.Geometry{PageSize: 512, PagesPerZone: 8, Zones: 16})
+	return dev, readPathCacheOn(t, dev, cachedRatio)
+}
+
+func readPathCacheOn(t testing.TB, dev device.Device, cachedRatio float64) *Cache {
+	t.Helper()
 	cfg := DefaultConfig(dev, 8)
 	cfg.SGsPerIndexGroup = 2
 	cfg.TargetObjsPerSet = 8
@@ -27,7 +42,7 @@ func readPathConfig(t testing.TB, cachedRatio float64) (*flashsim.Device, *Cache
 	if err != nil {
 		t.Fatal(err)
 	}
-	return dev, c
+	return c
 }
 
 func rpKey(i int) []byte   { return []byte(fmt.Sprintf("rp-key-%06d-pad", i)) }
@@ -158,59 +173,61 @@ func TestGetManyMatchesSerialGets(t *testing.T) {
 // failure lands in Stats.ReadErrors — for single Gets and batched GetMany
 // alike — and the counter stops moving once the device recovers.
 func TestGetReadErrorsCounted(t *testing.T) {
-	dev, c := readPathConfig(t, 0.25) // small index cache: PBFG fetches stay live
-	keys := fillReadPath(t, c, 300)
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		dev, c := readPathConfigOn(t, b, 0.25) // small index cache: PBFG fetches stay live
+		keys := fillReadPath(t, c, 300)
 
-	// Early inserts that still hit are serving from flash (each key is set
-	// exactly once, so nothing old can sit in the memq).
-	var flashKeys [][]byte
-	for _, k := range keys[:150] {
-		if _, hit := c.Get(k); hit {
-			flashKeys = append(flashKeys, k)
+		// Early inserts that still hit are serving from flash (each key is set
+		// exactly once, so nothing old can sit in the memq).
+		var flashKeys [][]byte
+		for _, k := range keys[:150] {
+			if _, hit := c.Get(k); hit {
+				flashKeys = append(flashKeys, k)
+			}
+			if len(flashKeys) == 64 {
+				break
+			}
 		}
-		if len(flashKeys) == 64 {
-			break
+		if len(flashKeys) < 16 {
+			t.Fatalf("only %d flash-resident keys survived the fill", len(flashKeys))
 		}
-	}
-	if len(flashKeys) < 16 {
-		t.Fatalf("only %d flash-resident keys survived the fill", len(flashKeys))
-	}
-	base := c.Stats()
-	if base.ReadErrors != 0 {
-		t.Fatalf("read errors before faults: %d", base.ReadErrors)
-	}
+		base := c.Stats()
+		if base.ReadErrors != 0 {
+			t.Fatalf("read errors before faults: %d", base.ReadErrors)
+		}
 
-	half := len(flashKeys) / 2
-	dev.SetReadFault(func(page int) error { return fmt.Errorf("injected ECC error") })
-	for _, k := range flashKeys[:half] {
-		if _, hit := c.Get(k); hit {
-			t.Fatal("hit despite total read failure")
+		half := len(flashKeys) / 2
+		dev.SetReadFault(func(page int) error { return fmt.Errorf("injected ECC error") })
+		for _, k := range flashKeys[:half] {
+			if _, hit := c.Get(k); hit {
+				t.Fatal("hit despite total read failure")
+			}
 		}
-	}
-	vals, hits := c.GetMany(flashKeys[half:])
-	for i := range hits {
-		if hits[i] || vals[i] != nil {
-			t.Fatal("batched hit despite total read failure")
+		vals, hits := c.GetMany(flashKeys[half:])
+		for i := range hits {
+			if hits[i] || vals[i] != nil {
+				t.Fatal("batched hit despite total read failure")
+			}
 		}
-	}
-	faulted := c.Stats()
-	if faulted.ReadErrors < uint64(len(flashKeys)) {
-		t.Fatalf("ReadErrors = %d after %d failed lookups", faulted.ReadErrors, len(flashKeys))
-	}
+		faulted := c.Stats()
+		if faulted.ReadErrors < uint64(len(flashKeys)) {
+			t.Fatalf("ReadErrors = %d after %d failed lookups", faulted.ReadErrors, len(flashKeys))
+		}
 
-	dev.SetReadFault(nil)
-	hitsAfter := 0
-	for _, k := range flashKeys {
-		if _, hit := c.Get(k); hit {
-			hitsAfter++
+		dev.SetReadFault(nil)
+		hitsAfter := 0
+		for _, k := range flashKeys {
+			if _, hit := c.Get(k); hit {
+				hitsAfter++
+			}
 		}
-	}
-	if hitsAfter == 0 {
-		t.Fatal("cache did not recover after faults cleared")
-	}
-	if got := c.Stats().ReadErrors; got != faulted.ReadErrors {
-		t.Fatalf("ReadErrors moved without faults: %d -> %d", faulted.ReadErrors, got)
-	}
+		if hitsAfter == 0 {
+			t.Fatal("cache did not recover after faults cleared")
+		}
+		if got := c.Stats().ReadErrors; got != faulted.ReadErrors {
+			t.Fatalf("ReadErrors moved without faults: %d -> %d", faulted.ReadErrors, got)
+		}
+	})
 }
 
 // TestConcurrentGetStress races optimistic three-phase GETs (single and

@@ -60,7 +60,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 	// completion sequentially), but shards flush concurrently, so the
 	// device's open-zone budget must cover one zone per shard or a loaded
 	// run would fail nondeterministically with ErrTooManyOpenZones.
-	if limit := cfg.Device.Config().MaxOpenZones; limit > 0 && limit < n {
+	if limit := cfg.Device.MaxOpenZones(); limit > 0 && limit < n {
 		return nil, fmt.Errorf("core: device allows %d open zones but %d shards may each hold one open", limit, n)
 	}
 	perData := cfg.DataZones / n

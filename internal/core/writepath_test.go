@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"nemo/internal/device"
+	"nemo/internal/devtest"
 	"nemo/internal/flashsim"
 )
 
@@ -119,107 +121,108 @@ func TestSealedSGServesReadsDuringFlush(t *testing.T) {
 // flush, increments Stats.WriteErrors immediately, drops the sealed SG's
 // objects as evictions, and leaves the cache fully usable.
 func TestFlushWriteErrorSurfacesSync(t *testing.T) {
-	var dev *flashsim.Device
-	c := testCache(t, func(cfg *Config) { dev = cfg.Device })
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		dev := b.New(t, device.Geometry{PageSize: 512, PagesPerZone: 16, Zones: 16})
+		c := testCacheOn(t, dev, nil)
 
-	boom := errors.New("injected append fault")
-	dev.SetWriteFault(func(zone int) error { return boom })
-	var setErr error
-	for i := 0; i < 2000 && setErr == nil; i++ {
-		setErr = c.Set(wpKey(i), wpValue(i))
-	}
-	if !errors.Is(setErr, boom) {
-		t.Fatalf("flush fault never surfaced on Set: %v", setErr)
-	}
-	st := c.Stats()
-	if st.WriteErrors == 0 {
-		t.Fatalf("WriteErrors = 0 after failed flush: %+v", st)
-	}
-	if st.Evictions == 0 {
-		t.Fatal("dropped sealed SG's objects were not counted as evictions")
-	}
-	if got := c.PoolLen(); got != 0 {
-		t.Fatalf("failed flush published %d SGs", got)
-	}
-
-	// The device recovers; the cache must flush and serve again.
-	dev.SetWriteFault(nil)
-	for i := 10000; i < 14000; i++ {
-		if err := c.Set(wpKey(i), wpValue(i)); err != nil {
-			t.Fatalf("post-fault Set: %v", err)
+		boom := errors.New("injected append fault")
+		dev.SetWriteFault(func(zone int) error { return boom })
+		var setErr error
+		for i := 0; i < 2000 && setErr == nil; i++ {
+			setErr = c.Set(wpKey(i), wpValue(i))
 		}
-	}
-	if c.PoolLen() == 0 {
-		t.Fatal("no SG reached flash after the fault cleared")
-	}
-	hits := 0
-	for i := 13000; i < 14000; i++ {
-		if v, hit := c.Get(wpKey(i)); hit {
-			if string(v) != string(wpValue(i)) {
-				t.Fatalf("corrupt value after recovery: %q", v)
+		if !errors.Is(setErr, boom) {
+			t.Fatalf("flush fault never surfaced on Set: %v", setErr)
+		}
+		st := c.Stats()
+		if st.WriteErrors == 0 {
+			t.Fatalf("WriteErrors = 0 after failed flush: %+v", st)
+		}
+		if st.Evictions == 0 {
+			t.Fatal("dropped sealed SG's objects were not counted as evictions")
+		}
+		if got := c.PoolLen(); got != 0 {
+			t.Fatalf("failed flush published %d SGs", got)
+		}
+
+		// The device recovers; the cache must flush and serve again.
+		dev.SetWriteFault(nil)
+		for i := 10000; i < 14000; i++ {
+			if err := c.Set(wpKey(i), wpValue(i)); err != nil {
+				t.Fatalf("post-fault Set: %v", err)
 			}
-			hits++
 		}
-	}
-	if hits == 0 {
-		t.Fatal("no hits after recovery")
-	}
+		if c.PoolLen() == 0 {
+			t.Fatal("no SG reached flash after the fault cleared")
+		}
+		hits := 0
+		for i := 13000; i < 14000; i++ {
+			if v, hit := c.Get(wpKey(i)); hit {
+				if string(v) != string(wpValue(i)) {
+					t.Fatalf("corrupt value after recovery: %q", v)
+				}
+				hits++
+			}
+		}
+		if hits == 0 {
+			t.Fatal("no hits after recovery")
+		}
+	})
 }
 
 // TestFlushWriteErrorSurfacesAsync pins the async failure contract: a
 // deferred flush's device error lands in Stats.WriteErrors as it happens —
 // observable before any Drain — and the same error surfaces on Drain.
 func TestFlushWriteErrorSurfacesAsync(t *testing.T) {
-	var dev *flashsim.Device
-	c := testCache(t, func(cfg *Config) {
-		dev = cfg.Device
-		cfg.Flushers = 1
-	})
-	defer c.Close()
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		dev := b.New(t, device.Geometry{PageSize: 512, PagesPerZone: 16, Zones: 16})
+		c := testCacheOn(t, dev, func(cfg *Config) { cfg.Flushers = 1 })
+		defer c.Close()
 
-	boom := errors.New("injected async append fault")
-	failed := make(chan struct{})
-	var once sync.Once
-	dev.SetWriteFault(func(zone int) error {
-		once.Do(func() { close(failed) })
-		return boom
-	})
-	for i := 0; i < 4000; i++ {
-		if err := c.SetAsync(wpKey(i), wpValue(i)); err != nil {
-			// Backpressure can route a flush inline; that error is the
-			// same injected fault and proves the sync surfacing instead.
-			if !errors.Is(err, boom) {
-				t.Fatalf("unexpected SetAsync error: %v", err)
+		boom := errors.New("injected async append fault")
+		failed := make(chan struct{})
+		var once sync.Once
+		dev.SetWriteFault(func(zone int) error {
+			once.Do(func() { close(failed) })
+			return boom
+		})
+		for i := 0; i < 4000; i++ {
+			if err := c.SetAsync(wpKey(i), wpValue(i)); err != nil {
+				// Backpressure can route a flush inline; that error is the
+				// same injected fault and proves the sync surfacing instead.
+				if !errors.Is(err, boom) {
+					t.Fatalf("unexpected SetAsync error: %v", err)
+				}
+				break
 			}
-			break
 		}
-	}
-	<-failed
-	// The counter must reflect the failure without waiting for Drain.
-	deadline := time.Now().Add(5 * time.Second)
-	for c.Stats().WriteErrors == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("WriteErrors never incremented after async flush fault")
+		<-failed
+		// The counter must reflect the failure without waiting for Drain.
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Stats().WriteErrors == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("WriteErrors never incremented after async flush fault")
+			}
+			time.Sleep(time.Millisecond)
 		}
-		time.Sleep(time.Millisecond)
-	}
-	if err := c.Drain(); err != nil && !errors.Is(err, boom) {
-		t.Fatalf("Drain returned a different error: %v", err)
-	}
+		if err := c.Drain(); err != nil && !errors.Is(err, boom) {
+			t.Fatalf("Drain returned a different error: %v", err)
+		}
 
-	// Recovery: with the fault cleared the pipeline flushes again.
-	dev.SetWriteFault(nil)
-	for i := 10000; i < 13000; i++ {
-		if err := c.SetAsync(wpKey(i), wpValue(i)); err != nil {
-			t.Fatalf("post-fault SetAsync: %v", err)
+		// Recovery: with the fault cleared the pipeline flushes again.
+		dev.SetWriteFault(nil)
+		for i := 10000; i < 13000; i++ {
+			if err := c.SetAsync(wpKey(i), wpValue(i)); err != nil {
+				t.Fatalf("post-fault SetAsync: %v", err)
+			}
 		}
-	}
-	if err := c.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if c.PoolLen() == 0 {
-		t.Fatal("no SG reached flash after the async fault cleared")
-	}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if c.PoolLen() == 0 {
+			t.Fatal("no SG reached flash after the async fault cleared")
+		}
+	})
 }
 
 // TestFlushRecordsDroppedCounted drives more flushes than maxFlushLog and

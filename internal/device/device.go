@@ -1,0 +1,204 @@
+// Package device defines the zoned-device contract every cache engine in
+// this repository is written against: a fixed geometry of erase-unit zones
+// holding page-granularity data, append-only writes at a per-zone write
+// pointer, whole-zone resets, and byte-exact activity accounting.
+//
+// Two implementations exist. internal/flashsim is the simulator the paper's
+// numbers were first reproduced on: deterministic, with a virtual-time
+// latency model. internal/filedev is a real file-backed device (pread/pwrite
+// into a preallocated image, measured latencies) that turns the BENCH
+// trajectory from simulated to measured. Engines — Nemo's core and all four
+// baselines — accept the Device interface and cannot tell the backends
+// apart except through the clock: a mixed-trace replay produces identical
+// hit ratios, write amplification, and eviction counts on either (pinned by
+// the cross-backend equivalence tests), only the latency columns differ.
+//
+// The semantic contract, normative for every implementation:
+//
+//   - Appends to a zone land at its write pointer and advance it; a full
+//     zone rejects appends until ResetZone rewinds it (append-only,
+//     erase-before-reuse).
+//   - Reading a page at or beyond its zone's write pointer yields zeroes
+//     (deallocated-read behaviour of real zoned devices). Reads below the
+//     write pointer return exactly the appended bytes, with short appends
+//     zero-padded to a full page.
+//   - Buffer ownership (the ReadPage/ReadPages rule the zero-allocation
+//     read paths rely on): dst belongs to the caller, is filled
+//     synchronously before the call returns, and is never retained; the
+//     device never hands out internal buffers.
+//   - Concurrency: operations on distinct zones proceed in parallel;
+//     appends to one zone serialize on its single write pointer. All
+//     methods are safe for concurrent use.
+//   - Fault hooks (SetReadFault/SetWriteFault) run before any device state
+//     changes and outside zone locks, so a test may block inside one to
+//     hold an operation mid-flight without stalling other zones.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nemo/internal/vtime"
+)
+
+// ErrTooManyOpenZones is returned by any backend when an append would
+// exceed the device's open-zone limit.
+var ErrTooManyOpenZones = errors.New("device: open zone limit reached")
+
+// Stats counts all device activity since creation. Byte counts include only
+// host-visible payloads (full pages).
+type Stats struct {
+	PagesWritten uint64
+	PagesRead    uint64
+	ZoneResets   uint64
+	BytesWritten uint64
+	BytesRead    uint64
+}
+
+// Sub returns s - old, for interval accounting.
+func (s Stats) Sub(old Stats) Stats {
+	return Stats{
+		PagesWritten: s.PagesWritten - old.PagesWritten,
+		PagesRead:    s.PagesRead - old.PagesRead,
+		ZoneResets:   s.ZoneResets - old.ZoneResets,
+		BytesWritten: s.BytesWritten - old.BytesWritten,
+		BytesRead:    s.BytesRead - old.BytesRead,
+	}
+}
+
+// Geometry is the backend-independent shape of a zoned device, used by
+// factories (internal/backend, test harnesses) that must build equivalent
+// devices on every implementation.
+type Geometry struct {
+	// PageSize is the read/program granularity in bytes (0 = backend
+	// default, 4096).
+	PageSize int
+	// PagesPerZone is the zone (erase unit) size in pages (0 = backend
+	// default, 256).
+	PagesPerZone int
+	// Zones is the number of zones on the device (0 = backend default, 64).
+	Zones int
+	// MaxOpenZones bounds the number of partially written zones, as real
+	// ZNS devices do. 0 means unlimited.
+	MaxOpenZones int
+}
+
+// Device is the zoned-device contract (see the package comment for the
+// normative semantics). core.Config.Device, the four baseline configs, and
+// the shared components (hlog, ftl) all accept this interface.
+type Device interface {
+	// Geometry.
+
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// PagesPerZone returns the zone size in pages.
+	PagesPerZone() int
+	// Zones returns the number of zones on the device.
+	Zones() int
+	// TotalPages returns the device capacity in pages.
+	TotalPages() int
+	// CapacityBytes returns the device capacity in bytes.
+	CapacityBytes() int64
+	// ZoneOf returns the zone containing the global page index.
+	ZoneOf(page int) int
+	// PageAddr returns the global page index of offset off within zoneID.
+	PageAddr(zoneID, off int) int
+	// OffsetOf returns the intra-zone offset of the global page index.
+	OffsetOf(page int) int
+	// MaxOpenZones returns the open-zone limit (0 = unlimited).
+	MaxOpenZones() int
+
+	// Clock returns the clock latencies are measured on: virtual
+	// (deterministic, advanced by the device model) on the simulator, real
+	// (wall time, see vtime.NewReal) on physical backends. The `done`
+	// results below are times on this clock; `done - Clock().Now()` sampled
+	// before the call is the operation's latency.
+	Clock() *vtime.Clock
+
+	// Zone-append I/O.
+
+	// AppendPage programs one page at the zone's write pointer. data longer
+	// than a page is an error; shorter data is zero-padded (the full page
+	// is still counted as written). It returns the global page index and
+	// the completion time.
+	AppendPage(zoneID int, data []byte) (page int, done time.Duration, err error)
+	// Append programs len(data)/PageSize pages (rounding the tail up to a
+	// full page) sequentially into the zone. It returns the first global
+	// page index and the completion time of the last page.
+	Append(zoneID int, data []byte) (firstPage int, done time.Duration, err error)
+	// ReadPage copies the page into dst (which must hold PageSize bytes).
+	// See the package comment for the buffer-ownership contract.
+	ReadPage(page int, dst []byte) (done time.Duration, err error)
+	// ReadPages reads every page into the matching dst buffer and returns
+	// the completion time of the slowest read. On error, buffers before the
+	// failing page have been filled and the rest are untouched; the error
+	// is the first one encountered in page order.
+	ReadPages(pages []int, dst [][]byte) (done time.Duration, err error)
+	// ResetZone erases the zone, rewinding its write pointer.
+	ResetZone(zoneID int) (done time.Duration, err error)
+
+	// Zone state.
+
+	// ZoneWP returns the write pointer (pages written) of the zone.
+	ZoneWP(zoneID int) int
+	// ZoneFull reports whether the zone has no remaining writable pages.
+	ZoneFull(zoneID int) bool
+	// OpenZones returns the number of partially written zones.
+	OpenZones() int
+
+	// Accounting and fault injection.
+
+	// Stats returns a snapshot of the device counters.
+	Stats() Stats
+	// SetReadFault installs a hook invoked with the global page index on
+	// every read, before any state changes and outside zone locks; a
+	// non-nil return aborts the read with that error. Pass nil to disable.
+	SetReadFault(f func(page int) error)
+	// SetWriteFault is SetReadFault's append-side twin, invoked with the
+	// zone ID. The hook may block to hold an append mid-flight without
+	// stalling reads or appends to other zones.
+	SetWriteFault(f func(zone int) error)
+
+	// Close releases backend resources (file descriptors, image files).
+	// The simulator's Close is a no-op. Engines never close their device —
+	// whoever opened it does.
+	Close() error
+}
+
+// ZoneState describes a zone's lifecycle position (§2.2's zoned interface).
+type ZoneState int
+
+// Zone states: empty (reset, unwritten), open (partially written), full
+// (write pointer at capacity).
+const (
+	ZoneEmpty ZoneState = iota
+	ZoneOpen
+	ZoneFull
+)
+
+// String renders the state for diagnostics.
+func (s ZoneState) String() string {
+	switch s {
+	case ZoneEmpty:
+		return "EMPTY"
+	case ZoneOpen:
+		return "OPEN"
+	case ZoneFull:
+		return "FULL"
+	default:
+		return fmt.Sprintf("ZoneState(%d)", int(s))
+	}
+}
+
+// StateOf derives a zone's lifecycle state from its write pointer.
+func StateOf(d Device, zoneID int) ZoneState {
+	switch wp := d.ZoneWP(zoneID); {
+	case wp == 0:
+		return ZoneEmpty
+	case wp >= d.PagesPerZone():
+		return ZoneFull
+	default:
+		return ZoneOpen
+	}
+}

@@ -1,0 +1,63 @@
+// Package devtest runs a test once per device backend, so fault-injection
+// and semantics tests exercise both implementations of the internal/device
+// contract instead of silently pinning flashsim-only behaviour. The core
+// fault tests and the server drain suite run through it.
+package devtest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nemo/internal/device"
+	"nemo/internal/filedev"
+	"nemo/internal/flashsim"
+)
+
+// Backend names one device implementation for a test run.
+type Backend struct {
+	// Name is the subtest name: "sim" or "file".
+	Name string
+	// New builds a device with the given geometry. File-backed devices live
+	// in t.TempDir() and are closed (and their images removed) on cleanup;
+	// simulator devices need no cleanup but are closed anyway to keep the
+	// lifecycle uniform.
+	New func(t *testing.T, g device.Geometry) device.Device
+}
+
+// Backends returns every implementation of the device contract.
+func Backends() []Backend {
+	return []Backend{
+		{Name: "sim", New: func(t *testing.T, g device.Geometry) device.Device {
+			d := flashsim.New(flashsim.Config{
+				PageSize:     g.PageSize,
+				PagesPerZone: g.PagesPerZone,
+				Zones:        g.Zones,
+				MaxOpenZones: g.MaxOpenZones,
+			})
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+		{Name: "file", New: func(t *testing.T, g device.Geometry) device.Device {
+			d, err := filedev.Open(filedev.Config{
+				Path:         filepath.Join(t.TempDir(), "nemo.img"),
+				PageSize:     g.PageSize,
+				PagesPerZone: g.PagesPerZone,
+				Zones:        g.Zones,
+				MaxOpenZones: g.MaxOpenZones,
+			})
+			if err != nil {
+				t.Fatalf("open filedev: %v", err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+	}
+}
+
+// Run runs fn as a subtest per backend. The subtests share nothing: each
+// builds its own devices through the Backend it receives.
+func Run(t *testing.T, fn func(t *testing.T, b Backend)) {
+	for _, b := range Backends() {
+		t.Run(b.Name, func(t *testing.T) { fn(t, b) })
+	}
+}

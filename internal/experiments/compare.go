@@ -28,10 +28,11 @@ import (
 	"strings"
 	"sync"
 
+	"nemo/internal/backend"
 	"nemo/internal/cachelib"
 	"nemo/internal/core"
+	"nemo/internal/device"
 	"nemo/internal/fairywren"
-	"nemo/internal/flashsim"
 	"nemo/internal/kangaroo"
 	"nemo/internal/logcache"
 	"nemo/internal/setcache"
@@ -73,6 +74,11 @@ type CompareConfig struct {
 	// HostTime includes the wall-clock columns (ops/s, setp50, setp99).
 	// Disable it to get a byte-deterministic table.
 	HostTime bool
+	// Device selects the backend engines run on (the zero value is the
+	// flashsim simulator; backend.File for a file-backed device). With
+	// HostTime=false the table is byte-identical across backends — the
+	// cross-backend equivalence pin.
+	Device backend.Spec
 	// Out receives the table (io.Discard when nil).
 	Out io.Writer
 }
@@ -130,14 +136,10 @@ func (g compareGeometry) capacityBytes() int64 {
 	return int64(g.PageSize) * int64(g.PagesPerZone) * int64(g.DataZones)
 }
 
-func (g compareGeometry) device(zones int) *flashsim.Device {
-	return flashsim.New(flashsim.Config{
-		PageSize:     g.PageSize,
-		PagesPerZone: g.PagesPerZone,
-		Zones:        zones,
-		Channels:     8,
-	})
-}
+// openFn builds a device of the run's geometry with the given zone count on
+// the selected backend. Each engine's build calls it exactly once; the
+// harness (not the engine) closes what it opened.
+type openFn func(zones int) (device.Device, error)
 
 // compareEngine is one comparison column: a canonical key, the structural
 // minimum per-shard zone budget the design needs to run (hierarchical
@@ -148,16 +150,19 @@ type compareEngine struct {
 	key         string // lowercase selector for the -engines filter
 	name        string // the engine's display label (matches Engine.Name())
 	minPerShard int
-	build       func(g compareGeometry, n int, async bool, flushers int) (cachelib.Engine, error)
+	build       func(g compareGeometry, open openFn, n int, async bool, flushers int) (cachelib.Engine, error)
 }
 
 var compareEngines = []compareEngine{
 	{
 		key: "nemo", name: "Nemo", minPerShard: 2,
-		build: func(g compareGeometry, n int, async bool, flushers int) (cachelib.Engine, error) {
+		build: func(g compareGeometry, open openFn, n int, async bool, flushers int) (cachelib.Engine, error) {
 			perData := g.DataZones / n
 			perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-			dev := g.device(n * (perData + perIdx))
+			dev, err := open(n * (perData + perIdx))
+			if err != nil {
+				return nil, err
+			}
 			cfg := core.DefaultConfig(dev, g.DataZones)
 			cfg.Shards = n
 			if async {
@@ -168,20 +173,32 @@ var compareEngines = []compareEngine{
 	},
 	{
 		key: "log", name: "Log", minPerShard: 2,
-		build: func(g compareGeometry, n int, async bool, flushers int) (cachelib.Engine, error) {
-			return logcache.NewSharded(logcache.Config{Device: g.device(g.DataZones)}, n)
+		build: func(g compareGeometry, open openFn, n int, async bool, flushers int) (cachelib.Engine, error) {
+			dev, err := open(g.DataZones)
+			if err != nil {
+				return nil, err
+			}
+			return logcache.NewSharded(logcache.Config{Device: dev}, n)
 		},
 	},
 	{
 		key: "set", name: "Set", minPerShard: 4, // FTL free-zone reserve + 2
-		build: func(g compareGeometry, n int, async bool, flushers int) (cachelib.Engine, error) {
-			return setcache.NewSharded(setcache.Config{Device: g.device(g.DataZones), OPRatio: 0.5}, n)
+		build: func(g compareGeometry, open openFn, n int, async bool, flushers int) (cachelib.Engine, error) {
+			dev, err := open(g.DataZones)
+			if err != nil {
+				return nil, err
+			}
+			return setcache.NewSharded(setcache.Config{Device: dev, OPRatio: 0.5}, n)
 		},
 	},
 	{
 		key: "kg", name: "KG", minPerShard: 6,
-		build: func(g compareGeometry, n int, async bool, flushers int) (cachelib.Engine, error) {
-			return kangaroo.NewSharded(kangaroo.Config{Device: g.device(g.DataZones), LogRatio: 0.05, OPRatio: 0.05}, n)
+		build: func(g compareGeometry, open openFn, n int, async bool, flushers int) (cachelib.Engine, error) {
+			dev, err := open(g.DataZones)
+			if err != nil {
+				return nil, err
+			}
+			return kangaroo.NewSharded(kangaroo.Config{Device: dev, LogRatio: 0.05, OPRatio: 0.05}, n)
 		},
 	},
 	{
@@ -190,8 +207,12 @@ var compareEngines = []compareEngine{
 		// live and reclaim loses ground to its own relocations (the gc
 		// progress guard then errors out the run).
 		key: "fw", name: "FW", minPerShard: 12,
-		build: func(g compareGeometry, n int, async bool, flushers int) (cachelib.Engine, error) {
-			return fairywren.NewSharded(fairywren.Config{Device: g.device(g.DataZones), LogRatio: 0.05, OPRatio: 0.05}, n)
+		build: func(g compareGeometry, open openFn, n int, async bool, flushers int) (cachelib.Engine, error) {
+			dev, err := open(g.DataZones)
+			if err != nil {
+				return nil, err
+			}
+			return fairywren.NewSharded(fairywren.Config{Device: dev, LogRatio: 0.05, OPRatio: 0.05}, n)
 		},
 	},
 }
@@ -320,7 +341,28 @@ func (o CompareConfig) runOne(g compareGeometry, e compareEngine, n int, reqs []
 		return fmt.Sprintf("%-6s %-7d skipped: %d zones/shard < engine minimum %d",
 			e.name, n, per, e.minPerShard), nil
 	}
-	eng, err := e.build(g, n, o.Async, o.Flushers)
+	// Engines never close their device; the harness closes (and, for
+	// file-backed devices, removes) whatever the build opened — after the
+	// engine is closed, so no I/O outlives its device.
+	var devs []device.Device
+	defer func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}()
+	open := func(zones int) (device.Device, error) {
+		d, err := o.Device.Open(device.Geometry{
+			PageSize:     g.PageSize,
+			PagesPerZone: g.PagesPerZone,
+			Zones:        zones,
+		})
+		if err != nil {
+			return nil, err
+		}
+		devs = append(devs, d)
+		return d, nil
+	}
+	eng, err := e.build(g, open, n, o.Async, o.Flushers)
 	if err != nil {
 		return "", err
 	}

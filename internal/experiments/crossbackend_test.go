@@ -1,0 +1,88 @@
+package experiments
+
+// Cross-backend equivalence: the engines are deterministic functions of the
+// trace and the device *geometry* — never of the device *implementation*.
+// Replaying the same materialized mixed trace on the simulator and on the
+// file-backed device must produce byte-identical quality metrics (hit ratio,
+// ALWA, total WA, evictions) for every engine. This is the pin that lets
+// `-device=file:` results be compared against the simulator baselines: only
+// the timing columns may differ.
+
+import (
+	"bytes"
+	"testing"
+
+	"nemo/internal/backend"
+)
+
+// runCompareTable renders the -notime compare table for one backend.
+func runCompareTable(t *testing.T, spec backend.Spec) string {
+	t.Helper()
+	var buf bytes.Buffer
+	err := RunCompare(CompareConfig{
+		Scale:    "small",
+		Shards:   []int{1, 2},
+		Ops:      30_000,
+		Seed:     7,
+		SetFrac:  0.1,
+		DelFrac:  0.02,
+		HostTime: false, // quality columns only: the deterministic table
+		Device:   spec,
+		Out:      &buf,
+	})
+	if err != nil {
+		t.Fatalf("%v: %v", spec, err)
+	}
+	return buf.String()
+}
+
+// TestCompareTableIdenticalAcrossBackends replays the full five-engine
+// comparison on both backends and requires byte-identical -notime tables.
+func TestCompareTableIdenticalAcrossBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-backend replay is a long test")
+	}
+	sim := runCompareTable(t, backend.Sim())
+	file := runCompareTable(t, backend.File(t.TempDir()+"/nemo.img"))
+	if sim != file {
+		t.Fatalf("quality table differs across backends\n--- sim ---\n%s\n--- file ---\n%s", sim, file)
+	}
+	if sim == "" {
+		t.Fatal("empty compare table")
+	}
+}
+
+// TestCompareTableIdenticalAcrossBackendsAsync repeats the pin down the
+// async flush pipeline (SetAsync + flusher pool): background flushing must
+// not let the device implementation leak into the quality metrics either.
+func TestCompareTableIdenticalAcrossBackendsAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-backend replay is a long test")
+	}
+	run := func(spec backend.Spec) string {
+		var buf bytes.Buffer
+		err := RunCompare(CompareConfig{
+			Scale:    "small",
+			Shards:   []int{2},
+			Ops:      20_000,
+			Seed:     11,
+			Async:    true,
+			Flushers: 2,
+			SetFrac:  0.1,
+			DelFrac:  0.02,
+			Engines:  []string{"nemo", "log"},
+			HostTime: false,
+			Device:   spec,
+			Out:      &buf,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		return buf.String()
+	}
+	sim := run(backend.Sim())
+	file := run(backend.File(t.TempDir() + "/nemo.img"))
+	if sim != file {
+		t.Fatalf("async quality table differs across backends\n--- sim ---\n%s\n--- file ---\n%s", sim, file)
+	}
+}

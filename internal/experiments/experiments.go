@@ -17,6 +17,7 @@ import (
 
 	"nemo/internal/cachelib"
 	"nemo/internal/core"
+	"nemo/internal/device"
 	"nemo/internal/fairywren"
 	"nemo/internal/flashsim"
 	"nemo/internal/kangaroo"
@@ -104,7 +105,7 @@ func (g geometry) capacityBytes() int64 {
 }
 
 // newDevice builds a device with the experiment geometry and a fresh clock.
-func (g geometry) newDevice() *flashsim.Device {
+func (g geometry) newDevice() device.Device {
 	return flashsim.New(flashsim.Config{
 		PageSize:     g.PageSize,
 		PagesPerZone: g.PagesPerZone,
@@ -126,7 +127,7 @@ func (g geometry) workload(seed int64) (trace.Stream, error) {
 
 // nemoEngine builds Nemo at Table 4's ratios: the whole device minus the
 // index pool is the SG pool (OP < 1%).
-func nemoEngine(dev *flashsim.Device, mutate func(*core.Config)) (*core.Cache, error) {
+func nemoEngine(dev device.Device, mutate func(*core.Config)) (*core.Cache, error) {
 	dataZones := maxDataZones(dev.Zones(), 50)
 	cfg := core.DefaultConfig(dev, dataZones)
 	if mutate != nil {
@@ -145,12 +146,12 @@ func maxDataZones(zones, sgsPerGroup int) int {
 }
 
 // fwEngine builds FairyWREN with the given log share and OP ratio.
-func fwEngine(dev *flashsim.Device, logRatio, opRatio float64) (*fairywren.Cache, error) {
+func fwEngine(dev device.Device, logRatio, opRatio float64) (*fairywren.Cache, error) {
 	return fairywren.New(fairywren.Config{Device: dev, LogRatio: logRatio, OPRatio: opRatio})
 }
 
 // replayCfg is the common replay configuration.
-func replayCfg(g geometry, o Options, dev *flashsim.Device) cachelib.ReplayConfig {
+func replayCfg(g geometry, o Options, dev device.Device) cachelib.ReplayConfig {
 	return cachelib.ReplayConfig{
 		Ops:          g.ops(o),
 		InterArrival: 10 * time.Microsecond,
@@ -194,10 +195,10 @@ type engineSet struct {
 	KG   *kangaroo.Cache
 }
 
-func buildEngines(g geometry) (engineSet, []*flashsim.Device, error) {
+func buildEngines(g geometry) (engineSet, []device.Device, error) {
 	var es engineSet
-	var devs []*flashsim.Device
-	mk := func() *flashsim.Device {
+	var devs []device.Device
+	mk := func() device.Device {
 		d := g.newDevice()
 		devs = append(devs, d)
 		return d

@@ -5,7 +5,7 @@ import (
 
 	"nemo/internal/cachelib"
 	"nemo/internal/core"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/trace"
 	"nemo/internal/wamodel"
 )
@@ -63,7 +63,7 @@ func runSec55(o Options) error {
 	o = o.withDefaults()
 	g := geometryFor(o)
 	fmt.Fprintln(o.Out, "§5.5 — overhead comparison, Nemo vs FW")
-	run := func(mk func(*flashsim.Device) (cachelib.Engine, error)) (cachelib.Stats, error) {
+	run := func(mk func(device.Device) (cachelib.Engine, error)) (cachelib.Stats, error) {
 		dev := g.newDevice()
 		e, err := mk(dev)
 		if err != nil {
@@ -80,7 +80,7 @@ func runSec55(o Options) error {
 		return res.Final, nil
 	}
 	var nemoCache *core.Cache
-	nemoStats, err := run(func(d *flashsim.Device) (cachelib.Engine, error) {
+	nemoStats, err := run(func(d device.Device) (cachelib.Engine, error) {
 		c, err := nemoEngine(d, nil)
 		nemoCache = c
 		return c, err
@@ -88,7 +88,7 @@ func runSec55(o Options) error {
 	if err != nil {
 		return err
 	}
-	fwStats, err := run(func(d *flashsim.Device) (cachelib.Engine, error) {
+	fwStats, err := run(func(d device.Device) (cachelib.Engine, error) {
 		return fwEngine(d, 0.05, 0.05)
 	})
 	if err != nil {

@@ -25,7 +25,7 @@ import (
 
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/hashing"
 	"nemo/internal/hlog"
 	"nemo/internal/metrics"
@@ -34,7 +34,7 @@ import (
 
 // Config configures the FairyWREN engine.
 type Config struct {
-	Device *flashsim.Device
+	Device device.Device
 	// ZoneBase is the first device zone the engine owns; Zones is how many
 	// (0 means all zones from ZoneBase). A sharded deployment (NewSharded)
 	// gives each shard its own disjoint range of one device.
@@ -64,7 +64,7 @@ const (
 // Cache is the FairyWREN engine. Safe for concurrent use.
 type Cache struct {
 	cfg      Config
-	dev      *flashsim.Device
+	dev      device.Device
 	log      *hlog.Log
 	pageSize int
 	ppz      int

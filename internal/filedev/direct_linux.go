@@ -1,0 +1,49 @@
+//go:build linux
+
+package filedev
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// directSupported reports whether this platform can open the image with
+// O_DIRECT.
+const directSupported = true
+
+// directFlag is the open(2) flag for direct I/O.
+const directFlag = syscall.O_DIRECT
+
+// directAlign is the memory/offset/length alignment O_DIRECT transfers
+// must satisfy. 512 is the historical floor; 4096 is safe on every modern
+// filesystem and matches the default page size.
+const directAlign = 4096
+
+// Linux fallocate(2) mode bits (not exported by package syscall).
+const (
+	fallocKeepSize  = 0x1 // FALLOC_FL_KEEP_SIZE
+	fallocPunchHole = 0x2 // FALLOC_FL_PUNCH_HOLE
+)
+
+// alignedBuf allocates a page-sized buffer whose base address is
+// directAlign-aligned, for O_DIRECT transfers. The returned slice aliases a
+// larger allocation; the pool stores the pointer so the backing array stays
+// reachable.
+func alignedBuf(pageSize int) *[]byte {
+	raw := make([]byte, pageSize+directAlign)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&raw[0])) % directAlign; rem != 0 {
+		off = directAlign - int(rem)
+	}
+	buf := raw[off : off+pageSize : off+pageSize]
+	return &buf
+}
+
+// punchHole releases the file blocks backing [off, off+length) without
+// changing the file size. Best-effort: failure (unsupported filesystem,
+// O_DIRECT quirks) is ignored because reads beyond the write pointer are
+// zero-filled in software anyway.
+func punchHole(f *os.File, off, length int64) {
+	_ = syscall.Fallocate(int(f.Fd()), fallocPunchHole|fallocKeepSize, off, length)
+}

@@ -16,6 +16,11 @@
 // own scheduler lock, and the activity counters are atomics. Only the
 // open-zone limit check takes a dedicated device-wide lock, and only on the
 // rare 0→1 and full/reset write-pointer transitions.
+//
+// Device is one implementation of the internal/device contract; the
+// file-backed internal/filedev is the other. Engines accept the interface
+// and behave identically on both (only latencies differ — virtual here,
+// measured there).
 package flashsim
 
 import (
@@ -24,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nemo/internal/device"
 	"nemo/internal/vtime"
 )
 
@@ -57,33 +63,19 @@ type Config struct {
 }
 
 // ZoneState describes a zone's lifecycle position (§2.2's zoned interface).
-type ZoneState int
+type ZoneState = device.ZoneState
 
 // Zone states: empty (reset, unwritten), open (partially written), full
 // (write pointer at capacity).
 const (
-	ZoneEmpty ZoneState = iota
-	ZoneOpen
-	ZoneFull
+	ZoneEmpty = device.ZoneEmpty
+	ZoneOpen  = device.ZoneOpen
+	ZoneFull  = device.ZoneFull
 )
 
-// String renders the state for diagnostics.
-func (s ZoneState) String() string {
-	switch s {
-	case ZoneEmpty:
-		return "EMPTY"
-	case ZoneOpen:
-		return "OPEN"
-	case ZoneFull:
-		return "FULL"
-	default:
-		return fmt.Sprintf("ZoneState(%d)", int(s))
-	}
-}
-
 // ErrTooManyOpenZones is returned when an append would exceed the device's
-// open-zone limit.
-var ErrTooManyOpenZones = fmt.Errorf("flashsim: open zone limit reached")
+// open-zone limit. It is the shared sentinel every backend returns.
+var ErrTooManyOpenZones = device.ErrTooManyOpenZones
 
 func (c Config) withDefaults() Config {
 	if c.PageSize == 0 {
@@ -115,24 +107,7 @@ func (c Config) withDefaults() Config {
 
 // Stats counts all device activity since creation. Byte counts include only
 // host-visible payloads (full pages).
-type Stats struct {
-	PagesWritten uint64
-	PagesRead    uint64
-	ZoneResets   uint64
-	BytesWritten uint64
-	BytesRead    uint64
-}
-
-// Sub returns s - old, for interval accounting.
-func (s Stats) Sub(old Stats) Stats {
-	return Stats{
-		PagesWritten: s.PagesWritten - old.PagesWritten,
-		PagesRead:    s.PagesRead - old.PagesRead,
-		ZoneResets:   s.ZoneResets - old.ZoneResets,
-		BytesWritten: s.BytesWritten - old.BytesWritten,
-		BytesRead:    s.BytesRead - old.BytesRead,
-	}
-}
+type Stats = device.Stats
 
 type zone struct {
 	mu   sync.Mutex
@@ -217,6 +192,16 @@ func (d *Device) PageAddr(zoneID, off int) int {
 
 // OffsetOf returns the intra-zone offset of the global page index.
 func (d *Device) OffsetOf(page int) int { return page % d.cfg.PagesPerZone }
+
+// MaxOpenZones returns the open-zone limit (0 = unlimited).
+func (d *Device) MaxOpenZones() int { return d.cfg.MaxOpenZones }
+
+// Close releases nothing: the simulator holds only memory. Provided to
+// satisfy the device contract so openers can close any backend uniformly.
+func (d *Device) Close() error { return nil }
+
+// Device implements the zoned-device contract.
+var _ device.Device = (*Device)(nil)
 
 // Stats returns a snapshot of the device counters. Each counter is loaded
 // atomically; under concurrent traffic the fields may straddle in-flight

@@ -15,7 +15,7 @@ import (
 	"sync"
 	"time"
 
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 )
 
 // Config controls the FTL geometry and GC policy.
@@ -49,7 +49,7 @@ func (s Stats) DLWA() float64 {
 // FTL is a page-mapped translation layer over a contiguous zone range of a
 // device. It is safe for concurrent use.
 type FTL struct {
-	dev       *flashsim.Device
+	dev       device.Device
 	cfg       Config
 	zoneBase  int // first device zone owned by this FTL
 	zoneCount int
@@ -66,7 +66,7 @@ type FTL struct {
 
 // New creates an FTL over device zones [zoneBase, zoneBase+zoneCount).
 // The logical capacity is floor(zoneCount*pagesPerZone*(1-OPRatio)) pages.
-func New(dev *flashsim.Device, zoneBase, zoneCount int, cfg Config) (*FTL, error) {
+func New(dev device.Device, zoneBase, zoneCount int, cfg Config) (*FTL, error) {
 	if cfg.OPRatio <= 0 || cfg.OPRatio >= 1 {
 		return nil, fmt.Errorf("ftl: OPRatio %v out of range (0,1)", cfg.OPRatio)
 	}

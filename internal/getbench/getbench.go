@@ -10,8 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"nemo/internal/backend"
 	"nemo/internal/core"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 )
 
 // Zones is the benchmark's total SG pool — the -replay geometry, held
@@ -19,21 +20,26 @@ import (
 // hits serve from flash rather than the in-memory SGs.
 const Zones = 48
 
-// Build constructs a sharded cache on a fresh simulated device and
-// prefills it to roughly 3/4 of pool capacity with deterministic keys
+// Build constructs a sharded cache on a fresh device of the given backend
+// and prefills it to roughly 3/4 of pool capacity with deterministic keys
 // (prebuilt, so measurement loops charge no fmt allocations to the GET
 // path). Index groups never seal at this geometry (48 SGs < the 50-SG
 // group width), so lookups exercise the in-memory filter path plus the
-// candidate flash read — the common production shape.
-func Build(shards int) (*core.Sharded, [][]byte, error) {
+// candidate flash read — the common production shape. The caller closes the
+// returned device after the cache (engines never close their device).
+func Build(spec backend.Spec, shards int) (*core.Sharded, device.Device, [][]byte, error) {
 	perData := Zones / shards
 	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-	dev := flashsim.New(flashsim.Config{PagesPerZone: 64, Zones: shards * (perData + perIdx)})
+	dev, err := spec.Open(device.Geometry{PagesPerZone: 64, Zones: shards * (perData + perIdx)})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	cfg := core.DefaultConfig(dev, Zones)
 	cfg.Shards = shards
 	cache, err := core.NewSharded(cfg)
 	if err != nil {
-		return nil, nil, err
+		dev.Close()
+		return nil, nil, nil, err
 	}
 	n := Zones * dev.PagesPerZone() * 10
 	keys := make([][]byte, n)
@@ -41,10 +47,11 @@ func Build(shards int) (*core.Sharded, [][]byte, error) {
 		keys[i] = Key(i)
 		if err := cache.Set(keys[i], Value(i)); err != nil {
 			cache.Close()
-			return nil, nil, err
+			dev.Close()
+			return nil, nil, nil, err
 		}
 	}
-	return cache, keys, nil
+	return cache, dev, keys, nil
 }
 
 // Key returns the deterministic benchmark key for index i.

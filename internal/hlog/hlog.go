@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"time"
 
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/setblock"
 )
 
@@ -48,7 +48,7 @@ type Stats struct {
 // Log is the front-tier log. Not safe for concurrent use; the owning engine
 // serializes access.
 type Log struct {
-	dev      *flashsim.Device
+	dev      device.Device
 	zoneBase int
 	zones    int
 	pageSize int
@@ -68,7 +68,7 @@ type Log struct {
 }
 
 // New creates a log over device zones [zoneBase, zoneBase+zones).
-func New(dev *flashsim.Device, zoneBase, zones int) (*Log, error) {
+func New(dev device.Device, zoneBase, zones int) (*Log, error) {
 	if zones < 2 || zoneBase < 0 || zoneBase+zones > dev.Zones() {
 		return nil, fmt.Errorf("hlog: invalid zone range base=%d zones=%d", zoneBase, zones)
 	}

@@ -16,7 +16,7 @@ import (
 
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/ftl"
 	"nemo/internal/hashing"
 	"nemo/internal/hlog"
@@ -26,7 +26,7 @@ import (
 
 // Config configures the Kangaroo engine.
 type Config struct {
-	Device *flashsim.Device
+	Device device.Device
 	// ZoneBase is the first device zone the engine owns; Zones is how many
 	// (0 means all zones from ZoneBase). A sharded deployment (NewSharded)
 	// gives each shard its own disjoint range of one device.
@@ -56,7 +56,7 @@ type Config struct {
 // Cache is the Kangaroo engine. Safe for concurrent use.
 type Cache struct {
 	cfg      Config
-	dev      *flashsim.Device
+	dev      device.Device
 	log      *hlog.Log
 	ftl      *ftl.FTL
 	pageSize int

@@ -16,7 +16,7 @@ import (
 	"time"
 
 	"nemo/internal/cachelib"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/hashing"
 	"nemo/internal/metrics"
 	"nemo/internal/setblock"
@@ -26,7 +26,7 @@ import (
 type Config struct {
 	// Device is the zoned device; the cache uses zones [ZoneBase,
 	// ZoneBase+Zones).
-	Device   *flashsim.Device
+	Device   device.Device
 	ZoneBase int
 	Zones    int // 0 means all device zones
 }
@@ -41,7 +41,7 @@ type loc struct {
 // Cache is the log-structured engine. Safe for concurrent use.
 type Cache struct {
 	cfg      Config
-	dev      *flashsim.Device
+	dev      device.Device
 	pageSize int
 
 	mu        sync.Mutex

@@ -15,8 +15,9 @@ import (
 	"sync"
 	"time"
 
+	"nemo/internal/backend"
 	"nemo/internal/core"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/memclient"
 	"nemo/internal/metrics"
 	"nemo/internal/server"
@@ -43,6 +44,7 @@ type Config struct {
 	Ops      int  // total requests across all connections
 	Pipeline int  // requests per pipelined batch (default 8)
 	SetFrac  float64
+	Device   backend.Spec // device backend (zero value = simulator)
 }
 
 // Result is one measured configuration. Latency percentiles are round-trip
@@ -79,19 +81,28 @@ func Value(i int) []byte {
 }
 
 // Build constructs the benchmark engine: the shared 48-zone geometry over a
-// fresh simulated device.
-func Build(shards, flushers int) (*core.Sharded, error) {
+// fresh device of the given backend. The caller closes the returned device
+// after the cache (engines never close their device).
+func Build(spec backend.Spec, shards, flushers int) (*core.Sharded, device.Device, error) {
 	perData := Zones / shards
 	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-	dev := flashsim.New(flashsim.Config{
+	dev, err := spec.Open(device.Geometry{
 		PageSize:     pageSize,
 		PagesPerZone: pagesPerZone,
 		Zones:        shards * (perData + perIdx),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	cfg := core.DefaultConfig(dev, Zones)
 	cfg.Shards = shards
 	cfg.Flushers = flushers
-	return core.NewSharded(cfg)
+	cache, err := core.NewSharded(cfg)
+	if err != nil {
+		dev.Close()
+		return nil, nil, err
+	}
+	return cache, dev, nil
 }
 
 // Run builds the engine and server, serves on an ephemeral loopback port,
@@ -110,10 +121,11 @@ func Run(cfg Config) (Result, error) {
 	if cfg.SetFrac <= 0 {
 		cfg.SetFrac = 0.3
 	}
-	cache, err := Build(cfg.Shards, cfg.Flushers)
+	cache, dev, err := Build(cfg.Device, cfg.Shards, cfg.Flushers)
 	if err != nil {
 		return Result{}, err
 	}
+	defer dev.Close()
 	defer cache.Close()
 
 	srv, err := server.New(server.Config{

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"nemo/internal/devtest"
 	"nemo/internal/memclient"
 	"nemo/internal/server"
 )
@@ -96,55 +97,57 @@ func TestGracefulDrainNoStoredLost(t *testing.T) {
 // that set) or on the flusher pool (deferred, out of Shutdown's Drain) —
 // so Shutdown may return nil or the injected fault, never anything else.
 func TestWriteErrorSurfacesInServedStats(t *testing.T) {
-	eng, dev := newEngine(t, 1, 1)
-	defer eng.Close()
-	boom := errors.New("injected append fault")
-	dev.SetWriteFault(func(zone int) error { return boom })
-	defer dev.SetWriteFault(nil)
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		eng, dev := newEngineOn(t, b, 1, 1)
+		defer eng.Close()
+		boom := errors.New("injected append fault")
+		dev.SetWriteFault(func(zone int) error { return boom })
+		defer dev.SetWriteFault(nil)
 
-	srv, err := server.New(server.Config{Engine: eng, MaxItemBytes: testMaxItem})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cli, sv := net.Pipe()
-	defer cli.Close()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		srv.ServeConn(sv)
-	}()
-
-	cl := memclient.New(cli)
-	surfaced := false
-	for i := 0; i < 500 && !surfaced; i++ {
-		// STORED means "accepted"; once backpressure routes a flush inline,
-		// the injected fault comes back as SERVER_ERROR — both are fine
-		// here, the assertion is the stats surface.
-		cl.QueueSet(drainKey(i), drainData(i), 0, false)
-		if err := cl.Flush(); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := cl.ReadStatus(); err != nil {
-			t.Fatal(err)
-		}
-		stats, err := cl.Stats()
+		srv, err := server.New(server.Config{Engine: eng, MaxItemBytes: testMaxItem})
 		if err != nil {
 			t.Fatal(err)
 		}
-		surfaced = stats["engine_write_errors"] >= 1
-	}
-	if !surfaced {
-		t.Fatal("engine_write_errors never surfaced in the stats verb")
-	}
+		cli, sv := net.Pipe()
+		defer cli.Close()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.ServeConn(sv)
+		}()
 
-	if err := srv.Shutdown(); err != nil && !errors.Is(err, boom) {
-		t.Fatalf("Shutdown returned %v, want nil or the injected flush fault", err)
-	}
-	<-done
-	if st := eng.Stats(); st.WriteErrors == 0 {
-		t.Fatalf("WriteErrors not in final engine stats: %+v", st)
-	}
-	dev.SetWriteFault(nil)
+		cl := memclient.New(cli)
+		surfaced := false
+		for i := 0; i < 500 && !surfaced; i++ {
+			// STORED means "accepted"; once backpressure routes a flush inline,
+			// the injected fault comes back as SERVER_ERROR — both are fine
+			// here, the assertion is the stats surface.
+			cl.QueueSet(drainKey(i), drainData(i), 0, false)
+			if err := cl.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.ReadStatus(); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := cl.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			surfaced = stats["engine_write_errors"] >= 1
+		}
+		if !surfaced {
+			t.Fatal("engine_write_errors never surfaced in the stats verb")
+		}
+
+		if err := srv.Shutdown(); err != nil && !errors.Is(err, boom) {
+			t.Fatalf("Shutdown returned %v, want nil or the injected flush fault", err)
+		}
+		<-done
+		if st := eng.Stats(); st.WriteErrors == 0 {
+			t.Fatalf("WriteErrors not in final engine stats: %+v", st)
+		}
+		dev.SetWriteFault(nil)
+	})
 }
 
 // TestFaultBlocksMidDrain injects the fault mid-shutdown: a blockable
@@ -155,72 +158,74 @@ func TestWriteErrorSurfacesInServedStats(t *testing.T) {
 // stats as WriteErrors (returned from Shutdown too when the flusher pool,
 // rather than an inline handler flush, owned the failed flush).
 func TestFaultBlocksMidDrain(t *testing.T) {
-	eng, dev := newEngine(t, 1, 1)
-	defer eng.Close()
-	boom := errors.New("injected mid-drain fault")
-	gate := make(chan struct{})
-	entered := make(chan struct{})
-	var once sync.Once
-	dev.SetWriteFault(func(zone int) error {
-		once.Do(func() { close(entered) })
-		<-gate
-		return boom
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		eng, dev := newEngineOn(t, b, 1, 1)
+		defer eng.Close()
+		boom := errors.New("injected mid-drain fault")
+		gate := make(chan struct{})
+		entered := make(chan struct{})
+		var once sync.Once
+		dev.SetWriteFault(func(zone int) error {
+			once.Do(func() { close(entered) })
+			<-gate
+			return boom
+		})
+		defer dev.SetWriteFault(nil)
+
+		srv, err := server.New(server.Config{Engine: eng, MaxItemBytes: testMaxItem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, sv := net.Pipe()
+		defer cli.Close()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.ServeConn(sv)
+		}()
+
+		// Feed noreply sets until a flush reaches the (now blocked) device
+		// hook. The writer goroutine may itself end up blocked behind the held
+		// flush; it is abandoned — closing the pipe in cleanup releases it.
+		go func() {
+			cl := memclient.New(cli)
+			for i := 0; i < 2000; i++ {
+				select {
+				case <-entered:
+					return
+				default:
+				}
+				cl.QueueSet(drainKey(i), drainData(i), 0, true)
+				if cl.Flush() != nil {
+					return
+				}
+			}
+		}()
+		select {
+		case <-entered:
+		case <-time.After(30 * time.Second):
+			t.Fatal("no flush ever reached the device hook")
+		}
+
+		// Enter Shutdown while the flush is held in flight, then release the
+		// fault so it fails under the drain.
+		shutdownErr := make(chan error, 1)
+		go func() { shutdownErr <- srv.Shutdown() }()
+		time.Sleep(50 * time.Millisecond)
+		close(gate)
+
+		select {
+		case err := <-shutdownErr:
+			if err != nil && !errors.Is(err, boom) {
+				t.Fatalf("Shutdown returned %v, want nil or the injected fault", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("Shutdown hung across the failed drain")
+		}
+		<-done
+		if st := eng.Stats(); st.WriteErrors == 0 {
+			t.Fatalf("WriteErrors not surfaced in final stats: %+v", st)
+		}
+		dev.SetWriteFault(nil)
 	})
-	defer dev.SetWriteFault(nil)
-
-	srv, err := server.New(server.Config{Engine: eng, MaxItemBytes: testMaxItem})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cli, sv := net.Pipe()
-	defer cli.Close()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		srv.ServeConn(sv)
-	}()
-
-	// Feed noreply sets until a flush reaches the (now blocked) device
-	// hook. The writer goroutine may itself end up blocked behind the held
-	// flush; it is abandoned — closing the pipe in cleanup releases it.
-	go func() {
-		cl := memclient.New(cli)
-		for i := 0; i < 2000; i++ {
-			select {
-			case <-entered:
-				return
-			default:
-			}
-			cl.QueueSet(drainKey(i), drainData(i), 0, true)
-			if cl.Flush() != nil {
-				return
-			}
-		}
-	}()
-	select {
-	case <-entered:
-	case <-time.After(30 * time.Second):
-		t.Fatal("no flush ever reached the device hook")
-	}
-
-	// Enter Shutdown while the flush is held in flight, then release the
-	// fault so it fails under the drain.
-	shutdownErr := make(chan error, 1)
-	go func() { shutdownErr <- srv.Shutdown() }()
-	time.Sleep(50 * time.Millisecond)
-	close(gate)
-
-	select {
-	case err := <-shutdownErr:
-		if err != nil && !errors.Is(err, boom) {
-			t.Fatalf("Shutdown returned %v, want nil or the injected fault", err)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("Shutdown hung across the failed drain")
-	}
-	<-done
-	if st := eng.Stats(); st.WriteErrors == 0 {
-		t.Fatalf("WriteErrors not surfaced in final stats: %+v", st)
-	}
-	dev.SetWriteFault(nil)
 }

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"nemo/internal/core"
+	"nemo/internal/device"
+	"nemo/internal/devtest"
 	"nemo/internal/flashsim"
 	"nemo/internal/server"
 )
@@ -19,12 +21,28 @@ const testMaxItem = 512 - 4 - 11
 // newEngine builds a small sharded Nemo (512 B sets, 8 data zones per
 // shard — the core package's own test geometry) on a fresh simulated
 // device, returning the device for fault injection.
-func newEngine(t testing.TB, shards, flushers int) (*core.Sharded, *flashsim.Device) {
+func newEngine(t testing.TB, shards, flushers int) (*core.Sharded, device.Device) {
 	t.Helper()
 	const perData = 8
 	perIdx := core.IndexZonesFor(perData, 4)
 	dev := flashsim.New(flashsim.Config{PageSize: 512, PagesPerZone: 16, Zones: shards * (perData + perIdx)})
-	cfg := core.DefaultConfig(dev, perData*shards)
+	return engineOn(t, dev, shards, flushers), dev
+}
+
+// newEngineOn is newEngine on an arbitrary device backend: the drain fault
+// suite runs per backend through devtest.Run, so the served error surface
+// is pinned on the real file-backed device too.
+func newEngineOn(t *testing.T, b devtest.Backend, shards, flushers int) (*core.Sharded, device.Device) {
+	t.Helper()
+	const perData = 8
+	perIdx := core.IndexZonesFor(perData, 4)
+	dev := b.New(t, device.Geometry{PageSize: 512, PagesPerZone: 16, Zones: shards * (perData + perIdx)})
+	return engineOn(t, dev, shards, flushers), dev
+}
+
+func engineOn(t testing.TB, dev device.Device, shards, flushers int) *core.Sharded {
+	t.Helper()
+	cfg := core.DefaultConfig(dev, 8*shards)
 	cfg.Shards = shards
 	cfg.Flushers = flushers
 	cfg.SGsPerIndexGroup = 4
@@ -34,7 +52,7 @@ func newEngine(t testing.TB, shards, flushers int) (*core.Sharded, *flashsim.Dev
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c, dev
+	return c
 }
 
 // startPipeServer serves one net.Pipe connection — the full protocol

@@ -14,8 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"nemo/internal/backend"
 	"nemo/internal/core"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/metrics"
 )
 
@@ -45,18 +46,31 @@ type Result struct {
 	WriteErrs  uint64        // flush-pipeline device failures (expect 0)
 }
 
-// Build constructs a sharded cache on a fresh simulated device, with a
-// flusher pool of the given size (0 = synchronous flushes only). Each
-// measured configuration gets its own cache so every row shares the same
-// cold-start-to-steady-state shape.
-func Build(shards, flushers int) (*core.Sharded, error) {
+// Build constructs a sharded cache on a fresh device of the given backend,
+// with a flusher pool of the given size (0 = synchronous flushes only).
+// Each measured configuration gets its own cache so every row shares the
+// same cold-start-to-steady-state shape. The caller closes the returned
+// device after the cache (engines never close their device).
+func Build(spec backend.Spec, shards, flushers int) (*core.Sharded, device.Device, error) {
 	perData := Zones / shards
 	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-	dev := flashsim.New(flashsim.Config{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: shards * (perData + perIdx)})
-	cfg := core.DefaultConfig(dev, Zones)
-	cfg.Shards = shards
-	cfg.Flushers = flushers
-	return core.NewSharded(cfg)
+	dev, err := spec.Open(device.Geometry{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: shards * (perData + perIdx)})
+	if err != nil {
+		return nil, nil, err
+	}
+	cache, err := core.NewSharded(cfg(dev, shards, flushers))
+	if err != nil {
+		dev.Close()
+		return nil, nil, err
+	}
+	return cache, dev, nil
+}
+
+func cfg(dev device.Device, shards, flushers int) core.Config {
+	c := core.DefaultConfig(dev, Zones)
+	c.Shards = shards
+	c.Flushers = flushers
+	return c
 }
 
 // Workload returns the prebuilt key and value sets (so measurement loops

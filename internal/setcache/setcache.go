@@ -16,7 +16,7 @@ import (
 
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
-	"nemo/internal/flashsim"
+	"nemo/internal/device"
 	"nemo/internal/ftl"
 	"nemo/internal/hashing"
 	"nemo/internal/metrics"
@@ -26,7 +26,7 @@ import (
 // Config configures the set-associative cache.
 type Config struct {
 	// Device is the zoned device to build the conventional FTL on.
-	Device   *flashsim.Device
+	Device   device.Device
 	ZoneBase int
 	Zones    int // 0 means all device zones
 	// OPRatio is the FTL over-provisioning ratio (default 0.5 per §2.3).
@@ -43,7 +43,7 @@ type Config struct {
 // Cache is the set-associative engine. Safe for concurrent use.
 type Cache struct {
 	cfg      Config
-	dev      *flashsim.Device
+	dev      device.Device
 	ftl      *ftl.FTL
 	pageSize int
 	numSets  int

@@ -1,12 +1,16 @@
-// Package vtime provides the virtual clock shared by the flash-device
-// simulator and the request replayer.
+// Package vtime provides the clock shared by the flash-device backends and
+// the request replayer.
 //
-// All latency results in this repository are measured in virtual time: device
-// operations complete on per-channel timelines and the replayer advances the
-// clock by a configurable inter-arrival gap between requests. This makes
-// latency distributions deterministic and immune to host scheduling or Go GC
-// pauses (the reproduction hint for this paper flags real-device latency
-// skew as the hard part; virtual time is the substitution).
+// A Clock runs in one of two modes. The default (zero value) is a virtual
+// clock: device operations complete on per-channel timelines and the
+// replayer advances the clock by a configurable inter-arrival gap between
+// requests, which makes latency distributions deterministic and immune to
+// host scheduling or Go GC pauses (the reproduction hint for this paper
+// flags real-device latency skew as the hard part; virtual time is the
+// substitution). NewReal returns a clock pinned to the host's monotonic
+// wall clock instead — the mode the file-backed device uses so the same
+// measurement code paths report real, measured latencies. A real clock
+// advances on its own; Advance and AdvanceTo become no-ops on it.
 package vtime
 
 import (
@@ -14,27 +18,51 @@ import (
 	"time"
 )
 
-// Clock is a monotonically advancing virtual clock. The zero value is a
-// clock at time 0, ready to use. Clock is safe for concurrent use.
+// Clock is a monotonically advancing clock: virtual by default, wall-time
+// when built with NewReal. The zero value is a virtual clock at time 0,
+// ready to use. Clock is safe for concurrent use.
 type Clock struct {
-	now atomic.Int64 // nanoseconds
+	now      atomic.Int64 // nanoseconds (virtual mode)
+	realBase time.Time    // when set, Now tracks time.Since(realBase)
 }
 
-// Now returns the current virtual time.
-func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
+// NewReal returns a clock that tracks the host's monotonic wall clock,
+// starting at 0 now. Real device backends expose one so `done - start`
+// latency arithmetic written for the simulator measures real elapsed time
+// unchanged.
+func NewReal() *Clock { return &Clock{realBase: time.Now()} }
 
-// Advance moves the clock forward by d (non-negative) and returns the new
-// virtual time.
+// Real reports whether the clock tracks wall time.
+func (c *Clock) Real() bool { return !c.realBase.IsZero() }
+
+// Now returns the current time on the clock.
+func (c *Clock) Now() time.Duration {
+	if c.Real() {
+		return time.Since(c.realBase)
+	}
+	return time.Duration(c.now.Load())
+}
+
+// Advance moves a virtual clock forward by d (non-negative) and returns the
+// new time. On a real clock it is a no-op (wall time advances on its own)
+// and returns Now.
 func (c *Clock) Advance(d time.Duration) time.Duration {
 	if d < 0 {
 		panic("vtime: negative advance")
 	}
+	if c.Real() {
+		return c.Now()
+	}
 	return time.Duration(c.now.Add(int64(d)))
 }
 
-// AdvanceTo moves the clock forward to t if t is later than the current
-// time; earlier values are ignored (the clock never moves backwards).
+// AdvanceTo moves a virtual clock forward to t if t is later than the
+// current time; earlier values are ignored (the clock never moves
+// backwards). On a real clock it is a no-op.
 func (c *Clock) AdvanceTo(t time.Duration) {
+	if c.Real() {
+		return
+	}
 	for {
 		cur := c.now.Load()
 		if int64(t) <= cur {

@@ -4,7 +4,9 @@ import (
 	"nemo/internal/admission"
 	"nemo/internal/cachelib"
 	"nemo/internal/core"
+	"nemo/internal/device"
 	"nemo/internal/fairywren"
+	"nemo/internal/filedev"
 	"nemo/internal/flashsim"
 	"nemo/internal/kangaroo"
 	"nemo/internal/logcache"
@@ -13,23 +15,47 @@ import (
 	"nemo/internal/vtime"
 )
 
-// Device is the simulated log-structured (zoned) flash device all engines
-// run on: append-only zones, page reads, whole-zone resets, and a
-// per-channel virtual-time latency model.
-type Device = flashsim.Device
+// Device is the zoned flash device contract all engines run on: append-only
+// zones, page reads, whole-zone resets, per-zone write pointers, and
+// activity accounting. Two implementations ship — the simulator (NewDevice)
+// with a per-channel virtual-time latency model, and the file-backed real
+// device (OpenFileDevice) with measured latencies. Engines cannot tell them
+// apart except through the clock.
+type Device = device.Device
 
-// DeviceConfig configures a Device; zero fields take defaults (4 KB pages,
-// 256-page zones, 64 zones, 8 channels).
+// DeviceGeometry is the backend-independent shape of a zoned device, for
+// code that sizes devices without choosing a backend.
+type DeviceGeometry = device.Geometry
+
+// SimDevice is the simulated device implementation (see NewDevice).
+type SimDevice = flashsim.Device
+
+// DeviceConfig configures a simulated device; zero fields take defaults
+// (4 KB pages, 256-page zones, 64 zones, 8 channels).
 type DeviceConfig = flashsim.Config
 
-// DeviceStats is the device-level accounting snapshot.
-type DeviceStats = flashsim.Stats
+// FileDeviceConfig configures a file-backed device (see OpenFileDevice).
+type FileDeviceConfig = filedev.Config
 
-// Clock is the virtual clock shared by a device and its workload driver.
+// FileDevice is the file-backed device implementation: pread/pwrite into a
+// preallocated image with the same zone semantics as the simulator and
+// real, measured latencies.
+type FileDevice = filedev.Device
+
+// DeviceStats is the device-level accounting snapshot.
+type DeviceStats = device.Stats
+
+// Clock is the clock shared by a device and its workload driver: virtual on
+// the simulator, wall time on real backends.
 type Clock = vtime.Clock
 
 // NewDevice creates a simulated device.
-func NewDevice(cfg DeviceConfig) *Device { return flashsim.New(cfg) }
+func NewDevice(cfg DeviceConfig) *SimDevice { return flashsim.New(cfg) }
+
+// OpenFileDevice opens (or creates) a file-backed device. The image is
+// always reformatted — every zone's write pointer rebuilds to zero — and
+// the caller closes the device when done (engines never do).
+func OpenFileDevice(cfg FileDeviceConfig) (*FileDevice, error) { return filedev.Open(cfg) }
 
 // Cache is a Nemo flash cache (the paper's contribution).
 type Cache = core.Cache
@@ -59,7 +85,7 @@ func NewSharded(cfg Config) (*ShardedCache, error) { return core.NewSharded(cfg)
 
 // DefaultConfig returns the paper's Table 3 configuration scaled to the
 // device geometry, with a dataZones-zone SG pool.
-func DefaultConfig(dev *Device, dataZones int) Config {
+func DefaultConfig(dev Device, dataZones int) Config {
 	return core.DefaultConfig(dev, dataZones)
 }
 

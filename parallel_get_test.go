@@ -9,20 +9,23 @@ package nemo_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"nemo"
+	"nemo/internal/backend"
 	"nemo/internal/getbench"
 )
 
 func buildGetBenchCache(tb testing.TB, shards int) (*nemo.ShardedCache, [][]byte) {
 	tb.Helper()
-	c, keys, err := getbench.Build(shards)
+	c, dev, keys, err := getbench.Build(backend.Sim(), shards)
 	if err != nil {
 		tb.Fatal(err)
 	}
+	tb.Cleanup(func() { dev.Close() })
 	return c, keys
 }
 
@@ -70,8 +73,8 @@ func TestParallelGetScaling(t *testing.T) {
 	if raceEnabled {
 		t.Skip("skipping wall-clock assertion under -race")
 	}
-	if runtime.NumCPU() < 8 {
-		t.Skipf("skipping ≥2× GET-scaling assertion on %d CPUs", runtime.NumCPU())
+	if runtime.NumCPU() < 8 && os.Getenv("NEMO_FORCE_SCALING") != "1" {
+		t.Skipf("skipping ≥2× GET-scaling assertion on %d CPUs (set NEMO_FORCE_SCALING=1 to force)", runtime.NumCPU())
 	}
 	c, keys := buildGetBenchCache(t, 1)
 	defer c.Close()
