@@ -8,6 +8,7 @@
 //	nemobench -all [-scale medium]
 //	nemobench -replay [-shards 1,2,4,8] [-workers K] [-ops N] [-seed S]
 //	          [-batch B] [-async] [-flushers K] [-setfrac F] [-delfrac F]
+//	          [-snapshot <path>]
 //	nemobench -compare [-shards 1,2,4] [-engines nemo,log,set,kg,fw]
 //	          [-parallel] [-notime] [-scale small|medium|large] [...]
 //	nemobench -getbench [-shards 1,8] [-ops N] [-json BENCH_get.json]
@@ -99,6 +100,7 @@ func run() int {
 		conns     = flag.Int("conns", 4, "-servebench: client connections")
 		pipelineN = flag.Int("pipeline", 8, "-servebench: requests per pipelined batch")
 		deviceStr = flag.String("device", "sim", "device backend for -replay/-compare/-getbench/-setbench/-servebench: sim, or file:<path> (file-backed real device, measured latencies)")
+		snapshot  = flag.String("snapshot", "", "-replay/-setbench: warm-restart snapshot path — the run checkpoints, tears the cache down, and warm-restores mid-benchmark, reporting restore time (and warm hit ratio for -replay)")
 		jsonOut   = flag.String("json", "", "-getbench/-setbench/-servebench: machine-readable output path (unset: BENCH_get.json / BENCH_set.json / BENCH_serve.json per mode; pass -json '' explicitly for table-only output)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -178,6 +180,7 @@ func run() int {
 			flushers:  *flushers,
 			device:    deviceSpec,
 			jsonPath:  path,
+			snapshot:  *snapshot,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -254,6 +257,7 @@ func run() int {
 			setFrac:   *setFrac,
 			delFrac:   *delFrac,
 			device:    deviceSpec,
+			snapshot:  *snapshot,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -3,8 +3,10 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"nemo"
 	"nemo/internal/backend"
@@ -29,6 +31,7 @@ type replayOptions struct {
 	setFrac   float64      // fraction of requests rewritten to explicit SETs
 	delFrac   float64      // fraction of requests rewritten to DELETEs
 	device    backend.Spec // device backend every row runs on
+	snapshot  string       // warm-restart snapshot path (kill-and-restore mid-trace)
 }
 
 // runReplay drives the parallel trace-replay benchmark: one row per shard
@@ -37,6 +40,13 @@ type replayOptions struct {
 // latency percentiles next to the paper's quality metrics. The p99 Set
 // latency column is where -async shows: without it, the occasional Set pays
 // a whole-SG flush inline; with it, the flush runs on the background pool.
+//
+// With -snapshot the row becomes a kill-and-restore run: the first half of
+// the trace is replayed, the cache checkpoints and closes, a fresh cache
+// warm-restores from the snapshot on the same device, and the second half
+// replays against it. Two extra columns report the restore time and the
+// post-restore hit ratio (warmhit%) — the latter should match an
+// uninterrupted run, which is exactly what the kill-and-restore test pins.
 func runReplay(out io.Writer, o replayOptions) error {
 	shardCounts, err := parseShardList(o.shardList)
 	if err != nil {
@@ -64,8 +74,13 @@ func runReplay(out io.Writer, o replayOptions) error {
 	}
 	reqs := nemo.Materialize(stream, o.ops)
 
-	fmt.Fprintf(out, "%-7s %-8s %-6s %-10s %-12s %-12s %-7s %-7s %-7s %-6s %-6s %-10s %-10s\n",
-		"shards", "workers", "batch", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA", "rderr", "wrerr", "setp50", "setp99")
+	header := "%-7s %-8s %-6s %-10s %-12s %-12s %-7s %-7s %-7s %-6s %-6s %-10s %-10s"
+	headerCols := []any{"shards", "workers", "batch", "ops", "elapsed", "ops/s", "hit%", "WA", "ALWA", "rderr", "wrerr", "setp50", "setp99"}
+	if o.snapshot != "" {
+		header += " %-8s %-8s"
+		headerCols = append(headerCols, "restms", "warmhit%")
+	}
+	fmt.Fprintf(out, header+"\n", headerCols...)
 	for _, shards := range shardCounts {
 		if replayDataZones%shards != 0 {
 			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, replayDataZones)
@@ -86,26 +101,82 @@ func runReplay(out io.Writer, o replayOptions) error {
 		if o.async {
 			ccfg.Flushers = o.flushers
 		}
+		snapPath := ""
+		if o.snapshot != "" {
+			snapPath = fmt.Sprintf("%s.%d", o.snapshot, shards)
+			os.Remove(snapPath) // a leftover snapshot would be stale anyway
+			ccfg.SnapshotPath = snapPath
+		}
 		cache, err := nemo.NewSharded(ccfg)
 		if err != nil {
 			dev.Close()
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
-		res, err := nemo.ParallelReplay(cache, reqs, nemo.ParallelReplayConfig{
+		rcfg := nemo.ParallelReplayConfig{
 			Workers:   o.workers,
 			BatchSize: o.batch,
 			AsyncSets: o.async,
-		})
+		}
+		var restoreMS int64
+		warmHit := 0.0
+		firstHalf := reqs
+		if o.snapshot != "" {
+			firstHalf = reqs[:len(reqs)/2]
+		}
+		res, err := nemo.ParallelReplay(cache, firstHalf, rcfg)
 		if err != nil {
 			cache.Close()
 			dev.Close()
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
+		if o.snapshot != "" {
+			// Kill: checkpoint and tear the cache down. Restore: rebuild on
+			// the same device and adopt the snapshot, then run the rest.
+			if err := cache.Close(); err != nil {
+				dev.Close()
+				return fmt.Errorf("shards=%d: checkpoint close: %w", shards, err)
+			}
+			t0 := time.Now()
+			cache, err = nemo.NewSharded(ccfg)
+			restoreMS = time.Since(t0).Milliseconds()
+			if err != nil {
+				dev.Close()
+				return fmt.Errorf("shards=%d: reopen: %w", shards, err)
+			}
+			if restored, rerr := cache.RestoreOutcome(); !restored {
+				fmt.Fprintf(out, "%-7d warm restore failed (%v) — continuing cold\n", shards, rerr)
+			}
+			before := cache.Stats()
+			res2, err := nemo.ParallelReplay(cache, reqs[len(reqs)/2:], rcfg)
+			if err != nil {
+				cache.Close()
+				dev.Close()
+				return fmt.Errorf("shards=%d: %w", shards, err)
+			}
+			after := cache.Stats()
+			if gets := after.Gets - before.Gets; gets > 0 {
+				warmHit = float64(after.Hits-before.Hits) / float64(gets) * 100
+			}
+			// Merge the halves into one row: the final stats are cumulative
+			// (they survived the restart — that is the point), so the
+			// quality columns already cover the whole trace.
+			res2.Ops += res.Ops
+			res2.Elapsed += res.Elapsed
+			res2.OpsPerSec = float64(res2.Ops) / res2.Elapsed.Seconds()
+			res = res2
+		}
 		st := res.Final
-		fmt.Fprintf(out, "%-7d %-8d %-6d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f %-6d %-6d %-10v %-10v\n",
+		cols := []any{
 			res.Shards, res.Workers, o.batch, res.Ops, res.Elapsed.Round(1e6),
-			res.OpsPerSec, (1-st.MissRatio())*100, cache.PaperWA(), st.ALWA(),
-			st.ReadErrors, st.WriteErrors, res.SetLatency.P50, res.SetLatency.P99)
+			res.OpsPerSec, (1 - st.MissRatio()) * 100, cache.PaperWA(), st.ALWA(),
+			st.ReadErrors, st.WriteErrors, res.SetLatency.P50, res.SetLatency.P99,
+		}
+		row := "%-7d %-8d %-6d %-10d %-12v %-12.0f %-7.2f %-7.3f %-7.2f %-6d %-6d %-10v %-10v"
+		if o.snapshot != "" {
+			row += " %-8d %-8.2f"
+			cols = append(cols, restoreMS, warmHit)
+		}
+		fmt.Fprintf(out, row+"\n", cols...)
 		if err := cache.Close(); err != nil {
 			dev.Close()
 			return fmt.Errorf("shards=%d: close: %w", shards, err)

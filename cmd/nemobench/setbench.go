@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"nemo/internal/backend"
 	"nemo/internal/setbench"
@@ -18,6 +19,7 @@ type setBenchOptions struct {
 	flushers  int          // background flusher goroutines for the async rows
 	device    backend.Spec // device backend the rows run on
 	jsonPath  string       // output path for the machine-readable baseline
+	snapshot  string       // warm-restart snapshot path (checkpoint + reopen between warm-up and measurement)
 }
 
 // setBenchRow is one measured configuration, serialized to BENCH_set.json
@@ -36,6 +38,11 @@ type setBenchRow struct {
 	WriteErrs  uint64  `json:"write_errors"`
 	NumCPU     int     `json:"num_cpu"`
 	Device     string  `json:"device"`
+	// Warm-restart columns, present only for -snapshot runs: whether the
+	// post-warm-up reopen adopted the checkpoint, and how long the restore
+	// (snapshot load + validation + adoption) took.
+	Restored  *bool  `json:"restored,omitempty"`
+	RestoreMS *int64 `json:"restore_ms,omitempty"`
 }
 
 // runSetBench measures parallel SET throughput and per-call latency
@@ -74,7 +81,12 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 			for _, gs := range []int{1, 4, 8} {
 				// A fresh cache per row keeps every configuration's
 				// cold-start-to-steady-state shape identical.
-				cache, dev, err := setbench.Build(o.device, shards, flushers)
+				snapPath := ""
+				if o.snapshot != "" {
+					snapPath = fmt.Sprintf("%s.%d.%d.%v", o.snapshot, shards, gs, async)
+					os.Remove(snapPath)
+				}
+				cache, dev, err := setbench.BuildOn(o.device, shards, flushers, snapPath)
 				if err != nil {
 					return fmt.Errorf("shards=%d: %w", shards, err)
 				}
@@ -85,6 +97,30 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 					cache.Close()
 					dev.Close()
 					return fmt.Errorf("shards=%d warmup: %w", shards, err)
+				}
+				var restored *bool
+				var restoreMS *int64
+				if snapPath != "" {
+					// Kill-and-restore between warm-up and measurement: the
+					// close checkpoints the warmed state, the reopen adopts
+					// it, and the measured loop starts exactly as warm as a
+					// run that never restarted.
+					if err := cache.Close(); err != nil {
+						dev.Close()
+						return fmt.Errorf("shards=%d: checkpoint close: %w", shards, err)
+					}
+					t0 := time.Now()
+					cache, err = setbench.Reopen(dev, shards, flushers, snapPath)
+					ms := time.Since(t0).Milliseconds()
+					if err != nil {
+						dev.Close()
+						return fmt.Errorf("shards=%d: reopen: %w", shards, err)
+					}
+					ok, rerr := cache.RestoreOutcome()
+					if !ok {
+						fmt.Fprintf(out, "%-7d warm restore failed (%v) — measuring cold\n", shards, rerr)
+					}
+					restored, restoreMS = &ok, &ms
 				}
 				res, err := setbench.Run(cache, keys, vals, gs, o.ops, async)
 				if err != nil {
@@ -99,6 +135,9 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 				if err := dev.Close(); err != nil {
 					return fmt.Errorf("shards=%d: close device: %w", shards, err)
 				}
+				if snapPath != "" {
+					os.Remove(snapPath) // the row's snapshot is scratch, not an artifact
+				}
 				row := setBenchRow{
 					Shards:     shards,
 					Goroutines: gs,
@@ -112,6 +151,8 @@ func runSetBench(out io.Writer, o setBenchOptions) error {
 					WriteErrs:  res.WriteErrs,
 					NumCPU:     runtime.NumCPU(),
 					Device:     o.device.String(),
+					Restored:   restored,
+					RestoreMS:  restoreMS,
 				}
 				rows = append(rows, row)
 				fmt.Fprintf(out, "%-7d %-11d %-6v %-10d %-12.0f %-10v %-10v %-7.3f %-6d\n",

@@ -7,6 +7,7 @@
 //	nemoserve [-addr 127.0.0.1:11211] [-shards 8] [-zones 48]
 //	          [-flushers 2] [-sync-set] [-max-batch 64]
 //	          [-device sim|file:<path>]
+//	          [-snapshot <path>] [-snapshot-every 30s]
 //
 // The server speaks the protocol subset documented in the package docs
 // (get/gets multi-key, set, delete, stats, version, quit, noreply):
@@ -15,6 +16,13 @@
 // the graceful drain (stop accepting, answer in-flight batches, Drain the
 // engine) before exit. `nemobench -servebench` drives the same serving
 // stack over loopback and records the BENCH_serve.json baseline.
+//
+// -snapshot enables warm restart: the device is opened persistently (file
+// backend; the simulator is volatile, so every sim restart is cold), boot
+// adopts the snapshot when it still matches the device, the graceful drain
+// checkpoints back to it, and -snapshot-every adds periodic checkpoints in
+// between. A missing, corrupt, or stale snapshot is reported and the server
+// simply starts cold — snapshots are strictly throwaway.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"nemo/internal/backend"
 	"nemo/internal/core"
@@ -38,13 +47,15 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
-		shards   = flag.Int("shards", 8, "cache shards (data zones must divide evenly)")
-		zones    = flag.Int("zones", 48, "total SG-pool data zones across shards")
-		flushers = flag.Int("flushers", 2, "background flusher goroutines (async SETs)")
-		syncSet  = flag.Bool("sync-set", false, "serve SETs through the synchronous path")
-		maxBatch = flag.Int("max-batch", 64, "pipelined requests coalesced per engine round")
-		devStr   = flag.String("device", "sim", "device backend: sim, or file:<path> (file-backed real device)")
+		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
+		shards    = flag.Int("shards", 8, "cache shards (data zones must divide evenly)")
+		zones     = flag.Int("zones", 48, "total SG-pool data zones across shards")
+		flushers  = flag.Int("flushers", 2, "background flusher goroutines (async SETs)")
+		syncSet   = flag.Bool("sync-set", false, "serve SETs through the synchronous path")
+		maxBatch  = flag.Int("max-batch", 64, "pipelined requests coalesced per engine round")
+		devStr    = flag.String("device", "sim", "device backend: sim, or file:<path> (file-backed real device)")
+		snapPath  = flag.String("snapshot", "", "warm-restart snapshot path (restore on boot, checkpoint on drain)")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic checkpoint interval (0 = only on drain; needs -snapshot)")
 	)
 	flag.Parse()
 
@@ -60,11 +71,16 @@ func run() int {
 	const pageSize = 4096
 	perData := *zones / *shards
 	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-	dev, err := spec.Open(device.Geometry{
+	geom := device.Geometry{
 		PageSize:     pageSize,
 		PagesPerZone: 256,
 		Zones:        *shards * (perData + perIdx),
-	})
+	}
+	open := spec.Open
+	if *snapPath != "" {
+		open = spec.OpenPersistent
+	}
+	dev, err := open(geom)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nemoserve:", err)
 		return 1
@@ -73,12 +89,26 @@ func run() int {
 	cfg := core.DefaultConfig(dev, *zones)
 	cfg.Shards = *shards
 	cfg.Flushers = *flushers
+	cfg.SnapshotPath = *snapPath
+	bootStart := time.Now()
 	cache, err := core.NewSharded(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nemoserve:", err)
 		return 1
 	}
 	defer cache.Close()
+	if *snapPath != "" {
+		switch restored, rerr := cache.RestoreOutcome(); {
+		case restored:
+			st := cache.Stats()
+			fmt.Printf("nemoserve: warm restart from %s in %d ms (gets=%d hits=%d sets=%d)\n",
+				*snapPath, time.Since(bootStart).Milliseconds(), st.Gets, st.Hits, st.Sets)
+		case rerr != nil:
+			fmt.Printf("nemoserve: snapshot refused (%v) — cold start\n", rerr)
+		default:
+			fmt.Printf("nemoserve: no snapshot at %s — cold start\n", *snapPath)
+		}
+	}
 
 	srv, err := server.New(server.Config{
 		Engine:   cache,
@@ -106,6 +136,25 @@ func run() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 
+	var stopSnap chan struct{}
+	if *snapPath != "" && *snapEvery > 0 {
+		stopSnap = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := cache.Checkpoint(*snapPath); err != nil {
+						fmt.Fprintln(os.Stderr, "nemoserve: checkpoint:", err)
+					}
+				case <-stopSnap:
+					return
+				}
+			}
+		}()
+	}
+
 	select {
 	case s := <-sig:
 		fmt.Printf("nemoserve: %v — draining\n", s)
@@ -113,9 +162,20 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "nemoserve:", err)
 		return 1
 	}
+	if stopSnap != nil {
+		close(stopSnap)
+	}
 	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "nemoserve: drain:", err)
 		return 1
+	}
+	if *snapPath != "" {
+		t0 := time.Now()
+		if err := cache.Checkpoint(*snapPath); err != nil {
+			fmt.Fprintln(os.Stderr, "nemoserve: checkpoint:", err)
+			return 1
+		}
+		fmt.Printf("nemoserve: checkpointed to %s in %d ms\n", *snapPath, time.Since(t0).Milliseconds())
 	}
 	st := cache.Stats()
 	fmt.Printf("nemoserve: drained (gets=%d hits=%d sets=%d deletes=%d rderr=%d wrerr=%d)\n",

@@ -200,12 +200,59 @@
 // each page append a single pwrite at zone*pagesPerZone*pageSize + off,
 // measured wall-clock latencies, optional O_DIRECT. Its durability caveats
 // are deliberate for a cache: appends are not individually fsynced (an OS
-// crash can lose recently acknowledged pages), no write-pointer metadata
-// is persisted, and Open always reformats — a reopened image
-// deterministically rebuilds every write pointer to zero rather than
-// recovering contents. Under `-notime` the quality half of the compare
-// table (hit ratio, ALWA, total WA, evictions) is byte-identical across
-// backends; only timing may differ.
+// crash can lose recently acknowledged pages), and without Config.Persist
+// no write-pointer metadata is persisted — Open reformats, rebuilding every
+// write pointer to zero. Persist mode (used by warm restart, below) adds a
+// superblock page past the data capacity holding the zone write pointers
+// and the device generation stamp: a cleanly closed image reopens warm,
+// while the first mutation after any open synchronously invalidates the
+// superblock, so a crash always cold-formats the next open. Under `-notime`
+// the quality half of the compare table (hit ratio, ALWA, total WA,
+// evictions) is byte-identical across backends; only timing may differ.
+//
+// # Warm restart
+//
+// A cache that loses its index on restart serves cold traffic for hours,
+// so the engine can checkpoint its metadata and adopt it back on boot.
+// internal/snapshot defines the NEMO1 format: an index-only, fixed-width,
+// little-endian image of every per-shard structure — the flashSG directory
+// and index groups, per-set object counts, hotness bitmaps, unsealed
+// groups' Bloom-filter buffers, zone free lists in pop order, the buffered
+// in-memory SGs (whole set pages), the PBFG index cache (queue order plus
+// cached-page set; page contents are re-read from flash on restore), the
+// flush-fill log, and every counter in Stats and NemoStats. Sections carry
+// individual CRCs under a footer CRC, encoding is canonical
+// (Encode(Decode(b)) == b, pinned by fuzzing), and Save is a full
+// atomic-rename rewrite. Object data is never checkpointed — it already
+// lives on flash.
+//
+// Snapshots are strictly throwaway. Restore (Config.SnapshotPath at
+// New/NewSharded) adopts a snapshot only when everything matches: decode
+// must be perfect (any truncation, bit flip, or slack byte is a typed
+// refusal), the geometry and the engine configuration must equal the
+// stamp, every structural invariant of the restored state must hold (zone
+// partition tiles exactly, group/SG id order, write-pointer cross-checks
+// against the device), and the device generation stamp —
+// device.Generation's Boot (unique per cold format) and Writes (every
+// append and reset) — must be exactly the one the checkpoint sampled, so
+// any device mutation after the checkpoint, or a different device life,
+// walls the snapshot off as stale. Any refusal cold-formats with the cause
+// in RestoreOutcome; nothing is ever replayed or partially trusted, and a
+// cold format adopts a dirty device safely (stale zones are rewound on
+// first reuse). Checkpoint (also run by Close when SnapshotPath is set)
+// drains in-flight flushes, captures all shards at a commit boundary, and
+// samples the generation under the locks, so a checkpoint is exact: the
+// kill-and-restore suite pins stat-for-stat equality between an
+// interrupted and an uninterrupted run, and checkpoint→restore→checkpoint
+// reproduces the snapshot byte for byte.
+//
+// The layers above thread it through: nemoserve -snapshot restores on
+// boot, checkpoints on graceful drain (and periodically with
+// -snapshot-every), and opens the file device in Persist mode so a real
+// process restart comes back warm; nemobench -replay/-setbench -snapshot
+// run kill-and-restore mid-benchmark and report restore time (and warm hit
+// ratio). The simulator is volatile by design — a sim "restart" never
+// matches the fresh device's generation and correctly starts cold.
 //
 // # What the package exposes
 //

@@ -98,3 +98,32 @@ func (s Spec) Open(g device.Geometry) (device.Device, error) {
 		RemoveOnClose: true,
 	})
 }
+
+// OpenPersistent builds a device meant to outlive the process — the warm-
+// restart configuration. File devices are opened with Persist set (write
+// pointers and the generation stamp survive a clean Close in the image's
+// superblock) and are kept on Close. The simulator has no backing store, so
+// a sim spec degrades to a plain volatile Open: a fresh device whose
+// generation never matches an earlier snapshot, making every restart cold —
+// the correct, safe behaviour, not an error.
+func (s Spec) OpenPersistent(g device.Geometry) (device.Device, error) {
+	if !s.IsFile() {
+		return s.Open(g)
+	}
+	if s.opens == nil {
+		s.opens = new(atomic.Int64)
+	}
+	n := s.opens.Add(1) - 1
+	path := s.path
+	if n > 0 {
+		path = fmt.Sprintf("%s.%d", s.path, n)
+	}
+	return filedev.Open(filedev.Config{
+		Path:         path,
+		PageSize:     g.PageSize,
+		PagesPerZone: g.PagesPerZone,
+		Zones:        g.Zones,
+		MaxOpenZones: g.MaxOpenZones,
+		Persist:      true,
+	})
+}

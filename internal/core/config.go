@@ -103,6 +103,16 @@ type Config struct {
 
 	// Writeback enables technique W (hotness-aware writeback on eviction).
 	Writeback bool
+
+	// SnapshotPath, when non-empty, enables warm restart (internal/snapshot):
+	// New/NewSharded attempt to adopt the NEMO1 snapshot at this path —
+	// validated against the device's geometry and generation stamp, and
+	// silently starting cold when the file is missing or refused — and Close
+	// checkpoints the engine back to it. Snapshots are strictly throwaway:
+	// they only ever save a cold rebuild, never carry data, and are useless
+	// once the device mutates without a new checkpoint. See
+	// Cache.Checkpoint and RestoreOutcome.
+	SnapshotPath string
 }
 
 // DefaultSGsPerIndexGroup is Table 3's index-group width. Device-sizing

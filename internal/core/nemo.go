@@ -94,6 +94,12 @@ type Cache struct {
 	flusher      *flusherPool
 	ownFlusher   bool
 	flushPending bool
+
+	// Warm-restart outcome, fixed at New time (see RestoreOutcome): whether
+	// Config.SnapshotPath was adopted, and the typed reason when a snapshot
+	// existed but was refused.
+	restored   bool
+	restoreErr error
 }
 
 // New creates a Nemo cache on the configured device.
@@ -145,6 +151,9 @@ func New(cfg Config) (*Cache, error) {
 		c.flusher = newFlusherPool(cfg.Flushers, 1)
 		c.ownFlusher = true
 	}
+	if cfg.SnapshotPath != "" {
+		c.restored, c.restoreErr = c.tryRestore(cfg.SnapshotPath)
+	}
 	return c, nil
 }
 
@@ -174,13 +183,20 @@ func (c *Cache) Name() string { return "Nemo" }
 
 // Close implements cachelib.Engine, draining and stopping the cache's own
 // flusher pool (shard members of a Sharded cache share the facade's pool
-// and leave it alone).
+// and leave it alone), then — when Config.SnapshotPath is set — writing a
+// final warm-restart checkpoint over the quiesced state.
 func (c *Cache) Close() error {
+	var first error
 	if c.ownFlusher {
 		c.ownFlusher = false
-		return c.flusher.stop()
+		first = c.flusher.stop()
 	}
-	return nil
+	if c.cfg.SnapshotPath != "" {
+		if err := c.Checkpoint(c.cfg.SnapshotPath); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ReadLatency implements cachelib.Engine.

@@ -25,6 +25,15 @@ type Sharded struct {
 	shards []*Cache
 	n      uint64
 
+	// cfg is the facade-level Config as given to NewSharded (before per-shard
+	// derivation); Checkpoint stamps snapshots with it so a restore can prove
+	// it is rebuilding under the identical configuration.
+	cfg Config
+
+	// Warm-restart outcome, fixed at NewSharded time (see RestoreOutcome).
+	restored   bool
+	restoreErr error
+
 	// pool is the background flusher pool shared by every shard when
 	// Config.Flushers > 0 (nil otherwise): K flusher goroutines service
 	// the deferred SG flushes of all shards, so SetAsync never flushes
@@ -67,14 +76,15 @@ func NewSharded(cfg Config) (*Sharded, error) {
 	if perData < 2*zps {
 		return nil, fmt.Errorf("core: %d data zones per shard cannot hold 2 SGs of %d zones", perData, zps)
 	}
-	s := &Sharded{shards: make([]*Cache, n), n: uint64(n)}
+	s := &Sharded{shards: make([]*Cache, n), n: uint64(n), cfg: cfg}
 	offset := cfg.ZoneOffset
 	for i := 0; i < n; i++ {
 		scfg := cfg
 		scfg.Shards = 1
 		scfg.DataZones = perData
 		scfg.ZoneOffset = offset
-		scfg.Flushers = 0 // shards share the facade's pool, not one each
+		scfg.Flushers = 0      // shards share the facade's pool, not one each
+		scfg.SnapshotPath = "" // the facade restores and checkpoints all shards at once
 		shard, err := New(scfg)
 		if err != nil {
 			// Release everything already constructed: a half-built facade
@@ -92,6 +102,9 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		for _, shard := range s.shards {
 			shard.flusher = s.pool
 		}
+	}
+	if cfg.SnapshotPath != "" {
+		s.restored, s.restoreErr = s.tryRestore(cfg.SnapshotPath)
 	}
 	return s, nil
 }
@@ -116,13 +129,19 @@ func (s *Sharded) Shard(i int) *Cache { return s.shards[i] }
 func (s *Sharded) Name() string { return "Nemo" }
 
 // Close implements cachelib.Engine: the shared flusher pool is drained and
-// stopped, then every shard is closed — all of them, even after a failure —
-// and the first error is returned.
+// stopped, a final warm-restart checkpoint is written when
+// Config.SnapshotPath is set, then every shard is closed — all of them,
+// even after a failure — and the first error is returned.
 func (s *Sharded) Close() error {
 	var first error
 	if s.pool != nil {
 		first = s.pool.stop()
 		s.pool = nil
+	}
+	if s.cfg.SnapshotPath != "" {
+		if err := s.Checkpoint(s.cfg.SnapshotPath); err != nil && first == nil {
+			first = err
+		}
 	}
 	for _, c := range s.shards {
 		if err := c.Close(); err != nil && first == nil {

@@ -1,0 +1,703 @@
+package core
+
+// Warm restart: Checkpoint captures a quiescent engine's per-shard metadata
+// into an internal/snapshot NEMO1 image, and the restore path in New /
+// NewSharded adopts one — replaying nothing — after validating it against
+// the live device and configuration. The contract is strictly throwaway:
+// any defect (typed snapshot error, geometry or config mismatch, stale
+// generation stamp, violated structural invariant, unreadable PBFG page)
+// abandons the snapshot and the engine starts cold, exactly as if the file
+// never existed; RestoreOutcome reports which happened and why.
+//
+// What a snapshot restores is everything a restarted engine needs to be
+// stat-for-stat identical to one that never stopped: the flashSG directory
+// and index groups (with unsealed Bloom-filter buffers and hotness
+// bitmaps), zone free-list order, epoch counters, the buffered in-memory
+// SGs, the PBFG index-cache queue (cached pages are re-read from flash, not
+// stored), and all statistics. Deliberately not durable: the read-latency
+// histogram (measurement, not state) and any in-flight flush — Checkpoint
+// waits flushes out, so a snapshot never describes a half-committed SG.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/device"
+	"nemo/internal/setblock"
+	"nemo/internal/snapshot"
+)
+
+// configStamp reduces a Config to the snapshot's ConfigStamp: the fields
+// that shape on-flash layout or checkpointed state, with the same
+// normalizations New applies (Shards and, without BufferedSGs, InMemSGs
+// collapse to 1), so a facade Config and its shards' derived Configs stamp
+// consistently.
+func configStamp(cfg Config) snapshot.ConfigStamp {
+	st := snapshot.ConfigStamp{
+		DataZones:         cfg.DataZones,
+		Shards:            cfg.Shards,
+		ZoneOffset:        cfg.ZoneOffset,
+		ZonesPerSG:        cfg.ZonesPerSG,
+		InMemSGs:          cfg.InMemSGs,
+		FlushThreshold:    cfg.FlushThreshold,
+		RearFullRatio:     cfg.RearFullRatio,
+		SGsPerIndexGroup:  cfg.SGsPerIndexGroup,
+		BloomFPR:          cfg.BloomFPR,
+		TargetObjsPerSet:  cfg.TargetObjsPerSet,
+		CachedPBFGRatio:   cfg.CachedPBFGRatio,
+		HotTrackTailRatio: cfg.HotTrackTailRatio,
+		CoolingWriteRatio: cfg.CoolingWriteRatio,
+		BufferedSGs:       cfg.BufferedSGs,
+		DelayedFlush:      cfg.DelayedFlush,
+		Writeback:         cfg.Writeback,
+	}
+	if st.Shards < 1 {
+		st.Shards = 1
+	}
+	if !st.BufferedSGs {
+		st.InMemSGs = 1
+	}
+	return st
+}
+
+// Checkpoint writes a NEMO1 snapshot of this cache to path (atomically, via
+// rename). Pending deferred flushes are drained and any in-flight flush is
+// waited out first, so the captured state is a clean commit boundary; the
+// device generation stamp is sampled inside the same quiescent window,
+// making the snapshot exactly as valid as the device is untouched.
+func (c *Cache) Checkpoint(path string) error {
+	if err := c.Drain(); err != nil {
+		return fmt.Errorf("core: draining before checkpoint: %w", err)
+	}
+	c.mu.Lock()
+	c.waitFlushIdleLocked()
+	sh := c.captureLocked()
+	gen := c.dev.Generation()
+	c.mu.Unlock()
+	f := &snapshot.File{
+		PageSize:     c.dev.PageSize(),
+		PagesPerZone: c.dev.PagesPerZone(),
+		Zones:        c.dev.Zones(),
+		Boot:         gen.Boot,
+		Writes:       gen.Writes,
+		Config:       configStamp(c.cfg),
+		Shards:       []snapshot.Shard{sh},
+	}
+	return snapshot.Save(path, f)
+}
+
+// RestoreOutcome reports what happened to Config.SnapshotPath at New time:
+// restored is true after a successful warm restore; err holds the typed
+// reason a snapshot was refused (nil when none existed — a plain cold
+// start). A refused snapshot never fails New; the engine just starts cold.
+func (c *Cache) RestoreOutcome() (restored bool, err error) {
+	return c.restored, c.restoreErr
+}
+
+// captureLocked snapshots one shard's complete metadata. Caller holds c.mu
+// with no flush in flight (c.sealed == nil), so memq, the group directory,
+// and the free lists are all at a commit boundary.
+func (c *Cache) captureLocked() snapshot.Shard {
+	sh := snapshot.Shard{
+		NextSGID:       c.nextSGID,
+		NextGroup:      c.nextGroup,
+		SacCount:       c.sacCount,
+		BytesSinceCool: c.bytesSinceCool,
+		ICLookups:      c.icache.lookups,
+		ICMisses:       c.icache.misses,
+		ICDroppedUpTo:  c.icache.droppedUpTo,
+		Stats:          countersOf(c.stats),
+		Extra:          extraOf(c.extra),
+		FreeDataZones:  append([]int(nil), c.freeDataZones...),
+		FreeIndexZones: append([]int(nil), c.freeIndexZones...),
+	}
+	for _, g := range c.groups {
+		sg := snapshot.Group{
+			ID:        g.id,
+			Sealed:    g.sealed,
+			LiveCount: g.liveCount,
+			Zones:     append([]int(nil), g.zones...),
+		}
+		for _, m := range g.members {
+			sm := snapshot.SG{
+				ID:        m.id,
+				Slot:      m.slot,
+				Dead:      m.dead,
+				ObjCount:  m.objCount,
+				Fill:      m.fill,
+				SetCounts: append([]uint16(nil), m.setCounts...),
+			}
+			// A dead SG's zones went back to the free list when it was
+			// evicted (writepath.go); the slice left on the struct is stale
+			// and would double-claim zones in the restore partition check.
+			if !m.dead {
+				sm.Zones = append([]int(nil), m.zones...)
+			}
+			if m.bits != nil {
+				sm.Bits = append(make([]uint64, 0, len(m.bits)), m.bits...)
+			}
+			sg.Members = append(sg.Members, sm)
+		}
+		for _, bf := range g.slotBF {
+			sg.SlotBF = append(sg.SlotBF, append([]byte(nil), bf...))
+		}
+		sh.Groups = append(sh.Groups, sg)
+	}
+	for _, m := range c.memq {
+		ms := snapshot.MemSG{
+			NewBytes: m.newBytes,
+			WBBytes:  m.wbBytes,
+			NewObjs:  m.newObjs,
+			WBObjs:   m.wbObjs,
+		}
+		for _, blk := range m.sets {
+			ms.Sets = append(ms.Sets, blk.AppendTo(nil))
+		}
+		sh.MemQ = append(sh.MemQ, ms)
+	}
+	for _, k := range c.icache.queue[c.icache.head:] {
+		sh.ICQueue = append(sh.ICQueue, snapshot.PBFGRef{Group: k.group, Set: k.set})
+	}
+	for k := range c.icache.pages {
+		sh.ICPages = append(sh.ICPages, snapshot.PBFGRef{Group: k.group, Set: k.set})
+	}
+	// Map iteration is random; the snapshot is canonical, so order the page
+	// list deterministically (restore order does not matter — pages have no
+	// order in the live cache either).
+	sort.Slice(sh.ICPages, func(i, j int) bool {
+		a, b := sh.ICPages[i], sh.ICPages[j]
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Set < b.Set
+	})
+	for _, rec := range c.flushLog {
+		sh.FlushLog = append(sh.FlushLog, snapshot.FlushRec{
+			Fill:     rec.Fill,
+			NewObjs:  rec.NewObjs,
+			WBObjs:   rec.WBObjs,
+			NewBytes: rec.NewBytes,
+			WBBytes:  rec.WBBytes,
+		})
+	}
+	return sh
+}
+
+// validateSnapshotFile checks the file-level trust anchors: device geometry
+// (ErrGeometry), the generation stamp — exact equality, any mutation since
+// checkpoint refuses the snapshot (ErrStale) — and the configuration stamp
+// plus shard count (ErrConfig).
+func validateSnapshotFile(dev device.Device, stamp snapshot.ConfigStamp, f *snapshot.File) error {
+	if f.PageSize != dev.PageSize() || f.PagesPerZone != dev.PagesPerZone() || f.Zones != dev.Zones() {
+		return fmt.Errorf("%w: snapshot %dx%dx%d, device %dx%dx%d",
+			snapshot.ErrGeometry, f.Zones, f.PagesPerZone, f.PageSize,
+			dev.Zones(), dev.PagesPerZone(), dev.PageSize())
+	}
+	gen := dev.Generation()
+	if gen.Boot != f.Boot || gen.Writes != f.Writes {
+		return fmt.Errorf("%w: snapshot generation %d/%d, device %d/%d",
+			snapshot.ErrStale, f.Boot, f.Writes, gen.Boot, gen.Writes)
+	}
+	if f.Config != stamp {
+		return fmt.Errorf("%w: snapshot was taken under a different configuration", snapshot.ErrConfig)
+	}
+	if len(f.Shards) != stamp.Shards {
+		return fmt.Errorf("%w: %d shard sections for %d shards", snapshot.ErrConfig, len(f.Shards), stamp.Shards)
+	}
+	return nil
+}
+
+// tryRestore attempts to adopt the snapshot at path into this freshly built
+// cold cache (called from New, before the cache is published — no locking).
+// A missing file is a plain cold start (false, nil); anything else that
+// stops the restore is reported and the cache stays cold.
+func (c *Cache) tryRestore(path string) (bool, error) {
+	f, err := snapshot.Load(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := validateSnapshotFile(c.dev, configStamp(c.cfg), f); err != nil {
+		return false, err
+	}
+	st, err := c.buildRestore(&f.Shards[0])
+	if err != nil {
+		return false, err
+	}
+	c.adoptRestore(st)
+	return true, nil
+}
+
+// restoredState is a fully validated shard state, built on the side so a
+// restore adopts everything or nothing — a defect found halfway through can
+// never leave a cache half-warm.
+type restoredState struct {
+	memq           []*memSG
+	sacCount       int
+	pool           []*flashSG
+	nextSGID       uint64
+	groups         []*idxGroup
+	nextGroup      int
+	icache         *pbfgCache
+	freeDataZones  []int
+	freeIndexZones []int
+	bytesSinceCool uint64
+	stats          cachelib.Stats
+	extra          NemoStats
+	flushLog       []FlushRecord
+}
+
+// cfgErr and staleErr build the restore path's typed refusals.
+func cfgErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", snapshot.ErrConfig, fmt.Sprintf(format, args...))
+}
+
+func staleErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", snapshot.ErrStale, fmt.Sprintf(format, args...))
+}
+
+// buildRestore validates one shard's checkpointed metadata against this
+// (cold, unpublished) cache's configuration and device, and builds the
+// corresponding live state. Every structural invariant the engine relies on
+// is re-checked rather than trusted: group/member ordering and sealing,
+// set-count/object-count agreement, exact zone partitioning between free
+// lists and live SGs, Bloom/bitmap sizing, index-cache subset relations —
+// and, against the device itself, the per-zone write pointers (free ⇒
+// empty, live ⇒ full). The generation stamp already guarantees the latter
+// when it matches, but write pointers are cheap and a second, independent
+// witness against a lying snapshot.
+func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
+	cfg := &c.cfg
+	ppz := c.dev.PagesPerZone()
+	if sh.SacCount < 0 || sh.NextGroup < 0 || sh.ICDroppedUpTo < -1 {
+		return nil, cfgErr("negative epoch counters")
+	}
+	if len(sh.FlushLog) > maxFlushLog {
+		return nil, cfgErr("flush log of %d exceeds the %d cap", len(sh.FlushLog), maxFlushLog)
+	}
+	st := &restoredState{
+		sacCount:       sh.SacCount,
+		nextSGID:       sh.NextSGID,
+		nextGroup:      sh.NextGroup,
+		bytesSinceCool: sh.BytesSinceCool,
+		stats:          statsOf(sh.Stats),
+		extra:          nemoStatsOf(sh.Extra),
+	}
+
+	// In-memory SG queue: parse every set's page image back into a block.
+	if len(sh.MemQ) != cfg.InMemSGs {
+		return nil, cfgErr("%d buffered SGs for InMemSGs=%d", len(sh.MemQ), cfg.InMemSGs)
+	}
+	for i := range sh.MemQ {
+		ms := &sh.MemQ[i]
+		if len(ms.Sets) != c.setsPerSG {
+			return nil, cfgErr("buffered SG %d has %d sets, want %d", i, len(ms.Sets), c.setsPerSG)
+		}
+		m := &memSG{
+			sets:     make([]*setblock.Block, c.setsPerSG),
+			newBytes: ms.NewBytes,
+			wbBytes:  ms.WBBytes,
+			newObjs:  ms.NewObjs,
+			wbObjs:   ms.WBObjs,
+		}
+		for o, page := range ms.Sets {
+			if len(page) != c.pageSize {
+				return nil, cfgErr("buffered SG %d set %d is %d bytes, want %d", i, o, len(page), c.pageSize)
+			}
+			blk, err := setblock.Parse(page, c.pageSize)
+			if err != nil {
+				return nil, cfgErr("buffered SG %d set %d: %v", i, o, err)
+			}
+			m.sets[o] = blk
+			m.used += blk.Used()
+		}
+		st.memq = append(st.memq, m)
+	}
+
+	// Index groups and their member SGs. All but the last group must be
+	// sealed (groups seal in creation order); SG ids must strictly increase
+	// in traversal order (dense except where a failed flush burned an id).
+	groupByID := make(map[int]*idxGroup, len(sh.Groups))
+	prevGroupID := -1
+	var prevSGID uint64
+	haveSG := false
+	for gi := range sh.Groups {
+		sg := &sh.Groups[gi]
+		if sg.ID <= prevGroupID || sg.ID >= sh.NextGroup {
+			return nil, cfgErr("group id %d out of order (prev %d, next %d)", sg.ID, prevGroupID, sh.NextGroup)
+		}
+		prevGroupID = sg.ID
+		if !sg.Sealed && gi != len(sh.Groups)-1 {
+			return nil, cfgErr("unsealed group %d is not the last group", sg.ID)
+		}
+		g := &idxGroup{id: sg.ID, sealed: sg.Sealed, liveCount: sg.LiveCount}
+		live := 0
+		if sg.Sealed {
+			if len(sg.Members) != cfg.SGsPerIndexGroup {
+				return nil, cfgErr("sealed group %d has %d members, want %d", sg.ID, len(sg.Members), cfg.SGsPerIndexGroup)
+			}
+			if len(sg.Zones) != cfg.ZonesPerSG {
+				return nil, cfgErr("sealed group %d has %d index zones, want %d", sg.ID, len(sg.Zones), cfg.ZonesPerSG)
+			}
+			if sg.LiveCount < 1 {
+				return nil, cfgErr("sealed group %d is fully dead but still present", sg.ID)
+			}
+			if len(sg.SlotBF) != 0 {
+				return nil, cfgErr("sealed group %d still carries filter buffers", sg.ID)
+			}
+			g.zones = append([]int(nil), sg.Zones...)
+		} else {
+			if len(sg.Members) >= cfg.SGsPerIndexGroup {
+				return nil, cfgErr("unsealed group %d has %d members, limit %d", sg.ID, len(sg.Members), cfg.SGsPerIndexGroup)
+			}
+			if len(sg.Zones) != 0 {
+				return nil, cfgErr("unsealed group %d has index zones", sg.ID)
+			}
+			if len(sg.SlotBF) != len(sg.Members) {
+				return nil, cfgErr("unsealed group %d has %d filter buffers for %d members", sg.ID, len(sg.SlotBF), len(sg.Members))
+			}
+			for s, bf := range sg.SlotBF {
+				if len(bf) != c.setsPerSG*c.bfBytes {
+					return nil, cfgErr("group %d filter buffer %d is %d bytes, want %d", sg.ID, s, len(bf), c.setsPerSG*c.bfBytes)
+				}
+				g.slotBF = append(g.slotBF, append([]byte(nil), bf...))
+			}
+		}
+		for s := range sg.Members {
+			sm := &sg.Members[s]
+			if sm.Slot != s {
+				return nil, cfgErr("group %d member %d claims slot %d", sg.ID, s, sm.Slot)
+			}
+			if haveSG && sm.ID <= prevSGID {
+				return nil, cfgErr("SG id %d out of order after %d", sm.ID, prevSGID)
+			}
+			if sm.ID >= sh.NextSGID {
+				return nil, cfgErr("SG id %d not below nextSGID %d", sm.ID, sh.NextSGID)
+			}
+			prevSGID, haveSG = sm.ID, true
+			if len(sm.SetCounts) != c.setsPerSG {
+				return nil, cfgErr("SG %d has %d set counts, want %d", sm.ID, len(sm.SetCounts), c.setsPerSG)
+			}
+			sum := 0
+			for _, n := range sm.SetCounts {
+				sum += int(n)
+			}
+			if sum != sm.ObjCount {
+				return nil, cfgErr("SG %d object count %d does not match set counts (%d)", sm.ID, sm.ObjCount, sum)
+			}
+			if sm.Dead {
+				if len(sm.Zones) != 0 {
+					return nil, cfgErr("dead SG %d still holds zones", sm.ID)
+				}
+			} else if len(sm.Zones) != cfg.ZonesPerSG {
+				return nil, cfgErr("SG %d spans %d zones, want %d", sm.ID, len(sm.Zones), cfg.ZonesPerSG)
+			}
+			if sm.Bits != nil && len(sm.Bits) != (sm.ObjCount+63)/64 {
+				return nil, cfgErr("SG %d bitmap of %d words for %d objects", sm.ID, len(sm.Bits), sm.ObjCount)
+			}
+			m := &flashSG{
+				id:        sm.ID,
+				group:     g,
+				slot:      s,
+				setCounts: append([]uint16(nil), sm.SetCounts...),
+				objCount:  sm.ObjCount,
+				fill:      sm.Fill,
+				dead:      sm.Dead,
+			}
+			if !sm.Dead {
+				m.zones = append([]int(nil), sm.Zones...)
+			}
+			if sm.Bits != nil {
+				m.bits = append(make([]uint64, 0, len(sm.Bits)), sm.Bits...)
+			}
+			g.members = append(g.members, m)
+			if !m.dead {
+				st.pool = append(st.pool, m)
+				live++
+			}
+		}
+		if live != sg.LiveCount {
+			return nil, cfgErr("group %d live count %d does not match members (%d live)", sg.ID, sg.LiveCount, live)
+		}
+		st.groups = append(st.groups, g)
+		groupByID[g.id] = g
+	}
+
+	// Zone partitioning: the free lists and the live SGs / sealed groups
+	// must tile the shard's data and index ranges exactly — no zone missing,
+	// none claimed twice, none outside the shard's slice of the device.
+	dataBase := cfg.ZoneOffset
+	idxBase := cfg.ZoneOffset + cfg.DataZones
+	idxZones := cfg.IndexZones()
+	liveData := make([]int, 0, cfg.DataZones)
+	for _, m := range st.pool {
+		liveData = append(liveData, m.zones...)
+	}
+	liveIdx := make([]int, 0, idxZones)
+	for _, g := range st.groups {
+		liveIdx = append(liveIdx, g.zones...)
+	}
+	if err := checkZonePartition("data", dataBase, cfg.DataZones, sh.FreeDataZones, liveData); err != nil {
+		return nil, err
+	}
+	if err := checkZonePartition("index", idxBase, idxZones, sh.FreeIndexZones, liveIdx); err != nil {
+		return nil, err
+	}
+	st.freeDataZones = append([]int(nil), sh.FreeDataZones...)
+	st.freeIndexZones = append([]int(nil), sh.FreeIndexZones...)
+
+	// Device write-pointer cross-check: free zones are erased, live zones
+	// written to completion. The generation stamp already vouches for this;
+	// a mismatch means the snapshot lies about the device, which is staleness
+	// however it came about.
+	for _, z := range sh.FreeDataZones {
+		if wp := c.dev.ZoneWP(z); wp != 0 {
+			return nil, staleErr("free data zone %d has write pointer %d", z, wp)
+		}
+	}
+	for _, z := range sh.FreeIndexZones {
+		if wp := c.dev.ZoneWP(z); wp != 0 {
+			return nil, staleErr("free index zone %d has write pointer %d", z, wp)
+		}
+	}
+	for _, z := range append(append([]int(nil), liveData...), liveIdx...) {
+		if wp := c.dev.ZoneWP(z); wp != ppz {
+			return nil, staleErr("live zone %d has write pointer %d, want %d", z, wp, ppz)
+		}
+	}
+
+	// PBFG index cache: the FIFO queue restores verbatim; cached pages are
+	// re-read from the (validated identical) index zones, so the snapshot
+	// never stores index bytes it would then have to trust.
+	ic := newPBFGCache(c.icache.capacity)
+	ic.lookups, ic.misses = sh.ICLookups, sh.ICMisses
+	ic.droppedUpTo = sh.ICDroppedUpTo
+	if ic.capacity == 0 && (len(sh.ICQueue) != 0 || len(sh.ICPages) != 0) {
+		return nil, cfgErr("index-cache entries with zero capacity")
+	}
+	if len(sh.ICPages) > ic.capacity {
+		return nil, cfgErr("%d cached PBFG pages exceed capacity %d", len(sh.ICPages), ic.capacity)
+	}
+	queued := make(map[snapshot.PBFGRef]int, len(sh.ICQueue))
+	for _, ref := range sh.ICQueue {
+		if ref.Set < 0 || ref.Set >= c.setsPerSG {
+			return nil, cfgErr("index-cache set offset %d out of range", ref.Set)
+		}
+		if ref.Group > ic.droppedUpTo {
+			g := groupByID[ref.Group]
+			if g == nil || !g.sealed {
+				return nil, cfgErr("index-cache queue names unknown or unsealed group %d", ref.Group)
+			}
+			ic.queued[ref.Group]++
+		} else {
+			ic.stale++
+		}
+		queued[ref]++
+		ic.queue = append(ic.queue, pbfgKey{group: ref.Group, set: ref.Set})
+	}
+	for _, ref := range sh.ICPages {
+		g := groupByID[ref.Group]
+		if g == nil || !g.sealed || ref.Group <= ic.droppedUpTo {
+			return nil, cfgErr("cached PBFG page for retired group %d", ref.Group)
+		}
+		if queued[ref] == 0 {
+			return nil, cfgErr("cached PBFG page (%d,%d) absent from the FIFO queue", ref.Group, ref.Set)
+		}
+		k := pbfgKey{group: ref.Group, set: ref.Set}
+		if _, dup := ic.pages[k]; dup {
+			return nil, cfgErr("duplicate cached PBFG page (%d,%d)", ref.Group, ref.Set)
+		}
+		page := make([]byte, c.pageSize)
+		if _, err := c.dev.ReadPage(c.pageAddrIn(g.zones, ref.Set), page); err != nil {
+			return nil, fmt.Errorf("core: re-reading PBFG page (%d,%d): %w", ref.Group, ref.Set, err)
+		}
+		ic.pages[k] = page
+		sets := ic.byGroup[ref.Group]
+		if sets == nil {
+			sets = make(map[int]struct{})
+			ic.byGroup[ref.Group] = sets
+		}
+		sets[ref.Set] = struct{}{}
+	}
+	st.icache = ic
+
+	for _, rec := range sh.FlushLog {
+		st.flushLog = append(st.flushLog, FlushRecord{
+			Fill:     rec.Fill,
+			NewObjs:  rec.NewObjs,
+			WBObjs:   rec.WBObjs,
+			NewBytes: rec.NewBytes,
+			WBBytes:  rec.WBBytes,
+		})
+	}
+	return st, nil
+}
+
+// checkZonePartition verifies free ∪ live == [base, base+n) with no overlap.
+func checkZonePartition(kind string, base, n int, free, live []int) error {
+	seen := make([]bool, n)
+	claim := func(z int) error {
+		if z < base || z >= base+n {
+			return cfgErr("%s zone %d outside [%d,%d)", kind, z, base, base+n)
+		}
+		if seen[z-base] {
+			return cfgErr("%s zone %d claimed twice", kind, z)
+		}
+		seen[z-base] = true
+		return nil
+	}
+	for _, z := range free {
+		if err := claim(z); err != nil {
+			return err
+		}
+	}
+	for _, z := range live {
+		if err := claim(z); err != nil {
+			return err
+		}
+	}
+	if len(free)+len(live) != n {
+		return cfgErr("%s zones: %d free + %d live does not cover %d", kind, len(free), len(live), n)
+	}
+	return nil
+}
+
+// adoptRestore swaps the validated state in. Called before the cache is
+// published (New) — no locking, no readers.
+func (c *Cache) adoptRestore(st *restoredState) {
+	c.memq = st.memq
+	c.sacCount = st.sacCount
+	c.pool = st.pool
+	c.nextSGID = st.nextSGID
+	c.groups = st.groups
+	c.nextGroup = st.nextGroup
+	c.icache = st.icache
+	c.freeDataZones = st.freeDataZones
+	c.freeIndexZones = st.freeIndexZones
+	c.bytesSinceCool = st.bytesSinceCool
+	c.stats = st.stats
+	c.extra = st.extra
+	c.flushLog = st.flushLog
+}
+
+// Counter conversions between the engine types and the snapshot package's
+// dependency-free mirrors. Reflection tests pin the struct pairs
+// field-for-field, so a counter added to one side without the other fails
+// fast instead of silently dropping data.
+
+func countersOf(s cachelib.Stats) snapshot.Counters {
+	return snapshot.Counters{
+		Gets: s.Gets, Hits: s.Hits, Sets: s.Sets, Deletes: s.Deletes,
+		LogicalBytes: s.LogicalBytes, FlashBytesWritten: s.FlashBytesWritten,
+		DeviceBytesWritten: s.DeviceBytesWritten, FlashBytesRead: s.FlashBytesRead,
+		FlashReadOps: s.FlashReadOps, ReadErrors: s.ReadErrors,
+		WriteErrors: s.WriteErrors, Evictions: s.Evictions,
+	}
+}
+
+func statsOf(s snapshot.Counters) cachelib.Stats {
+	return cachelib.Stats{
+		Gets: s.Gets, Hits: s.Hits, Sets: s.Sets, Deletes: s.Deletes,
+		LogicalBytes: s.LogicalBytes, FlashBytesWritten: s.FlashBytesWritten,
+		DeviceBytesWritten: s.DeviceBytesWritten, FlashBytesRead: s.FlashBytesRead,
+		FlashReadOps: s.FlashReadOps, ReadErrors: s.ReadErrors,
+		WriteErrors: s.WriteErrors, Evictions: s.Evictions,
+	}
+}
+
+func extraOf(n NemoStats) snapshot.Extra {
+	return snapshot.Extra{
+		SGsFlushed: n.SGsFlushed, FillSum: n.FillSum,
+		NewBytes: n.NewBytes, WriteBackBytes: n.WriteBackBytes,
+		WriteBackObjs: n.WriteBackObjs, Sacrificed: n.Sacrificed,
+		DataBytesWritten: n.DataBytesWritten, IndexBytesWritten: n.IndexBytesWritten,
+		FalsePositiveReads: n.FalsePositiveReads, CoolingRuns: n.CoolingRuns,
+		FlushRecordsDropped: n.FlushRecordsDropped,
+	}
+}
+
+func nemoStatsOf(e snapshot.Extra) NemoStats {
+	return NemoStats{
+		SGsFlushed: e.SGsFlushed, FillSum: e.FillSum,
+		NewBytes: e.NewBytes, WriteBackBytes: e.WriteBackBytes,
+		WriteBackObjs: e.WriteBackObjs, Sacrificed: e.Sacrificed,
+		DataBytesWritten: e.DataBytesWritten, IndexBytesWritten: e.IndexBytesWritten,
+		FalsePositiveReads: e.FalsePositiveReads, CoolingRuns: e.CoolingRuns,
+		FlushRecordsDropped: e.FlushRecordsDropped,
+	}
+}
+
+// Checkpoint writes a NEMO1 snapshot of the whole sharded cache to path.
+// The shared flusher pool is drained, then every shard is locked and its
+// in-flight flush waited out before any shard is captured — the generation
+// stamp is sampled while all shards are quiescent, so it vouches for every
+// shard's state at once.
+func (s *Sharded) Checkpoint(path string) error {
+	if err := s.Drain(); err != nil {
+		return fmt.Errorf("core: draining before checkpoint: %w", err)
+	}
+	for _, c := range s.shards {
+		c.mu.Lock()
+	}
+	// Waiting on one shard's flushCond releases only that shard's lock; an
+	// in-flight flush needs only its own shard's lock to finish, so holding
+	// the rest cannot deadlock — it just keeps new flushes from starting.
+	for _, c := range s.shards {
+		c.waitFlushIdleLocked()
+	}
+	dev := s.shards[0].dev
+	f := &snapshot.File{
+		PageSize:     dev.PageSize(),
+		PagesPerZone: dev.PagesPerZone(),
+		Zones:        dev.Zones(),
+		Config:       configStamp(s.cfg),
+	}
+	for _, c := range s.shards {
+		f.Shards = append(f.Shards, c.captureLocked())
+	}
+	gen := dev.Generation()
+	f.Boot, f.Writes = gen.Boot, gen.Writes
+	for _, c := range s.shards {
+		c.mu.Unlock()
+	}
+	return snapshot.Save(path, f)
+}
+
+// RestoreOutcome is Cache.RestoreOutcome for the sharded facade: the
+// outcome of Config.SnapshotPath at NewSharded time. Restore is
+// all-or-nothing across shards — one shard's defect leaves every shard cold.
+func (s *Sharded) RestoreOutcome() (restored bool, err error) {
+	return s.restored, s.restoreErr
+}
+
+// tryRestore attempts to adopt the snapshot at path into the freshly built
+// cold shards (called from NewSharded before the facade is published).
+func (s *Sharded) tryRestore(path string) (bool, error) {
+	f, err := snapshot.Load(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := validateSnapshotFile(s.shards[0].dev, configStamp(s.cfg), f); err != nil {
+		return false, err
+	}
+	states := make([]*restoredState, len(s.shards))
+	for i, c := range s.shards {
+		st, err := c.buildRestore(&f.Shards[i])
+		if err != nil {
+			return false, fmt.Errorf("shard %d: %w", i, err)
+		}
+		states[i] = st
+	}
+	for i, c := range s.shards {
+		c.adoptRestore(states[i])
+	}
+	return true, nil
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nemo/internal/cachelib"
+	"nemo/internal/device"
+	"nemo/internal/devtest"
+	"nemo/internal/snapshot"
+)
+
+// Warm-restart test geometry: small zones so a short trace seals groups,
+// cycles the pool, and populates every structure a snapshot must carry.
+const (
+	snapPerShardData = 8
+	snapShards       = 2
+)
+
+func snapGeometry(shards int) device.Geometry {
+	perIdx := IndexZonesFor(snapPerShardData, 4)
+	return device.Geometry{PageSize: 512, PagesPerZone: 16, Zones: shards * (snapPerShardData + perIdx)}
+}
+
+func snapConfig(dev device.Device, shards, flushers int, path string) Config {
+	cfg := DefaultConfig(dev, shards*snapPerShardData)
+	cfg.Shards = shards
+	cfg.SGsPerIndexGroup = 4
+	cfg.TargetObjsPerSet = 8
+	cfg.FlushThreshold = 8
+	cfg.Flushers = flushers
+	cfg.SnapshotPath = path
+	return cfg
+}
+
+// snapOp is one request of the deterministic mixed trace.
+type snapOp struct {
+	kind byte // 'g', 's', 'd'
+	key  int
+}
+
+func snapTrace(n int) []snapOp {
+	rng := rand.New(rand.NewSource(42))
+	ops := make([]snapOp, n)
+	for i := range ops {
+		r, k := rng.Intn(100), rng.Intn(1500)
+		switch {
+		case r < 55:
+			ops[i] = snapOp{'g', k}
+		case r < 95:
+			ops[i] = snapOp{'s', k}
+		default:
+			ops[i] = snapOp{'d', k}
+		}
+	}
+	return ops
+}
+
+func applySnapTrace(t *testing.T, cache *Sharded, ops []snapOp, async bool) {
+	t.Helper()
+	for _, op := range ops {
+		k, v := kv(op.key)
+		var err error
+		switch op.kind {
+		case 'g':
+			cache.Get(k)
+		case 's':
+			if async {
+				err = cache.SetAsync(k, v)
+			} else {
+				err = cache.Set(k, v)
+			}
+		case 'd':
+			err = cache.Delete(k)
+		}
+		if err != nil {
+			t.Fatalf("trace op %c key %d: %v", op.kind, op.key, err)
+		}
+	}
+}
+
+// typedSnapshotErr reports whether err is one of the snapshot package's
+// sentinels — the only refusals the restore path is allowed to produce.
+func typedSnapshotErr(err error) bool {
+	for _, s := range []error{
+		snapshot.ErrTruncated, snapshot.ErrMagic, snapshot.ErrVersion,
+		snapshot.ErrChecksum, snapshot.ErrCorrupt, snapshot.ErrGeometry,
+		snapshot.ErrStale, snapshot.ErrConfig,
+	} {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckpointRestoreByteIdentical is the strongest round-trip pin:
+// checkpoint a populated cache, warm-restore a second cache from it on the
+// same device, checkpoint that — the two snapshot files must be
+// byte-identical, so restore reconstructed every field the snapshot
+// carries, exactly.
+func TestCheckpointRestoreByteIdentical(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		dev := b.New(t, snapGeometry(snapShards))
+		dir := t.TempDir()
+		p1, p2 := filepath.Join(dir, "s1"), filepath.Join(dir, "s2")
+
+		cold, err := NewSharded(snapConfig(dev, snapShards, 0, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, cold, snapTrace(25000), false)
+		if err := cold.Checkpoint(p1); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+
+		warm, err := NewSharded(snapConfig(dev, snapShards, 0, p1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, rerr := warm.RestoreOutcome()
+		if !restored {
+			t.Fatalf("restore refused: %v", rerr)
+		}
+		if err := warm.Checkpoint(p2); err != nil {
+			t.Fatalf("re-checkpoint: %v", err)
+		}
+
+		b1, _ := os.ReadFile(p1)
+		b2, _ := os.ReadFile(p2)
+		if len(b1) == 0 || !bytes.Equal(b1, b2) {
+			t.Fatalf("re-checkpoint differs from original (%d vs %d bytes)", len(b1), len(b2))
+		}
+	})
+}
+
+// TestKillRestoreExactStats is the kill-and-restore pin: a serial
+// deterministic trace interrupted by checkpoint-close-reopen halfway must
+// end with counters identical, stat for stat, to an uninterrupted run on
+// both backends.
+func TestKillRestoreExactStats(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		ops := snapTrace(25000)
+
+		control, err := NewSharded(snapConfig(b.New(t, snapGeometry(snapShards)), snapShards, 0, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, control, ops, false)
+		wantStats, wantExtra := control.Stats(), control.Extra()
+
+		dev := b.New(t, snapGeometry(snapShards))
+		path := filepath.Join(t.TempDir(), "kill.snap")
+		cfg := snapConfig(dev, snapShards, 0, path)
+		first, err := NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, first, ops[:len(ops)/2], false)
+		if err := first.Close(); err != nil { // checkpoints to path
+			t.Fatalf("close: %v", err)
+		}
+		second, err := NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored, rerr := second.RestoreOutcome(); !restored {
+			t.Fatalf("restore refused: %v", rerr)
+		}
+		applySnapTrace(t, second, ops[len(ops)/2:], false)
+
+		if got := second.Stats(); got != wantStats {
+			t.Errorf("stats diverged after kill-and-restore:\n got %+v\nwant %+v", got, wantStats)
+		}
+		if got := second.Extra(); got != wantExtra {
+			t.Errorf("extra stats diverged after kill-and-restore:\n got %+v\nwant %+v", got, wantExtra)
+		}
+	})
+}
+
+// TestKillRestoreAsyncHitRatio is the concurrent variant: with a background
+// flusher pool the flush interleavings are not deterministic, so the pin is
+// a hit-ratio window rather than exact counters.
+func TestKillRestoreAsyncHitRatio(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		ops := snapTrace(25000)
+		hit := func(st cachelib.Stats) float64 {
+			if st.Gets == 0 {
+				return 0
+			}
+			return float64(st.Hits) / float64(st.Gets)
+		}
+
+		control, err := NewSharded(snapConfig(b.New(t, snapGeometry(snapShards)), snapShards, 2, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, control, ops, true)
+		if err := control.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		want := hit(control.Stats())
+		if err := control.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		dev := b.New(t, snapGeometry(snapShards))
+		path := filepath.Join(t.TempDir(), "kill.snap")
+		cfg := snapConfig(dev, snapShards, 2, path)
+		first, err := NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, first, ops[:len(ops)/2], true)
+		if err := first.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		second, err := NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored, rerr := second.RestoreOutcome(); !restored {
+			t.Fatalf("restore refused: %v", rerr)
+		}
+		applySnapTrace(t, second, ops[len(ops)/2:], true)
+		if err := second.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		got := hit(second.Stats())
+		if err := second.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - want; diff < -0.02 || diff > 0.02 {
+			t.Fatalf("hit ratio %.4f after kill-and-restore, %.4f uninterrupted (ε=0.02)", got, want)
+		}
+	})
+}
+
+// TestUnshardedCheckpointRestore covers the plain Cache path (New, not
+// NewSharded): restore on Close-checkpoint with live in-memory objects.
+func TestUnshardedCheckpointRestore(t *testing.T) {
+	dev := devtest.Backends()[0].New(t, snapGeometry(1))
+	path := filepath.Join(t.TempDir(), "one.snap")
+	cfg := snapConfig(dev, 1, 0, path)
+	cfg.Shards = 1
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, v := kv(7)
+	if err := c.Set(k, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, rerr := c2.RestoreOutcome(); !restored {
+		t.Fatalf("restore refused: %v", rerr)
+	}
+	got, ok := c2.Get(k)
+	if !ok || !bytes.Equal(got, v) {
+		t.Fatalf("buffered object lost across restart: ok=%v", ok)
+	}
+	if st := c2.Stats(); st.Sets != 1 {
+		t.Fatalf("stats not restored: %+v", st)
+	}
+}
+
+// TestSnapshotCrashMatrix is the corruption table: a valid snapshot
+// truncated at every section boundary, bit-flipped at seeded-random
+// offsets, and mangled in targeted ways must always be refused with a typed
+// error — never adopted, never a panic — and the engine must serve cold
+// afterwards. Runs against both device backends.
+func TestSnapshotCrashMatrix(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		dev := b.New(t, snapGeometry(snapShards))
+		dir := t.TempDir()
+		path := filepath.Join(dir, "valid.snap")
+		c, err := NewSharded(snapConfig(dev, snapShards, 0, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, c, snapTrace(25000), false)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		valid, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Control: the intact snapshot restores on this device.
+		ctrl, err := NewSharded(snapConfig(dev, snapShards, 0, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored, rerr := ctrl.RestoreOutcome(); !restored {
+			t.Fatalf("control restore refused: %v", rerr)
+		}
+
+		type corruption struct {
+			name string
+			b    []byte
+		}
+		var cases []corruption
+		offs, err := snapshot.SectionOffsets(valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range offs {
+			if o == len(valid) {
+				continue
+			}
+			cases = append(cases, corruption{fmt.Sprintf("truncate@%d", o), valid[:o]})
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 48; i++ {
+			pos := rng.Intn(len(valid))
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 1 << uint(rng.Intn(8))
+			cases = append(cases, corruption{fmt.Sprintf("bitflip@%d", pos), mut})
+		}
+		cases = append(cases,
+			corruption{"empty", nil},
+			corruption{"bad magic", append([]byte("XXXXXXXX"), valid[8:]...)},
+			corruption{"short", valid[:11]},
+			corruption{"slack byte", append(append([]byte(nil), valid...), 0)},
+		)
+
+		for i, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				p := filepath.Join(dir, fmt.Sprintf("case-%d.snap", i))
+				if err := os.WriteFile(p, tc.b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				cold, err := NewSharded(snapConfig(dev, snapShards, 0, p))
+				if err != nil {
+					t.Fatalf("New must not fail on a bad snapshot: %v", err)
+				}
+				restored, rerr := cold.RestoreOutcome()
+				if restored {
+					t.Fatal("corrupt snapshot was adopted")
+				}
+				if rerr == nil || !typedSnapshotErr(rerr) {
+					t.Fatalf("refusal is not a typed snapshot error: %v", rerr)
+				}
+				// Cold but serving: a buffered set/get round trip (in-memory
+				// only — it must not mutate the device other cases restore
+				// against) from a zeroed state.
+				if st := cold.Stats(); st != (cachelib.Stats{}) {
+					t.Fatalf("cold engine carries stats: %+v", st)
+				}
+				k, v := kv(123456)
+				if err := cold.Set(k, v); err != nil {
+					t.Fatalf("cold engine cannot serve: %v", err)
+				}
+				if got, ok := cold.Get(k); !ok || !bytes.Equal(got, v) {
+					t.Fatal("cold engine lost a fresh set")
+				}
+			})
+		}
+
+		// After the whole matrix, a cold engine on this (dirty) device must
+		// run a full trace — flushes, seals, evictions — without trouble.
+		final, err := NewSharded(snapConfig(dev, snapShards, 0, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, final, snapTrace(25000), false)
+		if st := final.Stats(); st.WriteErrors != 0 || st.ReadErrors != 0 {
+			t.Fatalf("cold-format run hit device errors: %+v", st)
+		}
+	})
+}
+
+// TestStaleSnapshotRejected pins the generation-stamp wall: any device
+// mutation after checkpoint — appends from continued traffic, a zone reset,
+// a different device of the same shape — invalidates the snapshot with
+// ErrStale; a different geometry reports ErrGeometry; a different engine
+// configuration reports ErrConfig.
+func TestStaleSnapshotRejected(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, b devtest.Backend) {
+		dev := b.New(t, snapGeometry(snapShards))
+		dir := t.TempDir()
+		path := filepath.Join(dir, "s.snap")
+		cfg := snapConfig(dev, snapShards, 0, path)
+
+		c, err := NewSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applySnapTrace(t, c, snapTrace(25000), false)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		expectRefusal := func(t *testing.T, cfg Config, want error) {
+			t.Helper()
+			c, err := NewSharded(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, rerr := c.RestoreOutcome()
+			if restored {
+				t.Fatal("snapshot adopted despite mismatch")
+			}
+			if !errors.Is(rerr, want) {
+				t.Fatalf("got %v, want %v", rerr, want)
+			}
+		}
+
+		t.Run("config mismatch", func(t *testing.T) {
+			bad := cfg
+			bad.FlushThreshold++
+			expectRefusal(t, bad, snapshot.ErrConfig)
+		})
+		t.Run("shard count mismatch", func(t *testing.T) {
+			bad := snapConfig(dev, 1, 0, path)
+			bad.DataZones = snapShards * snapPerShardData // keep capacity, change partitioning
+			expectRefusal(t, bad, snapshot.ErrConfig)
+		})
+		t.Run("different device same shape", func(t *testing.T) {
+			other := b.New(t, snapGeometry(snapShards))
+			expectRefusal(t, snapConfig(other, snapShards, 0, path), snapshot.ErrStale)
+		})
+		t.Run("geometry mismatch", func(t *testing.T) {
+			g := snapGeometry(snapShards)
+			g.Zones += 2
+			other := b.New(t, g)
+			expectRefusal(t, snapConfig(other, snapShards, 0, path), snapshot.ErrGeometry)
+		})
+		t.Run("zone reset after checkpoint", func(t *testing.T) {
+			// Find a written zone and reset it: Writes bumps, Boot stays.
+			for z := 0; z < dev.Zones(); z++ {
+				if dev.ZoneWP(z) == dev.PagesPerZone() {
+					if _, err := dev.ResetZone(z); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+			}
+			expectRefusal(t, cfg, snapshot.ErrStale)
+		})
+		t.Run("appends after checkpoint", func(t *testing.T) {
+			// The reset above already staled the snapshot; re-checkpoint a
+			// cold engine, copy the snapshot aside, keep writing, and the
+			// copy must be refused.
+			c, err := NewSharded(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applySnapTrace(t, c, snapTrace(12000), false)
+			if err := c.Checkpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			frozen := filepath.Join(dir, "frozen.snap")
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(frozen, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			applySnapTrace(t, c, snapTrace(25000)[12000:], false)
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			expectRefusal(t, snapConfig(dev, snapShards, 0, frozen), snapshot.ErrStale)
+		})
+	})
+}
+
+// Reflection parity pins: the snapshot package's dependency-free mirror
+// structs must track the engine types field-for-field, so a counter added
+// on one side without the other fails here instead of silently dropping
+// state across restarts.
+
+func fieldSig(t reflect.Type, skip map[string]bool) []string {
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if skip[f.Name] {
+			continue
+		}
+		out = append(out, f.Name+" "+f.Type.String())
+	}
+	return out
+}
+
+func TestSnapshotMirrorsEngineTypes(t *testing.T) {
+	cases := []struct {
+		name       string
+		core, snap reflect.Type
+		skip       map[string]bool
+	}{
+		{"ConfigStamp", reflect.TypeOf(Config{}), reflect.TypeOf(snapshot.ConfigStamp{}),
+			map[string]bool{"Device": true, "Flushers": true, "SnapshotPath": true}},
+		{"Counters", reflect.TypeOf(cachelib.Stats{}), reflect.TypeOf(snapshot.Counters{}), nil},
+		{"Extra", reflect.TypeOf(NemoStats{}), reflect.TypeOf(snapshot.Extra{}), nil},
+		{"FlushRec", reflect.TypeOf(FlushRecord{}), reflect.TypeOf(snapshot.FlushRec{}), nil},
+	}
+	for _, tc := range cases {
+		want := fieldSig(tc.core, tc.skip)
+		got := fieldSig(tc.snap, nil)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s does not mirror the engine type:\n engine %v\n mirror %v", tc.name, want, got)
+		}
+	}
+}

@@ -442,6 +442,20 @@ func (c *Cache) buildAndAppend(ev *evictPlan, front *memSG, sg *flashSG, zones, 
 			}
 		}
 	}
+	// A cold format adopts a dirty device as-is (a refused warm-restart
+	// snapshot is thrown away, nothing replays the old contents), so a zone
+	// claimed from the free list can still hold a previous life's appends.
+	// Rewind any non-empty reserved zone before the first append lands; on a
+	// fresh or warm-restored device this never fires.
+	for _, set := range [2][]int{zones, idxZones} {
+		for _, z := range set {
+			if c.dev.ZoneWP(z) > 0 {
+				if _, err := c.dev.ResetZone(z); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	sc := &c.fscratch
 	if sc.filter == nil {
 		sc.filter = bloom.New(c.cfg.TargetObjsPerSet, c.cfg.BloomFPR)

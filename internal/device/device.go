@@ -67,6 +67,27 @@ func (s Stats) Sub(old Stats) Stats {
 	}
 }
 
+// Generation is a device mutation stamp, the validity anchor for warm-restart
+// snapshots (internal/snapshot): Boot uniquely identifies one cold format of
+// the device contents, and Writes counts every successful mutation — page
+// appends and zone resets — since that format. Two equal Generation values
+// therefore mean the device holds exactly the zone contents and write
+// pointers it held when the first value was sampled; any mutation in between
+// makes Writes differ, and losing the device state entirely (process restart
+// on the simulator, a crash before filedev's superblock was rewritten) makes
+// Boot differ. Snapshot restore requires exact equality — there is no
+// "close enough" — because a single unaccounted append or reset could alias
+// stale index metadata onto rewritten flash.
+//
+// The simulator tracks its generation in memory (a fresh device always gets
+// a fresh Boot); filedev persists it in a superblock page alongside the zone
+// write pointers when opened in Persist mode, so a cleanly closed image
+// reopens with the generation its last snapshot was stamped with.
+type Generation struct {
+	Boot   uint64
+	Writes uint64
+}
+
 // Geometry is the backend-independent shape of a zoned device, used by
 // factories (internal/backend, test harnesses) that must build equivalent
 // devices on every implementation.
@@ -151,6 +172,13 @@ type Device interface {
 
 	// Stats returns a snapshot of the device counters.
 	Stats() Stats
+	// Generation returns the device mutation stamp (see the Generation type):
+	// Boot identifies the current cold format, Writes the successful
+	// mutations since. Quiescent reads are exact; under concurrent traffic
+	// the stamp may straddle in-flight operations, which is fine for its one
+	// consumer — snapshot validation, which only ever compares stamps taken
+	// at quiescence.
+	Generation() Generation
 	// SetReadFault installs a hook invoked with the global page index on
 	// every read, before any state changes and outside zone locks; a
 	// non-nil return aborts the read with that error. Pass nil to disable.

@@ -17,14 +17,18 @@
 // parallel (flashsim serializes them on the zone mutex; nothing in the
 // contract forbids the extra parallelism).
 //
-// Write-pointer persistence: none. Open formats the device — every zone's
-// write pointer deterministically rebuilds to zero, whatever bytes the file
-// holds (a fresh Open on an existing image is a whole-device reset). This
-// is the "rebuild deterministically" option of the crash-reopen contract;
-// persisting write pointers for warm restart is future work tracked in the
-// ROADMAP. Because reads beyond the write pointer are zero-filled in
-// software and full pages are always written (short appends zero-padded
-// before pwrite), stale file contents can never leak into a read.
+// Write-pointer persistence: off by default. Open formats the device —
+// every zone's write pointer deterministically rebuilds to zero, whatever
+// bytes the file holds (a fresh Open on an existing image is a whole-device
+// reset). Config.Persist opts into warm restart: the image grows one
+// superblock page past the data capacity holding the zone write pointers
+// and the device generation stamp, rewritten on clean Close and invalidated
+// before the first mutation after Open (see superblock.go) — so a cleanly
+// closed image reopens with its write pointers and generation intact, while
+// any crash still cold-formats deterministically. Because reads beyond the
+// write pointer are zero-filled in software and full pages are always
+// written (short appends zero-padded before pwrite), stale file contents
+// can never leak into a read in either mode.
 //
 // Durability: appends are plain pwrites — there is no fsync per append, so
 // completed appends may sit in the page cache and be lost on power failure
@@ -54,8 +58,8 @@ import (
 // Config describes the file-backed device: image location and geometry.
 type Config struct {
 	// Path is the image file. Created (and sized) if missing; an existing
-	// file is reused as raw storage but always reformatted (see the package
-	// comment on write-pointer persistence).
+	// file is reused as raw storage and, unless Persist is set, always
+	// reformatted (see the package comment on write-pointer persistence).
 	Path string
 	// PageSize is the read/program granularity in bytes (default 4096).
 	PageSize int
@@ -73,6 +77,13 @@ type Config struct {
 	// RemoveOnClose deletes the image file on Close — the mode benchmark
 	// harnesses use for throwaway images.
 	RemoveOnClose bool
+	// Persist opts into write-pointer and generation persistence via a
+	// superblock page appended past the data capacity: a cleanly closed
+	// image reopens warm (write pointers and device.Generation restored), a
+	// crashed or corrupted one cold-formats. Requires the superblock to fit
+	// one page (44 + 4*Zones bytes ≤ PageSize). Pointless combined with
+	// RemoveOnClose, but harmless.
+	Persist bool
 	// Clock overrides the device clock; nil takes a fresh real clock. Tests
 	// may install a virtual clock to make `done` values deterministic —
 	// I/O still happens, only the timestamps freeze.
@@ -124,6 +135,17 @@ type Device struct {
 	readFault  atomic.Pointer[func(page int) error]
 	writeFault atomic.Pointer[func(zone int) error]
 
+	// Generation stamp (see device.Generation): boot is fixed at Open —
+	// restored from the superblock on a warm Persist open, freshly random
+	// otherwise — and writes counts successful appends and resets since the
+	// format boot identifies. metaOnce gates the one-time superblock
+	// invalidation before the first mutation of this open; restored records
+	// whether this open adopted a superblock.
+	boot     uint64
+	writes   atomic.Uint64
+	metaOnce sync.Once
+	restored bool
+
 	// bufs pools page-sized transfer buffers: zero-padding short appends,
 	// and (Direct mode) 4096-aligned bounce buffers for all transfers.
 	bufs sync.Pool
@@ -137,7 +159,9 @@ var _ device.Device = (*Device)(nil)
 
 // Open creates (or reuses) the image file at cfg.Path, sizes it to the
 // device capacity, and returns a formatted device: every zone's write
-// pointer is zero regardless of prior contents.
+// pointer is zero regardless of prior contents — unless cfg.Persist is set
+// and the image carries a valid superblock, in which case the write
+// pointers and generation stamp of the last clean Close are restored.
 func Open(cfg Config) (*Device, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Path == "" {
@@ -146,6 +170,10 @@ func Open(cfg Config) (*Device, error) {
 	if cfg.Zones <= 0 || cfg.PagesPerZone <= 0 || cfg.PageSize <= 0 {
 		return nil, fmt.Errorf("filedev: invalid geometry %d zones x %d pages x %d bytes",
 			cfg.Zones, cfg.PagesPerZone, cfg.PageSize)
+	}
+	if cfg.Persist && sbSize(cfg.Zones) > cfg.PageSize {
+		return nil, fmt.Errorf("filedev: superblock for %d zones (%d bytes) does not fit a %d-byte page",
+			cfg.Zones, sbSize(cfg.Zones), cfg.PageSize)
 	}
 	if cfg.Direct {
 		if !directSupported {
@@ -178,12 +206,26 @@ func Open(cfg Config) (*Device, error) {
 		return &b
 	}
 	// Size the image to full capacity up front so pwrites never extend the
-	// file. Truncate leaves holes where nothing was written — resets punch
-	// the zone back to a hole, so a long-lived image stays as sparse as its
-	// live data.
-	if err := f.Truncate(d.CapacityBytes()); err != nil {
+	// file (Persist adds one superblock page past the capacity). Truncate
+	// leaves holes where nothing was written — resets punch the zone back to
+	// a hole, so a long-lived image stays as sparse as its live data.
+	// Shrinking a formerly-Persist image back to bare capacity also destroys
+	// its superblock, so mode changes can never resurrect stale pointers.
+	size := d.CapacityBytes()
+	if cfg.Persist {
+		size += int64(cfg.PageSize)
+	}
+	if err := f.Truncate(size); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("filedev: size image to %d bytes: %w", d.CapacityBytes(), err)
+		return nil, fmt.Errorf("filedev: size image to %d bytes: %w", size, err)
+	}
+	if cfg.Persist {
+		if err := d.loadOrFormatMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		d.boot = randBoot()
 	}
 	return d, nil
 }
@@ -245,6 +287,17 @@ func (d *Device) Stats() device.Stats {
 		BytesRead:    d.bytesRead.Load(),
 	}
 }
+
+// Generation returns the device mutation stamp (see device.Generation).
+// Boot is restored from the superblock on a warm Persist open and freshly
+// random on every other open; Writes counts successful appends and resets.
+func (d *Device) Generation() device.Generation {
+	return device.Generation{Boot: d.boot, Writes: d.writes.Load()}
+}
+
+// Restored reports whether this open adopted a valid superblock (warm
+// open). Always false without Config.Persist.
+func (d *Device) Restored() bool { return d.restored }
 
 // SetReadFault installs a hook invoked with the global page index on every
 // ReadPage, before any I/O and outside zone locks; a non-nil return aborts
@@ -330,6 +383,7 @@ func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Durati
 			return 0, 0, err
 		}
 	}
+	d.invalidateMeta()
 	z := &d.zones[zoneID]
 	z.mu.Lock()
 	defer z.mu.Unlock()
@@ -367,6 +421,7 @@ func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Durati
 	}
 	d.pagesWritten.Add(1)
 	d.bytesWritten.Add(uint64(d.cfg.PageSize))
+	d.writes.Add(1)
 	return page, d.clock.Now(), nil
 }
 
@@ -472,6 +527,7 @@ func (d *Device) ResetZone(zoneID int) (done time.Duration, err error) {
 	if zoneID < 0 || zoneID >= d.cfg.Zones {
 		return 0, fmt.Errorf("filedev: zone %d out of range [0,%d)", zoneID, d.cfg.Zones)
 	}
+	d.invalidateMeta()
 	z := &d.zones[zoneID]
 	z.mu.Lock()
 	if z.wp > 0 && z.wp < d.cfg.PagesPerZone {
@@ -481,15 +537,23 @@ func (d *Device) ResetZone(zoneID int) (done time.Duration, err error) {
 	punchHole(d.f, d.byteOff(d.PageAddr(zoneID, 0)), int64(d.cfg.PagesPerZone)*int64(d.cfg.PageSize))
 	z.mu.Unlock()
 	d.zoneResets.Add(1)
+	d.writes.Add(1)
 	return d.clock.Now(), nil
 }
 
 // Close releases the file descriptor and, when Config.RemoveOnClose is set,
-// deletes the image. Safe to call more than once; later calls return the
-// first result. Engines never close their device — whoever opened it does.
+// deletes the image. In Persist mode (and not RemoveOnClose) it first
+// rewrites and syncs the superblock, making the image warm-openable. Safe
+// to call more than once; later calls return the first result. Engines
+// never close their device — whoever opened it does.
 func (d *Device) Close() error {
 	d.closeOnce.Do(func() {
-		d.closeErr = d.f.Close()
+		if d.cfg.Persist && !d.cfg.RemoveOnClose {
+			d.closeErr = d.flushMeta()
+		}
+		if cerr := d.f.Close(); cerr != nil && d.closeErr == nil {
+			d.closeErr = cerr
+		}
 		if d.cfg.RemoveOnClose {
 			if rerr := os.Remove(d.cfg.Path); rerr != nil && d.closeErr == nil {
 				d.closeErr = rerr

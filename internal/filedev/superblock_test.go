@@ -1,0 +1,248 @@
+package filedev
+
+// Superblock persistence tests: the warm-restart half of the filedev
+// contract. A cleanly closed Persist image reopens with its write pointers
+// and generation stamp intact; any crash, corruption, or geometry change
+// cold-formats with a fresh Boot — pessimism is the spec, not a fallback.
+
+import (
+	"os"
+	"testing"
+)
+
+func persistConfig(t *testing.T) Config {
+	cfg := testConfig(t)
+	cfg.Persist = true
+	return cfg
+}
+
+// fillZone appends n pages to the zone, failing the test on error.
+func fillZone(t *testing.T, d *Device, zone, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, _, err := d.AppendPage(zone, pageOf(byte(i+1), d.PageSize())); err != nil {
+			t.Fatalf("append %d to zone %d: %v", i, zone, err)
+		}
+	}
+}
+
+func TestPersistCleanCloseRestoresState(t *testing.T) {
+	cfg := persistConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Restored() {
+		t.Fatal("fresh image claims a warm open")
+	}
+	fillZone(t, d, 0, 4)
+	fillZone(t, d, 3, 2)
+	gen := d.Generation()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTest(t, cfg)
+	if !d2.Restored() {
+		t.Fatal("clean close did not produce a warm open")
+	}
+	if got := d2.Generation(); got != gen {
+		t.Fatalf("generation %+v across clean close, want %+v", got, gen)
+	}
+	if d2.ZoneWP(0) != 4 || d2.ZoneWP(3) != 2 || d2.ZoneWP(1) != 0 {
+		t.Fatalf("write pointers not restored: %d %d %d", d2.ZoneWP(0), d2.ZoneWP(3), d2.ZoneWP(1))
+	}
+	// The restored zone contents are readable, not just the pointers.
+	buf := make([]byte, d2.PageSize())
+	if _, err := d2.ReadPage(d2.PageAddr(0, 2), buf); err != nil {
+		t.Fatalf("reading restored page: %v", err)
+	}
+	if buf[0] != 3 {
+		t.Fatalf("restored page content %#x, want 0x03", buf[0])
+	}
+}
+
+func TestPersistCrashColdFormats(t *testing.T) {
+	cfg := persistConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillZone(t, d, 0, 4)
+	gen := d.Generation()
+	// Crash: drop the device without Close. The first mutation already
+	// zeroed the superblock, so the on-disk image has no valid metadata.
+	d.f.Close()
+
+	d2 := openTest(t, cfg)
+	if d2.Restored() {
+		t.Fatal("crashed image produced a warm open")
+	}
+	if d2.ZoneWP(0) != 0 {
+		t.Fatalf("cold format kept write pointer %d", d2.ZoneWP(0))
+	}
+	if g := d2.Generation(); g.Boot == gen.Boot {
+		t.Fatal("cold format reused the crashed life's Boot stamp")
+	}
+}
+
+func TestPersistFirstMutationInvalidates(t *testing.T) {
+	cfg := persistConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillZone(t, d, 0, 1)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm open, then one mutation: the superblock page must be zeroed on
+	// disk immediately (invalidate-then-mutate), before Close rewrites it.
+	d2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Restored() {
+		t.Fatal("expected warm open")
+	}
+	fillZone(t, d2, 1, 1)
+	raw := make([]byte, sbSize(cfg.Zones))
+	if _, err := d2.f.ReadAt(raw, d2.sbOffset()); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range raw {
+		if b != 0 {
+			t.Fatalf("superblock byte %d is %#x after first mutation, want zeroed page", i, b)
+		}
+	}
+	// A crash now (no Close) must cold-format the next open.
+	d2.f.Close()
+	d3 := openTest(t, cfg)
+	if d3.Restored() {
+		t.Fatal("post-mutation crash still warm-opened")
+	}
+}
+
+func TestPersistResetAlsoInvalidates(t *testing.T) {
+	cfg := persistConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillZone(t, d, 2, 3)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWrites := d2.Generation().Writes
+	if _, err := d2.ResetZone(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Generation().Writes; got != wantWrites+1 {
+		t.Fatalf("reset bumped Writes to %d, want %d", got, wantWrites+1)
+	}
+	d2.f.Close() // crash after the reset
+	d3 := openTest(t, cfg)
+	if d3.Restored() {
+		t.Fatal("crash after ResetZone still warm-opened")
+	}
+}
+
+func TestPersistCorruptSuperblockColdFormats(t *testing.T) {
+	cfg := persistConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillZone(t, d, 0, 2)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the superblock region on disk.
+	f, err := os.OpenFile(cfg.Path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(cfg.PageSize * cfg.PagesPerZone * cfg.Zones)
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off+20); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off+20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2 := openTest(t, cfg)
+	if d2.Restored() {
+		t.Fatal("corrupt superblock produced a warm open")
+	}
+	if d2.ZoneWP(0) != 0 {
+		t.Fatal("corrupt superblock still restored write pointers")
+	}
+	// The stale superblock must have been zeroed by the cold format, so a
+	// third open (after a crash, with no mutations in between) stays cold
+	// instead of resurrecting it.
+	d2.f.Close()
+	d3 := openTest(t, cfg)
+	if d3.Restored() {
+		t.Fatal("zeroed superblock came back to life")
+	}
+}
+
+func TestPersistGeometryChangeColdFormats(t *testing.T) {
+	cfg := persistConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillZone(t, d, 0, 2)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same image, one more zone: the superblock's geometry no longer
+	// matches, so the open must be cold even though the CRC is intact.
+	bigger := cfg
+	bigger.Zones = cfg.Zones + 1
+	d2 := openTest(t, bigger)
+	if d2.Restored() {
+		t.Fatal("geometry change still warm-opened")
+	}
+}
+
+func TestPersistSuperblockMustFitPage(t *testing.T) {
+	cfg := persistConfig(t)
+	cfg.PageSize = 64 // sbSize(8 zones) = 32+4*8+4 = 68 > 64
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("Open accepted a Persist config whose superblock exceeds a page")
+	}
+}
+
+func TestVolatileOpenNeverRestores(t *testing.T) {
+	cfg := testConfig(t)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillZone(t, d, 0, 2)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Persist = false
+	d2 := openTest(t, cfg2)
+	if d2.Restored() {
+		t.Fatal("volatile open claims restoration")
+	}
+	if d2.ZoneWP(0) != 0 {
+		t.Fatal("volatile reopen kept write pointers")
+	}
+}

@@ -143,9 +143,20 @@ type Device struct {
 	bytesWritten atomic.Uint64
 	bytesRead    atomic.Uint64
 
+	// Generation stamp (device.Generation): boot is assigned once from the
+	// process-global counter — a simulated device's contents never survive
+	// the process, so uniqueness within it is exactly the right scope — and
+	// writes counts successful appends and resets.
+	boot   uint64
+	writes atomic.Uint64
+
 	readFault  atomic.Pointer[func(page int) error] // fault injection; nil when disabled
 	writeFault atomic.Pointer[func(zone int) error]
 }
+
+// bootSeq issues process-unique Boot stamps: every simulated device is a
+// fresh cold format, so each New gets the next value.
+var bootSeq atomic.Uint64
 
 // New creates a device with the given configuration (zero fields take
 // defaults).
@@ -156,6 +167,7 @@ func New(cfg Config) *Device {
 		clock: cfg.Clock,
 		zones: make([]zone, cfg.Zones),
 		chans: make([]channel, cfg.Channels),
+		boot:  bootSeq.Add(1),
 	}
 }
 
@@ -214,6 +226,13 @@ func (d *Device) Stats() Stats {
 		BytesWritten: d.bytesWritten.Load(),
 		BytesRead:    d.bytesRead.Load(),
 	}
+}
+
+// Generation returns the device mutation stamp: a process-unique Boot (the
+// simulator's contents never outlive the process, so every device is its own
+// cold format) and the count of successful appends and resets since New.
+func (d *Device) Generation() device.Generation {
+	return device.Generation{Boot: d.boot, Writes: d.writes.Load()}
 }
 
 // SetReadFault installs a fault-injection hook invoked with the global page
@@ -350,6 +369,7 @@ func (d *Device) AppendPage(zoneID int, data []byte) (page int, done time.Durati
 	}
 	d.pagesWritten.Add(1)
 	d.bytesWritten.Add(uint64(d.cfg.PageSize))
+	d.writes.Add(1)
 	done = d.schedule(page, d.cfg.ProgramLatency)
 	return page, done, nil
 }
@@ -457,6 +477,7 @@ func (d *Device) ResetZone(zoneID int) (done time.Duration, err error) {
 	z.data = nil // freed; reads of a reset zone return zeroes
 	z.mu.Unlock()
 	d.zoneResets.Add(1)
+	d.writes.Add(1)
 	done = d.schedule(d.PageAddr(zoneID, 0), d.cfg.EraseLatency)
 	return done, nil
 }

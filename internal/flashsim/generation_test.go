@@ -1,0 +1,64 @@
+package flashsim
+
+import "testing"
+
+// TestGenerationStamp pins the mutation-stamp contract the warm-restart
+// snapshot validates against: Boot is unique per device life, Writes counts
+// every successful append and reset (and nothing else), and a simulated
+// device never survives a process, so a "reopened" sim can never satisfy a
+// snapshot taken against its predecessor.
+func TestGenerationStamp(t *testing.T) {
+	d := small()
+	g0 := d.Generation()
+	if g0.Writes != 0 {
+		t.Fatalf("fresh device Writes = %d", g0.Writes)
+	}
+
+	if _, _, err := d.AppendPage(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.AppendPage(0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Generation(); got.Writes != 2 || got.Boot != g0.Boot {
+		t.Fatalf("after two appends: %+v (boot was %d)", got, g0.Boot)
+	}
+
+	if _, err := d.ResetZone(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Generation().Writes; got != 3 {
+		t.Fatalf("reset did not count as a mutation: Writes = %d", got)
+	}
+
+	// Reads leave the stamp alone.
+	buf := make([]byte, d.PageSize())
+	if _, _, err := d.AppendPage(1, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadPage(d.PageAddr(1, 0), buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Generation().Writes; got != 4 {
+		t.Fatalf("read mutated the stamp: Writes = %d", got)
+	}
+
+	// A failed append (zone full) is not a mutation.
+	for d.ZoneWP(2) < d.PagesPerZone() {
+		if _, _, err := d.AppendPage(2, []byte{4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Generation().Writes
+	if _, _, err := d.AppendPage(2, []byte{5}); err == nil {
+		t.Fatal("append to full zone succeeded")
+	}
+	if got := d.Generation().Writes; got != before {
+		t.Fatalf("failed append counted as a mutation: %d -> %d", before, got)
+	}
+
+	// Distinct lives get distinct Boot stamps.
+	if other := small(); other.Generation().Boot == g0.Boot {
+		t.Fatal("two device lives share a Boot stamp")
+	}
+}

@@ -52,13 +52,24 @@ type Result struct {
 // same cold-start-to-steady-state shape. The caller closes the returned
 // device after the cache (engines never close their device).
 func Build(spec backend.Spec, shards, flushers int) (*core.Sharded, device.Device, error) {
+	return BuildOn(spec, shards, flushers, "")
+}
+
+// BuildOn is Build with a warm-restart snapshot path: when snapshotPath is
+// non-empty the cache adopts the snapshot at that path when it matches the
+// device (query RestoreOutcome on the returned cache) and Close checkpoints
+// back to it. The benchmarks reopen in-process on the same still-open device
+// — Reopen — so both backends restore warm; cross-process warm restart (a
+// persistently opened file device) is nemoserve's job.
+func BuildOn(spec backend.Spec, shards, flushers int, snapshotPath string) (*core.Sharded, device.Device, error) {
 	perData := Zones / shards
 	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
-	dev, err := spec.Open(device.Geometry{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: shards * (perData + perIdx)})
+	g := device.Geometry{PageSize: pageSize, PagesPerZone: pagesPerZone, Zones: shards * (perData + perIdx)}
+	dev, err := spec.Open(g)
 	if err != nil {
 		return nil, nil, err
 	}
-	cache, err := core.NewSharded(cfg(dev, shards, flushers))
+	cache, err := core.NewSharded(cfg(dev, shards, flushers, snapshotPath))
 	if err != nil {
 		dev.Close()
 		return nil, nil, err
@@ -66,10 +77,18 @@ func Build(spec backend.Spec, shards, flushers int) (*core.Sharded, device.Devic
 	return cache, dev, nil
 }
 
-func cfg(dev device.Device, shards, flushers int) core.Config {
+// Reopen builds a fresh sharded cache on an already-open device with the
+// same configuration BuildOn used, attempting a warm restore from
+// snapshotPath — the restart half of the kill-and-restore benchmark rows.
+func Reopen(dev device.Device, shards, flushers int, snapshotPath string) (*core.Sharded, error) {
+	return core.NewSharded(cfg(dev, shards, flushers, snapshotPath))
+}
+
+func cfg(dev device.Device, shards, flushers int, snapshotPath string) core.Config {
 	c := core.DefaultConfig(dev, Zones)
 	c.Shards = shards
 	c.Flushers = flushers
+	c.SnapshotPath = snapshotPath
 	return c
 }
 

@@ -1,0 +1,245 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleFile builds a small but structurally rich snapshot: two shards, a
+// sealed and an unsealed group, dead and live SGs, a lazily-absent and a
+// present hotness bitmap, cached and uncached PBFG refs, and a flush log.
+func sampleFile() *File {
+	return &File{
+		PageSize: 512, PagesPerZone: 16, Zones: 24,
+		Boot: 7, Writes: 421,
+		Config: ConfigStamp{
+			DataZones: 8, Shards: 2, ZonesPerSG: 1, InMemSGs: 2,
+			FlushThreshold: 8, RearFullRatio: 0.8, SGsPerIndexGroup: 4,
+			BloomFPR: 0.001, TargetObjsPerSet: 8, CachedPBFGRatio: 0.5,
+			HotTrackTailRatio: 0.3, CoolingWriteRatio: 0.1,
+			BufferedSGs: true, DelayedFlush: true, Writeback: true,
+		},
+		Shards: []Shard{
+			{
+				NextSGID: 6, NextGroup: 2, SacCount: 3, BytesSinceCool: 999,
+				ICLookups: 40, ICMisses: 9, ICDroppedUpTo: -1,
+				Stats:          Counters{Gets: 100, Hits: 61, Sets: 50, LogicalBytes: 12345},
+				Extra:          Extra{SGsFlushed: 5, FillSum: 4.25, NewBytes: 4096},
+				FreeDataZones:  []int{3, 2},
+				FreeIndexZones: []int{9},
+				Groups: []Group{
+					{
+						ID: 0, Sealed: true, LiveCount: 1, Zones: []int{8},
+						Members: []SG{
+							{ID: 2, Slot: 0, Dead: true, ObjCount: 0, SetCounts: make([]uint16, 16)},
+							{ID: 3, Slot: 1, ObjCount: 2, Fill: 0.5, Zones: []int{1},
+								SetCounts: append([]uint16{1, 1}, make([]uint16, 14)...),
+								Bits:      []uint64{0b10}},
+							{ID: 4, Slot: 2, Dead: true, SetCounts: make([]uint16, 16)},
+							{ID: 5, Slot: 3, ObjCount: 1, Fill: 0.25, Zones: []int{0},
+								SetCounts: append([]uint16{1}, make([]uint16, 15)...)},
+						},
+					},
+					{
+						ID: 1, LiveCount: 1,
+						Members: []SG{{ID: 5, Slot: 0, ObjCount: 0, SetCounts: make([]uint16, 16)}},
+						SlotBF:  [][]byte{bytes.Repeat([]byte{0xAB}, 16*4)},
+					},
+				},
+				MemQ: []MemSG{
+					{NewBytes: 80, NewObjs: 2, Sets: [][]byte{make([]byte, 512), make([]byte, 512)}},
+					{Sets: [][]byte{make([]byte, 512), make([]byte, 512)}},
+				},
+				ICQueue:  []PBFGRef{{Group: 0, Set: 1}, {Group: 0, Set: 3}},
+				ICPages:  []PBFGRef{{Group: 0, Set: 1}},
+				FlushLog: []FlushRec{{Fill: 0.5, NewObjs: 10, NewBytes: 800}, {Fill: 0.75, WBObjs: 1, WBBytes: 80}},
+			},
+			{
+				NextSGID: 1, NextGroup: 1, ICDroppedUpTo: -1,
+				FreeDataZones:  []int{15, 14, 13, 12},
+				FreeIndexZones: []int{21, 20},
+				MemQ: []MemSG{
+					{Sets: [][]byte{make([]byte, 512), make([]byte, 512)}},
+					{Sets: [][]byte{make([]byte, 512), make([]byte, 512)}},
+				},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFile()
+	b := Encode(f)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("decoded File differs from original:\n got %+v\nwant %+v", got, f)
+	}
+	if again := Encode(got); !bytes.Equal(again, b) {
+		t.Fatalf("encoding is not canonical: re-encode differs at byte %d", firstDiff(b, again))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// decodeSentinels are the errors Decode is allowed to return; anything else
+// (or a panic) breaks the throwaway contract.
+var decodeSentinels = []error{ErrTruncated, ErrMagic, ErrVersion, ErrChecksum, ErrCorrupt}
+
+func isTypedDecodeErr(err error) bool {
+	for _, s := range decodeSentinels {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDecodeRejectsEveryByteFlip is the exhaustive single-corruption sweep:
+// flipping any one byte anywhere in a valid image must yield a typed error —
+// every byte is covered by the header checks, a section CRC, or the footer.
+func TestDecodeRejectsEveryByteFlip(t *testing.T) {
+	b := Encode(sampleFile())
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0xFF
+		f, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("byte %d flipped: Decode accepted the corrupt image (%v)", i, f.Config)
+		}
+		if !isTypedDecodeErr(err) {
+			t.Fatalf("byte %d flipped: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestDecodeRejectsEveryTruncation truncates at every section boundary and
+// at a stride of raw offsets; all must fail typed, none may panic.
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	b := Encode(sampleFile())
+	offs, err := SectionOffsets(b)
+	if err != nil {
+		t.Fatalf("SectionOffsets: %v", err)
+	}
+	cuts := append([]int(nil), offs...)
+	for o := 0; o < len(b); o += 7 {
+		cuts = append(cuts, o)
+	}
+	for _, o := range cuts {
+		if o == len(b) {
+			continue
+		}
+		if _, err := Decode(b[:o]); err == nil {
+			t.Fatalf("truncated at %d: Decode accepted", o)
+		} else if !isTypedDecodeErr(err) {
+			t.Fatalf("truncated at %d: untyped error %v", o, err)
+		}
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	valid := Encode(sampleFile())
+	mut := func(i int, v byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[i] = v
+		return b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:10], ErrTruncated},
+		{"bad magic", mut(0, 'X'), ErrMagic},
+		{"bad version", mut(8, 99), ErrVersion},
+		{"reserved nonzero", mut(55, 1), ErrCorrupt},
+		{"trailing slack", append(append([]byte(nil), valid...), 0), ErrCorrupt},
+		{"payload flip", mut(headerSize+sectionHdrSize+2, 0xEE), ErrChecksum},
+		{"truncated mid-section", valid[:len(valid)-3], ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSectionOffsets(t *testing.T) {
+	f := sampleFile()
+	b := Encode(f)
+	offs, err := SectionOffsets(b)
+	if err != nil {
+		t.Fatalf("SectionOffsets: %v", err)
+	}
+	// 0, header end, then one boundary per section: CONFIG + 6 per shard +
+	// FOOTER.
+	wantLen := 2 + 1 + 6*len(f.Shards) + 1
+	if len(offs) != wantLen {
+		t.Fatalf("got %d offsets, want %d", len(offs), wantLen)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] <= offs[i-1] {
+			t.Fatalf("offsets not strictly increasing at %d: %v", i, offs)
+		}
+	}
+	if offs[len(offs)-1] != len(b) {
+		t.Fatalf("last offset %d != image length %d", offs[len(offs)-1], len(b))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nemo.snap")
+	f := sampleFile()
+	if err := Save(path, f); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatal("loaded File differs from saved")
+	}
+	// Save must be a full rewrite: a second Save over the first succeeds and
+	// leaves exactly the new content.
+	f.Shards[0].SacCount = 99
+	if err := Save(path, f); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatalf("re-Load: %v", err)
+	}
+	if got.Shards[0].SacCount != 99 {
+		t.Fatal("re-Save did not replace the snapshot")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.snap"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("got %v, want fs.ErrNotExist", err)
+	}
+	if isTypedDecodeErr(err) {
+		t.Fatal("a missing file must not look like a corrupt snapshot")
+	}
+}

@@ -1,0 +1,35 @@
+package snapshot
+
+import "errors"
+
+// Every way a snapshot can be refused is a typed sentinel, matchable with
+// errors.Is. The split matters to exactly one consumer decision: all of
+// them mean "cold format" (throwaway semantics — no snapshot defect is ever
+// worked around), but callers log which wall was hit, and the crash-matrix
+// and fuzz tests pin that arbitrary corruption maps onto these and nothing
+// else (never a panic, never a silently adopted snapshot).
+var (
+	// ErrTruncated: the image ends before its declared content does (short
+	// header, short section, totalLen past EOF).
+	ErrTruncated = errors.New("snapshot: truncated")
+	// ErrMagic: the image does not start with the NEMO1 magic.
+	ErrMagic = errors.New("snapshot: bad magic")
+	// ErrVersion: the format version is not one this code reads.
+	ErrVersion = errors.New("snapshot: unsupported version")
+	// ErrChecksum: a section CRC or the whole-file footer CRC mismatches.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt: structurally invalid content behind a valid CRC — framing,
+	// ordering, canonical-encoding, or value-domain violations.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+
+	// ErrGeometry: the snapshot was taken against a device of different
+	// geometry (core restore-time validation).
+	ErrGeometry = errors.New("snapshot: device geometry mismatch")
+	// ErrStale: the device generation stamp (or the zone write pointers it
+	// vouches for) no longer matches — the flash mutated after checkpoint.
+	ErrStale = errors.New("snapshot: stale for device")
+	// ErrConfig: the engine configuration differs from the checkpoint's
+	// ConfigStamp, or the checkpointed state violates the engine's own
+	// structural invariants.
+	ErrConfig = errors.New("snapshot: configuration mismatch")
+)

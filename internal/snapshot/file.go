@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Save writes f to path atomically: the image is encoded in full, written
+// to a temporary file in the same directory, synced, and renamed over the
+// destination. A crash mid-save therefore leaves either the previous
+// complete snapshot or none — never a torn one (and a torn rename survivor
+// would still be refused by Decode's CRCs; atomicity just preserves the
+// previous good snapshot in that case).
+func Save(path string, f *File) error {
+	b := Encode(f)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes the snapshot at path. Decode failures carry the
+// package's typed sentinels; a missing file surfaces as the os error
+// (errors.Is(err, fs.ErrNotExist)), which callers treat as "no snapshot,
+// cold start" rather than a defect.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,41 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotLoad fuzzes Decode with arbitrary bytes. The contract under
+// test is the throwaway trust model end to end: no input may panic or hang,
+// every rejection must be one of the package's typed sentinels, and every
+// ACCEPTED input must be canonical — it re-encodes to exactly itself, so no
+// two distinct byte images decode to the same state and no slack bytes hide
+// inside a valid snapshot. The checked-in corpus under
+// testdata/fuzz/FuzzSnapshotLoad seeds real engine checkpoints (taken via
+// core.Checkpoint on populated sim caches), so mutation starts from deep
+// inside the valid format rather than bouncing off the magic check.
+func FuzzSnapshotLoad(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(magic))
+	valid := Encode(sampleFile())
+	f.Add(valid)
+	for _, cut := range []int{headerSize - 1, headerSize, headerSize + sectionHdrSize, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			if !isTypedDecodeErr(err) {
+				t.Fatalf("untyped Decode error: %v", err)
+			}
+			return
+		}
+		if again := Encode(decoded); !bytes.Equal(again, data) {
+			t.Fatalf("accepted image is not canonical: re-encode differs at byte %d of %d", firstDiff(data, again), len(data))
+		}
+	})
+}

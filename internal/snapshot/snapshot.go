@@ -1,0 +1,225 @@
+// Package snapshot defines the NEMO1 warm-restart checkpoint: an index-only,
+// mmap-friendly image of the per-shard Set-Group metadata — the flashSG
+// directory, unsealed Bloom filters, PBFG index-cache contents, zone
+// free-list order, epoch counters, and the buffered in-memory SGs — that
+// lets a cleanly restarted engine adopt its on-flash state without replaying
+// anything. The format follows the FMC1 school of crash-safe metadata:
+// magic + version header, fixed-layout little-endian sections each guarded
+// by its own CRC, a whole-file CRC footer, single-writer full rewrite, and
+// strictly throwaway semantics — a snapshot that fails any validation step
+// is worth nothing, the engine cold-formats, and no partial content is ever
+// trusted.
+//
+// # Layout
+//
+// A snapshot is one contiguous byte image:
+//
+//	header (64 bytes)
+//	  magic "NEMO1\x00\x00\x00"          [8]
+//	  version                      u32  (currently 1)
+//	  pageSize, pagesPerZone, zones u32 ×3 (device geometry)
+//	  boot, writes                 u64  ×2 (device.Generation stamp)
+//	  shardCount                   u32
+//	  totalLen                     u64  (whole-image length, header included)
+//	  reserved                     zeros to byte 64
+//	section × (1 + 6·shardCount + 1)
+//	  kind u32 | len u32 | crc32(payload) u32 | payload
+//
+// Sections appear in a fixed order — CONFIG once, then META, FREELISTS,
+// GROUPS, MEMQ, ICACHE, FLUSHLOG for each shard in shard order, then a
+// FOOTER whose 4-byte payload is the CRC32 of every preceding byte. All
+// integers are little-endian; signed values are two's-complement 64-bit,
+// floats are IEEE-754 bit patterns, booleans are a single 0/1 byte.
+//
+// Decoding is canonical: every accepted byte image re-encodes to exactly
+// itself (the fuzz corpus pins Encode(Decode(b)) == b), which rules out
+// slack bytes, over-long sections, non-binary booleans, and any other
+// ambiguity an attacker or a torn write could hide in.
+//
+// # Validation and trust
+//
+// Decode validates structure only (magic, version, framing, CRCs, canonical
+// encoding) and returns typed errors — ErrTruncated, ErrMagic, ErrVersion,
+// ErrChecksum, ErrCorrupt — for every defect. Semantic validation against a
+// live device and configuration (geometry match, generation-stamp equality,
+// zone-partition and write-pointer cross-checks) happens in internal/core's
+// restore path, which reports ErrGeometry, ErrStale, or ErrConfig. Either
+// way the failure mode is identical: the engine ignores the snapshot and
+// cold-formats. Snapshots carry no cache data — object bytes live on flash —
+// so losing one costs a cold start, never correctness.
+package snapshot
+
+// File is the in-memory form of one NEMO1 snapshot: the device identity it
+// was taken against and every shard's metadata.
+type File struct {
+	// Device geometry at checkpoint time. Restore requires an exact match.
+	PageSize     int
+	PagesPerZone int
+	Zones        int
+
+	// Generation stamp (device.Generation) sampled after the checkpointed
+	// state was captured. Restore requires exact equality with the live
+	// device — any append or reset in between invalidates the snapshot.
+	Boot   uint64
+	Writes uint64
+
+	// Config is the engine configuration stamp; restore requires an exact
+	// match so the snapshot's zone layout and sizing are known-compatible.
+	Config ConfigStamp
+
+	// Shards holds one entry per engine shard, in shard order.
+	Shards []Shard
+}
+
+// ConfigStamp mirrors core.Config minus the runtime-only fields (Device,
+// Flushers, SnapshotPath): everything that shapes the on-flash layout or
+// the meaning of the checkpointed state. A reflection test in core pins the
+// two structs field-for-field.
+type ConfigStamp struct {
+	DataZones         int
+	Shards            int
+	ZoneOffset        int
+	ZonesPerSG        int
+	InMemSGs          int
+	FlushThreshold    int
+	RearFullRatio     float64
+	SGsPerIndexGroup  int
+	BloomFPR          float64
+	TargetObjsPerSet  int
+	CachedPBFGRatio   float64
+	HotTrackTailRatio float64
+	CoolingWriteRatio float64
+	BufferedSGs       bool
+	DelayedFlush      bool
+	Writeback         bool
+}
+
+// Shard is one engine shard's complete metadata: epoch counters, statistics,
+// free lists, the index-group/SG directory, buffered in-memory SGs, and the
+// PBFG index-cache state.
+type Shard struct {
+	NextSGID       uint64
+	NextGroup      int
+	SacCount       int
+	BytesSinceCool uint64
+
+	// Index-cache counters; ICDroppedUpTo is the dead-group watermark and
+	// may be -1 (nothing dropped yet).
+	ICLookups     uint64
+	ICMisses      uint64
+	ICDroppedUpTo int
+
+	Stats Counters
+	Extra Extra
+
+	// Free lists in pop order (last element pops first).
+	FreeDataZones  []int
+	FreeIndexZones []int
+
+	// Groups in creation order; the live SG pool is derived from them (live
+	// members in traversal order), so it is not stored separately.
+	Groups []Group
+
+	// MemQ is the buffered in-memory SG queue, front first, each set
+	// serialized as its full page image. Keeping the buffers in the
+	// snapshot is a deliberate, bounded (InMemSGs × SG bytes per shard)
+	// deviation from a purely index-only checkpoint: flushing them at
+	// checkpoint time would perturb every write-side statistic, and the
+	// warm-restart contract is that a checkpointed-and-restored run is
+	// stat-for-stat identical to an uninterrupted one.
+	MemQ []MemSG
+
+	// ICQueue is the PBFG index-cache FIFO from oldest to newest; ICPages
+	// lists which of those keys had a cached page (the page bytes are
+	// re-read from flash on restore, so the snapshot stays index-only).
+	ICQueue []PBFGRef
+	ICPages []PBFGRef
+
+	FlushLog []FlushRec
+}
+
+// Group mirrors core's idxGroup: one PBFG index group and its member SGs in
+// slot order.
+type Group struct {
+	ID        int
+	Sealed    bool
+	LiveCount int
+	// Zones holds the sealed group's index zones; nil while unsealed.
+	Zones   []int
+	Members []SG
+	// SlotBF holds the unsealed group's in-memory Bloom filters, one slice
+	// per member (setsPerSG filters concatenated); nil once sealed.
+	SlotBF [][]byte
+}
+
+// SG mirrors core's flashSG: one immutable on-flash Set-Group.
+type SG struct {
+	ID       uint64
+	Slot     int
+	Dead     bool
+	ObjCount int
+	Fill     float64
+	// Zones holds the SG's data zones; nil for dead SGs (already reset).
+	Zones     []int
+	SetCounts []uint16
+	// Bits is the 1-bit hotness bitmap; nil when never allocated (the
+	// distinction matters — core allocates it lazily).
+	Bits []uint64
+}
+
+// MemSG is one buffered in-memory SG: accounting plus every set's page
+// image (setblock serialization, zero-padded to the page size).
+type MemSG struct {
+	NewBytes uint64
+	WBBytes  uint64
+	NewObjs  int
+	WBObjs   int
+	Sets     [][]byte
+}
+
+// PBFGRef names one PBFG page: set offset Set of index group Group.
+type PBFGRef struct {
+	Group int
+	Set   int
+}
+
+// Counters mirrors cachelib.Stats field-for-field (pinned by a reflection
+// test in core) without importing it, keeping this package dependency-free.
+type Counters struct {
+	Gets               uint64
+	Hits               uint64
+	Sets               uint64
+	Deletes            uint64
+	LogicalBytes       uint64
+	FlashBytesWritten  uint64
+	DeviceBytesWritten uint64
+	FlashBytesRead     uint64
+	FlashReadOps       uint64
+	ReadErrors         uint64
+	WriteErrors        uint64
+	Evictions          uint64
+}
+
+// Extra mirrors core.NemoStats field-for-field (same reflection pin).
+type Extra struct {
+	SGsFlushed          uint64
+	FillSum             float64
+	NewBytes            uint64
+	WriteBackBytes      uint64
+	WriteBackObjs       uint64
+	Sacrificed          uint64
+	DataBytesWritten    uint64
+	IndexBytesWritten   uint64
+	FalsePositiveReads  uint64
+	CoolingRuns         uint64
+	FlushRecordsDropped uint64
+}
+
+// FlushRec mirrors core.FlushRecord.
+type FlushRec struct {
+	Fill     float64
+	NewObjs  int
+	WBObjs   int
+	NewBytes uint64
+	WBBytes  uint64
+}

@@ -52,9 +52,11 @@ type Clock = vtime.Clock
 // NewDevice creates a simulated device.
 func NewDevice(cfg DeviceConfig) *SimDevice { return flashsim.New(cfg) }
 
-// OpenFileDevice opens (or creates) a file-backed device. The image is
-// always reformatted — every zone's write pointer rebuilds to zero — and
-// the caller closes the device when done (engines never do).
+// OpenFileDevice opens (or creates) a file-backed device. By default the
+// image is reformatted — every zone's write pointer rebuilds to zero;
+// FileDeviceConfig.Persist instead restores a cleanly closed image from its
+// superblock (the warm-restart path, paired with Config.SnapshotPath). The
+// caller closes the device when done (engines never do).
 func OpenFileDevice(cfg FileDeviceConfig) (*FileDevice, error) { return filedev.Open(cfg) }
 
 // Cache is a Nemo flash cache (the paper's contribution).
