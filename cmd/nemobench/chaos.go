@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nemo/internal/backend"
+	"nemo/internal/chaos"
+)
+
+// chaosOptions carries the -chaos flag set.
+type chaosOptions struct {
+	scenarios string       // comma-separated scenario names, or "all"
+	seed      int64        // fault-plan seed
+	shards    int          // engine shards
+	flushers  int          // background flushers (async mode)
+	async     bool         // serve SETs via SetAsync + flusher pool
+	conns     int          // client connections
+	ops       int          // total requests per scenario
+	pipeline  int          // requests per pipelined batch
+	device    backend.Spec // device backend the scenarios run on
+	jsonPath  string       // machine-readable output path
+}
+
+// runChaos drives the chaos harness: for each requested scenario, serve a
+// breaker-enabled engine over loopback, inject the scenario's fault plan
+// under load, heal, and verify the stack recovers on its own — printing
+// the availability table and writing BENCH_chaos.json.
+func runChaos(out io.Writer, o chaosOptions) error {
+	var scens []chaos.Scenario
+	if o.scenarios == "" || o.scenarios == "all" {
+		scens = chaos.Scenarios()
+	} else {
+		for _, name := range strings.Split(o.scenarios, ",") {
+			s, err := chaos.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			scens = append(scens, s)
+		}
+	}
+
+	var results []chaos.Result
+	fmt.Fprintf(out, "%-14s %-7s %-8s %-7s %-7s %-9s %-8s %-9s %-9s %-8s\n",
+		"scenario", "ops", "avail", "sheds", "errs", "degraded", "deg_s", "recover", "injected", "retries")
+	for _, s := range scens {
+		flushers := 0
+		if o.async {
+			flushers = o.flushers
+		}
+		res, err := chaos.Run(chaos.Config{
+			Scenario: s,
+			Seed:     uint64(o.seed),
+			Device:   o.device,
+			Shards:   o.shards,
+			Flushers: flushers,
+			SyncSet:  !o.async,
+			Conns:    o.conns,
+			Ops:      o.ops,
+			Pipeline: o.pipeline,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "%-14s %-7d %-8.4f %-7d %-7d %-9d %-8d %-9.3f %-9d %-8d\n",
+			res.Scenario, res.Ops, res.Availability, res.DegradedSheds, res.OtherErrors,
+			res.DegradedEntered, res.DegradedSeconds, res.RecoverySecs,
+			res.InjectedWrites+res.InjectedReads, res.WriteRetries)
+	}
+
+	if o.jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.jsonPath)
+	}
+	return nil
+}

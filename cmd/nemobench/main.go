@@ -15,6 +15,9 @@
 //	nemobench -setbench [-shards 1,8] [-ops N] [-flushers K] [-json BENCH_set.json]
 //	nemobench -servebench [-shards 1,8] [-conns K] [-pipeline P] [-ops N]
 //	          [-flushers K] [-json BENCH_serve.json]
+//	nemobench -chaos [-scenario write-outage,flaky-writes|all] [-shards 2]
+//	          [-conns K] [-ops N] [-async -flushers K] [-seed S]
+//	          [-device file:<path>] [-json BENCH_chaos.json]
 //	nemobench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -replay runs the parallel trace-replay benchmark: the same materialized
@@ -52,6 +55,14 @@
 // sync-set and async (SetAsync + -flushers pool) mode per shard count. The
 // table and BENCH_serve.json report whole-stack ops/s and batch round-trip
 // get/set p50/p99 — the network-path extension of the BENCH trajectory.
+//
+// -chaos runs the fault-injection harness: each named scenario (a seeded
+// device fault plan — error rates, added latency, fail-N-then-recover,
+// per-zone kills) is armed against a breaker-enabled engine serving real
+// loopback clients. The table and BENCH_chaos.json report availability
+// (served ops %), degraded sheds, breaker trips and degraded-window
+// seconds, and the measured heal-to-recovery time; a scenario the stack
+// cannot recover from fails the run.
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records reference output.
@@ -97,6 +108,8 @@ func run() int {
 		getbench  = flag.Bool("getbench", false, "run the parallel GET-path benchmark")
 		setbench  = flag.Bool("setbench", false, "run the parallel SET-path (flush pipeline) benchmark")
 		srvbench  = flag.Bool("servebench", false, "run the end-to-end serving-layer (loopback memcached protocol) benchmark")
+		chaosRun  = flag.Bool("chaos", false, "run the chaos-injection harness: fault scenarios against the breaker-enabled serving stack")
+		scenarios = flag.String("scenario", "write-outage", "-chaos: comma-separated scenario names, or all (write-outage, flaky-writes, slow-reads, zone-kill)")
 		conns     = flag.Int("conns", 4, "-servebench: client connections")
 		pipelineN = flag.Int("pipeline", 8, "-servebench: requests per pipelined batch")
 		deviceStr = flag.String("device", "sim", "device backend for -replay/-compare/-getbench/-setbench/-servebench: sim, or file:<path> (file-backed real device, measured latencies)")
@@ -181,6 +194,37 @@ func run() int {
 			device:    deviceSpec,
 			jsonPath:  path,
 			snapshot:  *snapshot,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *chaosRun {
+		path := *jsonOut
+		if !jsonExplicit {
+			path = "BENCH_chaos.json"
+		}
+		// -shards is a list flag shared with the other benches; chaos runs
+		// one engine per scenario, so it takes the first count.
+		shardCounts, err := parseShardList(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		err = runChaos(os.Stdout, chaosOptions{
+			scenarios: *scenarios,
+			seed:      *seed,
+			shards:    shardCounts[0],
+			flushers:  *flushers,
+			async:     *async,
+			conns:     *conns,
+			ops:       *ops,
+			pipeline:  *pipelineN,
+			device:    deviceSpec,
+			jsonPath:  path,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

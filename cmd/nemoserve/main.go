@@ -6,6 +6,9 @@
 //
 //	nemoserve [-addr 127.0.0.1:11211] [-shards 8] [-zones 48]
 //	          [-flushers 2] [-sync-set] [-max-batch 64]
+//	          [-max-conns 0] [-reject-busy] [-idle-timeout 0] [-read-timeout 0]
+//	          [-degraded-threshold 3] [-degraded-probe 1s]
+//	          [-write-retries 2] [-retry-backoff 2ms]
 //	          [-device sim|file:<path>]
 //	          [-snapshot <path>] [-snapshot-every 30s]
 //
@@ -16,6 +19,22 @@
 // the graceful drain (stop accepting, answer in-flight batches, Drain the
 // engine) before exit. `nemobench -servebench` drives the same serving
 // stack over loopback and records the BENCH_serve.json baseline.
+//
+// Overload protection: -max-conns caps concurrent connections (0 =
+// unlimited) — excess dials park in the accept queue, or are answered
+// `SERVER_ERROR busy` and closed with -reject-busy. -idle-timeout drops
+// connections with no new request batch; -read-timeout bounds each read
+// inside a request (the slow-loris defense).
+//
+// The device-fault circuit breaker is ON by default in nemoserve
+// (-degraded-threshold 3): that many consecutive flush failures flip the
+// affected shard to read-only degraded mode — SETs and DELETEs answer
+// `SERVER_ERROR degraded`, GETs keep serving — and every -degraded-probe
+// of device time one probe write is admitted to test recovery. Set
+// -degraded-threshold 0 to disable. -write-retries/-retry-backoff bound
+// in-place append retries beneath the breaker. SIGQUIT dumps the server
+// counters and each shard's breaker state to stderr without disturbing
+// service.
 //
 // -snapshot enables warm restart: the device is opened persistently (file
 // backend; the simulator is volatile, so every sim restart is cold), boot
@@ -28,6 +47,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -45,6 +65,25 @@ func main() {
 	os.Exit(run())
 }
 
+// dumpHealth writes the on-demand SIGQUIT health report: the server's
+// protocol counters followed by every shard's breaker snapshot. Purely
+// observational — service continues undisturbed.
+func dumpHealth(w io.Writer, srv *server.Server, cache *core.Sharded) {
+	fmt.Fprintf(w, "nemoserve: health dump (%s)\n", time.Now().Format(time.RFC3339))
+	for _, f := range srv.Fields() {
+		fmt.Fprintf(w, "  server %-22s %d\n", f.Name, f.Value)
+	}
+	for _, h := range cache.Health() {
+		line := fmt.Sprintf("  shard %d: %s fails=%d degraded_entered=%d degraded=%s retries=%d",
+			h.Shard, h.State, h.ConsecutiveFails, h.DegradedEntered,
+			h.Degraded.Truncate(time.Millisecond), h.WriteRetries)
+		if h.LastWriteErr != "" {
+			line += fmt.Sprintf(" last_err=%q", h.LastWriteErr)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
 func run() int {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
@@ -53,6 +92,14 @@ func run() int {
 		flushers  = flag.Int("flushers", 2, "background flusher goroutines (async SETs)")
 		syncSet   = flag.Bool("sync-set", false, "serve SETs through the synchronous path")
 		maxBatch  = flag.Int("max-batch", 64, "pipelined requests coalesced per engine round")
+		maxConns  = flag.Int("max-conns", 0, "max concurrent connections (0 = unlimited)")
+		rejBusy   = flag.Bool("reject-busy", false, "answer SERVER_ERROR busy at the cap instead of parking accepts")
+		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle between request batches this long (0 = never)")
+		readTO    = flag.Duration("read-timeout", 0, "per-read deadline inside a request, the slow-loris bound (0 = none)")
+		degThresh = flag.Int("degraded-threshold", 3, "consecutive flush failures that trip a shard read-only (0 = breaker off)")
+		degProbe  = flag.Duration("degraded-probe", time.Second, "device-clock interval between recovery probes while degraded")
+		wrRetries = flag.Int("write-retries", 2, "in-place retries of a failed page append (0 = none)")
+		wrBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base delay between append retries, doubling per attempt")
 		devStr    = flag.String("device", "sim", "device backend: sim, or file:<path> (file-backed real device)")
 		snapPath  = flag.String("snapshot", "", "warm-restart snapshot path (restore on boot, checkpoint on drain)")
 		snapEvery = flag.Duration("snapshot-every", 0, "periodic checkpoint interval (0 = only on drain; needs -snapshot)")
@@ -90,6 +137,10 @@ func run() int {
 	cfg.Shards = *shards
 	cfg.Flushers = *flushers
 	cfg.SnapshotPath = *snapPath
+	cfg.BreakerThreshold = *degThresh
+	cfg.BreakerProbeAfter = *degProbe
+	cfg.WriteRetries = *wrRetries
+	cfg.RetryBackoff = *wrBackoff
 	bootStart := time.Now()
 	cache, err := core.NewSharded(cfg)
 	if err != nil {
@@ -111,9 +162,13 @@ func run() int {
 	}
 
 	srv, err := server.New(server.Config{
-		Engine:   cache,
-		SyncSet:  *syncSet,
-		MaxBatch: *maxBatch,
+		Engine:      cache,
+		SyncSet:     *syncSet,
+		MaxBatch:    *maxBatch,
+		MaxConns:    *maxConns,
+		RejectBusy:  *rejBusy,
+		IdleTimeout: *idleTO,
+		ReadTimeout: *readTO,
 		// Exactly the engine's per-object capacity: key + stored value
 		// (data plus the item envelope) must fit one set page.
 		MaxItemBytes: pageSize - setblock.HeaderSize - setblock.EntryOverhead,
@@ -133,6 +188,13 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			dumpHealth(os.Stderr, srv, cache)
+		}
+	}()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 

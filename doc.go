@@ -174,6 +174,58 @@
 // exactly, and graceful-drain tests including a blockable write fault
 // released mid-shutdown.
 //
+// # Failure domains and degraded mode
+//
+// The serving stack separates its failure domains: a misbehaving client, a
+// saturating connection load, and a failing flash device each hit a
+// dedicated mechanism instead of a shared fate.
+//
+// Client and load faults are the server's. Config.MaxConns caps concurrent
+// connections — beyond it new dials park in the accept queue
+// (backpressure), or with Config.RejectBusy are answered `SERVER_ERROR
+// busy` and closed. Config.IdleTimeout drops connections that stop issuing
+// request batches; Config.ReadTimeout bounds every read inside a request,
+// so a client that trickles a header or stalls mid-value (the slow loris)
+// is cut off without a goroutine leaking per stall. The two disconnect
+// kinds are accounted separately (idle_disconnects, deadline_disconnects,
+// plus conns_rejected, in the `stats` verb), and Config.MaxBatchBytes
+// bounds how many inbound value bytes one connection can buffer regardless
+// of pipeline depth.
+//
+// Device faults are the engine's. Every write failure already recovers
+// locally (the flush-error contract above); Config.WriteRetries adds a
+// bounded in-place retry with exponential Config.RetryBackoff beneath
+// that, absorbing transient append errors (counted in Stats.WriteRetries).
+// Sustained failure trips the per-shard circuit breaker:
+// Config.BreakerThreshold consecutive flush failures flip that shard —
+// and only that shard — into read-only degraded mode. While degraded,
+// writes fail fast with ErrDegraded (the serving layer answers
+// `SERVER_ERROR degraded`) instead of queueing doomed flushes, and GETs
+// keep serving everything already on flash or in memory. Every
+// Config.BreakerProbeAfter of device time the breaker goes half-open and
+// admits exactly one probe write, whose flush runs synchronously: success
+// closes the breaker, failure re-opens it for another interval. The
+// episode is visible in Stats (BreakerOpen, DegradedEntered,
+// DegradedSeconds, DegradedRejects) and per shard via Health. The breaker
+// is off by default in the library (BreakerThreshold 0 — every
+// determinism pin runs unchanged) and on by default in nemoserve
+// (-degraded-threshold 3; SIGQUIT dumps the server counters and each
+// shard's breaker state).
+//
+// The chaos harness proves the two domains compose. device.FaultPlan is a
+// seeded, deterministic fault schedule (error rates, fail-N-then-recover,
+// per-zone kills, added latency) armed over the SetReadFault/SetWriteFault
+// hooks of either backend; `nemobench -chaos` serves a breaker-enabled
+// engine over loopback, injects a named scenario under client load, heals
+// the device, and fails the run unless the stack recovers on its own —
+// reporting availability, typed degraded sheds, and recovery time
+// (BENCH_chaos.json in CI). The acceptance pin: a total 30-second write
+// outage with 100% GET availability, typed SET sheds, and automatic
+// half-open recovery. Checkpoint crashes get the same treatment — a save
+// killed between temp-file write and rename leaves the previous snapshot
+// intact plus an inert .tmp dropping, and the next boot warm-restarts
+// past both (torture-tested in-process and with kill -9 in CI).
+//
 // # The device contract
 //
 // Engines never see a concrete device type: internal/device defines the

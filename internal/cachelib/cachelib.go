@@ -7,10 +7,21 @@
 package cachelib
 
 import (
+	"errors"
 	"time"
 
 	"nemo/internal/metrics"
 )
+
+// ErrDegraded is returned by the write path (Set/SetAsync/SetMany/Delete)
+// while an engine's device-fault circuit breaker is open: sustained write
+// failures have tripped the shard into read-only degraded mode. GETs keep
+// serving from memory and flash; writes are rejected cheaply — no
+// insertion, no flush attempt — until a half-open probe proves the device
+// healthy again. Serving surfaces map it to a dedicated protocol error
+// (`SERVER_ERROR degraded`) so clients can tell "cache degraded" from
+// "request malformed".
+var ErrDegraded = errors.New("degraded: write path unhealthy, shard is read-only")
 
 // Engine is the minimal flash cache engine contract. Implementations are
 // safe for concurrent use unless documented otherwise; the serial replayer
@@ -74,6 +85,24 @@ type Stats struct {
 	WriteErrors uint64
 	// Evictions counts objects dropped from the cache.
 	Evictions uint64
+	// WriteRetries counts transient append failures absorbed by the bounded
+	// retry-with-backoff loop (Config.WriteRetries) before they could count
+	// against WriteErrors or the circuit breaker.
+	WriteRetries uint64
+	// DegradedRejects counts write operations rejected with ErrDegraded
+	// while the device-fault circuit breaker was open.
+	DegradedRejects uint64
+	// DegradedEntered counts degraded windows: transitions of the breaker
+	// from closed to open. A failed half-open probe re-opens the breaker but
+	// continues the same window, so it does not increment this.
+	DegradedEntered uint64
+	// DegradedSeconds is the cumulative time spent degraded (breaker open or
+	// half-open), in whole seconds, including the current window if one is in
+	// progress. Summed across shards it is shard-seconds.
+	DegradedSeconds uint64
+	// BreakerOpen is a gauge: the number of shards whose breaker is
+	// currently not closed (0 for a single healthy shard, up to Shards).
+	BreakerOpen uint64
 }
 
 // Add returns the field-wise sum s + o, for aggregating per-shard counters.
@@ -91,6 +120,11 @@ func (s Stats) Add(o Stats) Stats {
 		ReadErrors:         s.ReadErrors + o.ReadErrors,
 		WriteErrors:        s.WriteErrors + o.WriteErrors,
 		Evictions:          s.Evictions + o.Evictions,
+		WriteRetries:       s.WriteRetries + o.WriteRetries,
+		DegradedRejects:    s.DegradedRejects + o.DegradedRejects,
+		DegradedEntered:    s.DegradedEntered + o.DegradedEntered,
+		DegradedSeconds:    s.DegradedSeconds + o.DegradedSeconds,
+		BreakerOpen:        s.BreakerOpen + o.BreakerOpen,
 	}
 }
 
@@ -119,6 +153,11 @@ func (s Stats) Fields() []Field {
 		{"read_errors", s.ReadErrors},
 		{"write_errors", s.WriteErrors},
 		{"evictions", s.Evictions},
+		{"write_retries", s.WriteRetries},
+		{"degraded_rejects", s.DegradedRejects},
+		{"degraded_entered", s.DegradedEntered},
+		{"degraded_seconds", s.DegradedSeconds},
+		{"breaker_open", s.BreakerOpen},
 	}
 }
 

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"nemo/internal/device"
 )
@@ -103,6 +104,31 @@ type Config struct {
 
 	// Writeback enables technique W (hotness-aware writeback on eviction).
 	Writeback bool
+
+	// BreakerThreshold enables the per-shard device-fault circuit breaker
+	// (health.go): this many consecutive write-path (flush) failures trip
+	// the shard into read-only degraded mode, where SETs and DELETEs are
+	// rejected cheaply with cachelib.ErrDegraded while GETs keep serving.
+	// 0 (the default) disables the breaker entirely — the historical
+	// behavior, and what every equivalence/determinism pin runs under.
+	BreakerThreshold int
+
+	// BreakerProbeAfter is how long (on the device clock) an open breaker
+	// waits before admitting a half-open probe write. Defaults to 1s when
+	// the breaker is enabled and this is zero.
+	BreakerProbeAfter time.Duration
+
+	// WriteRetries bounds in-place retries of a failed page append before
+	// the flush fails (and, with the breaker enabled, the failure counts
+	// against BreakerThreshold). Failed appends mutate no device state, so
+	// retrying is safe on every backend; absorbed retries are counted in
+	// Stats.WriteRetries. 0 (the default) disables retrying.
+	WriteRetries int
+
+	// RetryBackoff is the base delay between append retries, doubling per
+	// attempt (real sleep on wall-clock backends, a clock advance on the
+	// virtual-time simulator). 0 retries immediately.
+	RetryBackoff time.Duration
 
 	// SnapshotPath, when non-empty, enables warm restart (internal/snapshot):
 	// New/NewSharded attempt to adopt the NEMO1 snapshot at this path —
@@ -217,6 +243,18 @@ func (c Config) validate() error {
 	}
 	if c.CoolingWriteRatio <= 0 {
 		return fmt.Errorf("core: CoolingWriteRatio %v must be positive", c.CoolingWriteRatio)
+	}
+	if c.BreakerThreshold < 0 {
+		return fmt.Errorf("core: BreakerThreshold %d must be non-negative", c.BreakerThreshold)
+	}
+	if c.BreakerProbeAfter < 0 {
+		return fmt.Errorf("core: BreakerProbeAfter %v must be non-negative", c.BreakerProbeAfter)
+	}
+	if c.WriteRetries < 0 {
+		return fmt.Errorf("core: WriteRetries %d must be non-negative", c.WriteRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("core: RetryBackoff %v must be non-negative", c.RetryBackoff)
 	}
 	need := c.DataZones + c.IndexZones()
 	if c.ZoneOffset+need > c.Device.Zones() {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
@@ -95,6 +97,12 @@ type Cache struct {
 	ownFlusher   bool
 	flushPending bool
 
+	// Device-fault circuit breaker (health.go), guarded by mu and timed on
+	// the device clock; retries is the atomic transient-append-retry counter
+	// (incremented unlocked in the build phase, folded into Stats on read).
+	brk     breaker
+	retries atomic.Uint64
+
 	// Warm-restart outcome, fixed at New time (see RestoreOutcome): whether
 	// Config.SnapshotPath was adopted, and the typed reason when a snapshot
 	// existed but was refused.
@@ -116,6 +124,9 @@ func New(cfg Config) (*Cache, error) {
 	}
 	if !cfg.BufferedSGs {
 		cfg.InMemSGs = 1
+	}
+	if cfg.BreakerThreshold > 0 && cfg.BreakerProbeAfter == 0 {
+		cfg.BreakerProbeAfter = time.Second
 	}
 	c := &Cache{
 		cfg:       cfg,
@@ -260,6 +271,23 @@ func (c *Cache) setLocked(fp uint64, key, value []byte, async bool) error {
 		return fmt.Errorf("core: object of %d bytes exceeds set size %d", need, c.pageSize)
 	}
 	o := c.setOf(fp)
+	probe, derr := c.breakerAllowWriteLocked()
+	if derr != nil {
+		return derr
+	}
+	if probe {
+		// The half-open probe flushes inline even on the SetAsync path, so
+		// the device verdict the breaker acts on is real, not deferred.
+		async = false
+	}
+	err := c.setBodyLocked(fp, key, value, o, async)
+	c.breakerWriteDoneLocked(probe, err)
+	return err
+}
+
+// setBodyLocked is the insert body behind the breaker gate: placement,
+// counters, and the rear-full flush trigger.
+func (c *Cache) setBodyLocked(fp uint64, key, value []byte, o int, async bool) error {
 	if err := c.placeLocked(fp, key, value, o, insNew, async); err != nil {
 		return err
 	}
@@ -300,6 +328,19 @@ func (c *Cache) Delete(key []byte) error {
 }
 
 func (c *Cache) deleteLocked(fp uint64, key []byte) error {
+	// Deletes are writes too (a tombstone may trigger a flush), so the
+	// degraded shard rejects them with the sets; letting them through would
+	// skew toward data loss exactly when the device is least trustworthy.
+	probe, derr := c.breakerAllowWriteLocked()
+	if derr != nil {
+		return derr
+	}
+	err := c.deleteBodyLocked(fp, key)
+	c.breakerWriteDoneLocked(probe, err)
+	return err
+}
+
+func (c *Cache) deleteBodyLocked(fp uint64, key []byte) error {
 	o := c.setOf(fp)
 	c.stats.Deletes++
 	for _, sg := range c.memq {

@@ -504,9 +504,20 @@ func TestSnapshotMirrorsEngineTypes(t *testing.T) {
 		core, snap reflect.Type
 		skip       map[string]bool
 	}{
+		// Skipped Config fields are runtime knobs that shape no on-flash
+		// layout or checkpointed state: the device handle, the flusher pool,
+		// the snapshot path itself, and the breaker/retry health settings.
 		{"ConfigStamp", reflect.TypeOf(Config{}), reflect.TypeOf(snapshot.ConfigStamp{}),
-			map[string]bool{"Device": true, "Flushers": true, "SnapshotPath": true}},
-		{"Counters", reflect.TypeOf(cachelib.Stats{}), reflect.TypeOf(snapshot.Counters{}), nil},
+			map[string]bool{"Device": true, "Flushers": true, "SnapshotPath": true,
+				"BreakerThreshold": true, "BreakerProbeAfter": true,
+				"WriteRetries": true, "RetryBackoff": true}},
+		// Skipped Stats fields are ephemeral device-health accounting
+		// (health.go): a restarted process starts with a closed breaker and
+		// zero retry history by design, so they are deliberately not
+		// checkpointed.
+		{"Counters", reflect.TypeOf(cachelib.Stats{}), reflect.TypeOf(snapshot.Counters{}),
+			map[string]bool{"WriteRetries": true, "DegradedRejects": true,
+				"DegradedEntered": true, "DegradedSeconds": true, "BreakerOpen": true}},
 		{"Extra", reflect.TypeOf(NemoStats{}), reflect.TypeOf(snapshot.Extra{}), nil},
 		{"FlushRec", reflect.TypeOf(FlushRecord{}), reflect.TypeOf(snapshot.FlushRec{}), nil},
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"nemo/internal/bloom"
 	"nemo/internal/cachelib"
 	"nemo/internal/metrics"
@@ -97,11 +99,20 @@ func (c *Cache) Extra() NemoStats {
 	return c.extra
 }
 
-// Stats implements cachelib.Engine.
+// Stats implements cachelib.Engine. The breaker-derived fields are computed
+// live: WriteRetries from the unlocked atomic counter, DegradedSeconds from
+// the device clock (the in-progress window included), BreakerOpen as a
+// 0/1 gauge of this shard's breaker position.
 func (c *Cache) Stats() cachelib.Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	s.WriteRetries = c.retries.Load()
+	s.DegradedSeconds = uint64(c.breakerDegradedLocked() / time.Second)
+	if c.brk.state != BreakerClosed {
+		s.BreakerOpen = 1
+	}
+	return s
 }
 
 // mergeLatencyInto folds this cache's latency histogram into h under the

@@ -262,6 +262,9 @@ func (c *Cache) flushOwner() error {
 		c.coolLocked()
 		c.bytesSinceCool = 0
 	}
+	// A committed flush is proof the device writes: end any failure run and
+	// close a degraded window (health.go).
+	c.breakerFlushOKLocked()
 	return nil
 }
 
@@ -464,7 +467,7 @@ func (c *Cache) buildAndAppend(ev *evictPlan, front *memSG, sg *flashSG, zones, 
 	bfs := make([]byte, c.setsPerSG*c.bfBytes)
 	for o, blk := range front.sets {
 		sc.pageBuf = blk.AppendTo(sc.pageBuf[:0])
-		if _, _, err := c.dev.AppendPage(zones[o/ppz], sc.pageBuf); err != nil {
+		if _, _, err := c.appendPageRetry(zones[o/ppz], sc.pageBuf); err != nil {
 			return nil, fmt.Errorf("core: flushing SG: %w", err)
 		}
 		sg.setCounts[o] = uint16(blk.Count())
@@ -486,7 +489,7 @@ func (c *Cache) buildAndAppend(ev *evictPlan, front *memSG, sg *flashSG, zones, 
 			}
 			page = append(page, bfs[o*c.bfBytes:(o+1)*c.bfBytes]...)
 			sc.pageBuf = page
-			if _, _, err := c.dev.AppendPage(idxZones[o/ppz], page); err != nil {
+			if _, _, err := c.appendPageRetry(idxZones[o/ppz], page); err != nil {
 				return nil, fmt.Errorf("core: sealing index group: %w", err)
 			}
 		}
@@ -510,6 +513,7 @@ func (c *Cache) recoverFailedFlushLocked(ev *evictPlan, front *memSG, zones, idx
 	// zone-exhaustion errors — configuration conditions, not hardware —
 	// return before recovery and are deliberately NOT counted here.
 	c.stats.WriteErrors++
+	c.breakerFlushFailedLocked(cause)
 	return cause
 }
 

@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"net"
 	"strconv"
+	"time"
+
+	"nemo/internal/cachelib"
 )
 
 // This file is the per-connection handler: a read loop that accumulates
@@ -20,6 +24,12 @@ import (
 // readBufSize bounds both the bufio reader (and therefore the longest
 // acceptable request line) and the reply writer.
 const readBufSize = 16 << 10
+
+// valRetainBytes bounds the per-slot value buffer kept across batches: a
+// slot that buffered a larger set gives the storage back after the batch,
+// so one burst of big objects does not pin its high-water heap on every
+// idle connection forever.
+const valRetainBytes = 16 << 10
 
 // errClass classifies a request that failed before reaching the engine.
 type errClass uint8
@@ -57,6 +67,16 @@ func (o *op) setKeys(src [][]byte) {
 	}
 }
 
+// size is the op's contribution to the batch byte budget: buffered value
+// plus owned key bytes.
+func (o *op) size() int {
+	n := len(o.val)
+	for i := 0; i < o.nkeys; i++ {
+		n += len(o.keys[i])
+	}
+	return n
+}
+
 // conn is the per-connection state.
 type conn struct {
 	srv *Server
@@ -72,6 +92,11 @@ type conn struct {
 	setKeys [][]byte // SetMany gather scratch
 	setVals [][]byte
 	num     [20]byte // strconv scratch
+
+	// midRequest is true once any byte of the current request has been
+	// consumed; it classifies a read timeout as an idle disconnect (false)
+	// or a slow-sender deadline disconnect (true).
+	midRequest bool
 }
 
 // serveConn runs one connection to completion.
@@ -90,18 +115,28 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 	for {
 		c.nops = 0
+		c.midRequest = false
+		// Arm the between-requests idle budget (or clear a leftover
+		// mid-request deadline when only ReadTimeout is configured).
+		if s.cfg.IdleTimeout > 0 {
+			s.setReadDeadline(nc, time.Now().Add(s.cfg.IdleTimeout))
+		} else if s.cfg.ReadTimeout > 0 {
+			s.setReadDeadline(nc, time.Time{})
+		}
 		// First request of the batch: the one read that may block. A read
-		// error here (EOF, client reset, Shutdown's deadline) ends the
-		// connection with no batch in flight.
+		// error here (EOF, client reset, Shutdown's deadline, a timeout)
+		// ends the connection with no batch in flight.
 		if err := c.readOp(); err != nil {
 			c.w.Flush()
+			c.countTimeout(err)
 			return
 		}
-		// Accumulate while more pipelined requests are already buffered.
-		// The peek guard stops at a half-received line so a slow sender
-		// cannot park a batch of unexecuted requests behind a blocking
-		// read.
-		for c.nops < s.cfg.MaxBatch {
+		// Accumulate while more pipelined requests are already buffered
+		// and the batch byte budget holds. The peek guard stops at a
+		// half-received line so a slow sender cannot park a batch of
+		// unexecuted requests behind a blocking read.
+		batchBytes := c.ops[0].size()
+		for c.nops < s.cfg.MaxBatch && batchBytes < s.cfg.MaxBatchBytes {
 			last := &c.ops[c.nops-1]
 			if last.bad == errNone && last.kind == KindQuit {
 				break
@@ -119,15 +154,44 @@ func (s *Server) serveConn(nc net.Conn) {
 				// was fully received, then close.
 				c.execute()
 				c.w.Flush()
+				c.countTimeout(err)
 				return
 			}
+			batchBytes += c.ops[c.nops-1].size()
 		}
 		quit := c.execute()
 		if err := c.w.Flush(); err != nil {
 			return
 		}
+		c.trimSlots()
 		if quit || s.isClosed() {
 			return
+		}
+	}
+}
+
+// countTimeout attributes a connection-fatal read timeout to its overload
+// counter: idle when no byte of a request had arrived, deadline (the
+// slow-sender class) when one was underway. Shutdown's immediate deadline
+// also surfaces as a timeout and is deliberately not counted.
+func (c *conn) countTimeout(err error) {
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() || c.srv.isClosed() {
+		return
+	}
+	if c.midRequest {
+		c.srv.deadlineDisconnects.Add(1)
+	} else {
+		c.srv.idleDisconnects.Add(1)
+	}
+}
+
+// trimSlots returns oversized value buffers after a batch (see
+// valRetainBytes).
+func (c *conn) trimSlots() {
+	for i := range c.ops {
+		if cap(c.ops[i].val) > valRetainBytes {
+			c.ops[i].val = nil
 		}
 	}
 }
@@ -138,6 +202,7 @@ func (s *Server) serveConn(nc net.Conn) {
 func (c *conn) readLine() (line []byte, tooLong bool, err error) {
 	line, err = c.r.ReadSlice('\n')
 	if err == bufio.ErrBufferFull {
+		c.midRequest = true
 		for err == bufio.ErrBufferFull {
 			_, err = c.r.ReadSlice('\n')
 		}
@@ -147,6 +212,11 @@ func (c *conn) readLine() (line []byte, tooLong bool, err error) {
 		return nil, true, nil
 	}
 	if err != nil {
+		// A partial line was consumed before the error: the timeout (if it
+		// is one) caught a request in flight, not an idle connection.
+		if len(line) > 0 {
+			c.midRequest = true
+		}
 		return nil, false, err
 	}
 	line = line[:len(line)-1]
@@ -200,6 +270,13 @@ func (c *conn) readOp() error {
 		}
 		o.val = o.val[:need]
 		binary.BigEndian.PutUint32(o.val[:itemOverhead], c.cmd.Flags)
+		// The data block may block on the wire: from here the request is
+		// underway, and the per-read deadline (not the idle budget) bounds
+		// a client trickling its payload.
+		c.midRequest = true
+		if rt := c.srv.cfg.ReadTimeout; rt > 0 && c.r.Buffered() < need+2-itemOverhead {
+			c.srv.setReadDeadline(c.nc, time.Now().Add(rt))
+		}
 		if _, err := io.ReadFull(c.r, o.val[itemOverhead:]); err != nil {
 			return err
 		}
@@ -316,6 +393,17 @@ func (c *conn) writeValue(key []byte, flags uint32, data []byte, withCas bool, r
 	c.w.WriteString("\r\n")
 }
 
+// engineErrMsg maps an engine error to its SERVER_ERROR detail. The typed
+// degraded rejection (a tripped write-path circuit breaker) compresses to
+// the stable token "degraded" so clients and tests can match it without
+// parsing the engine's prose.
+func engineErrMsg(err error) string {
+	if errors.Is(err, cachelib.ErrDegraded) {
+		return "degraded"
+	}
+	return err.Error()
+}
+
 // execSets serves a run of set requests: one SetMany round in SyncSet
 // mode, per-request SetAsync otherwise (STORED then means "accepted"; the
 // flush lands via the background pool, errors surface in Stats.WriteErrors
@@ -337,7 +425,7 @@ func (c *conn) execSets(run []op) {
 				// the run reports SERVER_ERROR. MaxItemBytes pre-checks
 				// keep object-size rejections out of this path, so only
 				// device-level failures land here.
-				c.replyStatus(&run[i], "SERVER_ERROR ", err.Error())
+				c.replyStatus(&run[i], "SERVER_ERROR ", engineErrMsg(err))
 				c.srv.serverErrs.Add(1)
 				continue
 			}
@@ -354,7 +442,7 @@ func (c *conn) execSets(run []op) {
 			err = eng.SetAsync(o.keys[0], o.val)
 		}
 		if err != nil {
-			c.replyStatus(o, "SERVER_ERROR ", err.Error())
+			c.replyStatus(o, "SERVER_ERROR ", engineErrMsg(err))
 			c.srv.serverErrs.Add(1)
 			continue
 		}
@@ -369,7 +457,7 @@ func (c *conn) execSets(run []op) {
 func (c *conn) execDelete(o *op) {
 	c.srv.cmdDelete.Add(1)
 	if err := c.srv.cfg.Engine.Delete(o.keys[0]); err != nil {
-		c.replyStatus(o, "SERVER_ERROR ", err.Error())
+		c.replyStatus(o, "SERVER_ERROR ", engineErrMsg(err))
 		c.srv.serverErrs.Add(1)
 		return
 	}

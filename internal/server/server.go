@@ -51,6 +51,33 @@ type Config struct {
 	// an oversized object (whose per-key outcome a batch error cannot
 	// attribute). Zero trusts the engine to reject.
 	MaxItemBytes int
+	// MaxConns, when positive, caps concurrently served connections. The
+	// over-cap policy is RejectBusy's choice. Zero means unlimited (the
+	// historical behavior).
+	MaxConns int
+	// RejectBusy selects what happens to a connection beyond MaxConns:
+	// false (default) applies backpressure at the listener — Serve stops
+	// accepting until a slot frees, so the kernel backlog absorbs the
+	// burst; true accepts the connection just long enough to answer
+	// "SERVER_ERROR busy" and close, so clients fail fast instead of
+	// queueing.
+	RejectBusy bool
+	// IdleTimeout, when positive, disconnects a connection that sits
+	// between requests longer than this (counted as an idle disconnect in
+	// stats). Zero never times out an idle connection.
+	IdleTimeout time.Duration
+	// ReadTimeout, when positive, bounds each blocking read inside a
+	// request — a client that opens a set and trickles its data block
+	// (slow loris) is cut off and counted as a deadline disconnect. Zero
+	// leaves mid-request reads unbounded.
+	ReadTimeout time.Duration
+	// MaxBatchBytes caps the summed key+value bytes one connection buffers
+	// into a single batch before executing, so a deeply pipelined client
+	// of large sets cannot make one batch hold an unbounded heap. The cap
+	// closes batches early; it never rejects a request (a single request
+	// larger than the budget still forms a batch of one — MaxItemBytes is
+	// the per-request bound). Zero defaults to 1 MiB.
+	MaxBatchBytes int
 }
 
 // Server is a memcached-text-protocol server over one cache engine. Create
@@ -63,6 +90,15 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	closed    bool
+
+	// done is closed by Shutdown so accept loops blocked acquiring a
+	// MaxConns slot (the backpressure policy) unblock immediately.
+	done chan struct{}
+
+	// connSem is the MaxConns slot semaphore (nil when unlimited). A
+	// handler owns one slot for its whole life; Serve/ServeConn acquire it
+	// per Config.RejectBusy before the handler starts.
+	connSem chan struct{}
 
 	handlers sync.WaitGroup
 
@@ -80,6 +116,14 @@ type Server struct {
 	getMisses  atomic.Uint64
 	protoErrs  atomic.Uint64 // ERROR + CLIENT_ERROR replies
 	serverErrs atomic.Uint64 // SERVER_ERROR replies
+
+	// Overload accounting: connections turned away at the MaxConns cap,
+	// and the two timeout disconnect classes (idle = nothing of a request
+	// received; deadline = a request was underway when the read timed out,
+	// the slow-loris signature).
+	connsRejected       atomic.Uint64
+	idleDisconnects     atomic.Uint64
+	deadlineDisconnects atomic.Uint64
 }
 
 // New returns a Server over cfg.Engine.
@@ -90,11 +134,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
-	return &Server{
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 1 << 20
+	}
+	s := &Server{
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
-	}, nil
+		done:      make(chan struct{}),
+	}
+	if cfg.MaxConns > 0 {
+		s.connSem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s, nil
 }
 
 // Serve accepts connections on l until Shutdown, spawning one handler
@@ -111,16 +163,52 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Unlock()
 
 	for {
+		// Backpressure policy: hold the accept loop until a connection
+		// slot frees, letting the listener backlog absorb the overload.
+		held := false
+		if s.connSem != nil && !s.cfg.RejectBusy {
+			select {
+			case s.connSem <- struct{}{}:
+				held = true
+			case <-s.done:
+				return ErrServerClosed
+			}
+		}
 		nc, err := l.Accept()
 		if err != nil {
+			if held {
+				<-s.connSem
+			}
 			if s.isClosed() {
 				return ErrServerClosed
 			}
 			return err
 		}
-		s.handlers.Add(1)
+		// Fast-reject policy: over the cap, answer busy and move on.
+		if s.connSem != nil && s.cfg.RejectBusy {
+			select {
+			case s.connSem <- struct{}{}:
+				held = true
+			default:
+				s.rejectBusy(nc)
+				continue
+			}
+		}
+		if !s.registerHandler() {
+			// Shutdown won the race: the connection was accepted but must
+			// not start a handler (it would miss the deadline pass, and a
+			// WaitGroup.Add here could trail doShutdown's Wait).
+			nc.Close()
+			if held {
+				<-s.connSem
+			}
+			return ErrServerClosed
+		}
 		go func() {
 			defer s.handlers.Done()
+			if held {
+				defer func() { <-s.connSem }()
+			}
 			s.serveConn(nc)
 		}()
 	}
@@ -128,11 +216,64 @@ func (s *Server) Serve(l net.Listener) error {
 
 // ServeConn serves one already-established connection (tests run the full
 // protocol over net.Pipe this way, no ports needed), blocking until the
-// client quits, the connection fails, or Shutdown drains it.
+// client quits, the connection fails, or Shutdown drains it. It follows the
+// same MaxConns policy as Serve, so overload tests drive the cap without a
+// listener.
 func (s *Server) ServeConn(nc net.Conn) {
-	s.handlers.Add(1)
+	held := false
+	if s.connSem != nil {
+		if s.cfg.RejectBusy {
+			select {
+			case s.connSem <- struct{}{}:
+				held = true
+			default:
+				s.rejectBusy(nc)
+				return
+			}
+		} else {
+			select {
+			case s.connSem <- struct{}{}:
+				held = true
+			case <-s.done:
+				nc.Close()
+				return
+			}
+		}
+	}
+	if held {
+		defer func() { <-s.connSem }()
+	}
+	if !s.registerHandler() {
+		nc.Close()
+		return
+	}
 	defer s.handlers.Done()
 	s.serveConn(nc)
+}
+
+// registerHandler reserves a handler slot under the server lock, so a
+// handler either starts before Shutdown flips closed (and is covered by
+// doShutdown's Wait) or not at all. Registering outside the lock is the
+// race this method exists to close: an Accept winning against Shutdown
+// would Add after Wait and serve a connection nobody will ever drain.
+func (s *Server) registerHandler() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.handlers.Add(1)
+	return true
+}
+
+// rejectBusy answers an over-cap connection with the canonical busy error
+// and closes it. The write carries a short deadline so a client that never
+// reads cannot pin the accept loop.
+func (s *Server) rejectBusy(nc net.Conn) {
+	s.connsRejected.Add(1)
+	nc.SetWriteDeadline(time.Now().Add(shutdownWriteGrace))
+	nc.Write([]byte("SERVER_ERROR busy\r\n"))
+	nc.Close()
 }
 
 // Shutdown gracefully stops the server: new connections stop being
@@ -151,6 +292,7 @@ func (s *Server) Shutdown() error {
 func (s *Server) doShutdown() error {
 	s.mu.Lock()
 	s.closed = true
+	close(s.done)
 	for l := range s.listeners {
 		l.Close()
 	}
@@ -169,6 +311,17 @@ func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
+}
+
+// setReadDeadline applies a read deadline and then re-asserts Shutdown's
+// immediate deadline if Shutdown raced in between — without the recheck, a
+// handler arming its idle timeout could overwrite the stop signal and park
+// until the timeout instead of draining now.
+func (s *Server) setReadDeadline(nc net.Conn, t time.Time) {
+	nc.SetReadDeadline(t)
+	if s.isClosed() {
+		nc.SetReadDeadline(time.Now())
+	}
 }
 
 // addConn registers a live connection, reporting false when the server is
@@ -192,6 +345,11 @@ func (s *Server) removeConn(nc net.Conn) {
 	s.currConns.Add(^uint64(0))
 }
 
+// Fields returns the protocol-level counters in stable order — the same
+// rows the `stats` verb emits ahead of the engine fields. Exported for
+// operational dumps (nemoserve's SIGQUIT health report).
+func (s *Server) Fields() []cachelib.Field { return s.serverFields() }
+
 // serverFields returns the protocol-level counters in stable order; the
 // `stats` verb emits them ahead of the engine's cachelib.Stats fields.
 func (s *Server) serverFields() []cachelib.Field {
@@ -205,5 +363,8 @@ func (s *Server) serverFields() []cachelib.Field {
 		{Name: "get_misses", Value: s.getMisses.Load()},
 		{Name: "protocol_errors", Value: s.protoErrs.Load()},
 		{Name: "server_errors", Value: s.serverErrs.Load()},
+		{Name: "conns_rejected", Value: s.connsRejected.Load()},
+		{Name: "idle_disconnects", Value: s.idleDisconnects.Load()},
+		{Name: "deadline_disconnects", Value: s.deadlineDisconnects.Load()},
 	}
 }

@@ -6,12 +6,22 @@ import (
 	"path/filepath"
 )
 
+// BeforeRename is the crash-injection point for the checkpoint torture
+// tests: when non-nil it runs after the temp file is written, synced, and
+// closed, but before the rename over the destination. Returning an error
+// abandons the save exactly as a crash at that instant would — the temp
+// file is left on disk and the previous snapshot stays untouched (boot
+// must tolerate both). Always nil outside tests.
+var BeforeRename func(tmpPath string) error
+
 // Save writes f to path atomically: the image is encoded in full, written
 // to a temporary file in the same directory, synced, and renamed over the
 // destination. A crash mid-save therefore leaves either the previous
 // complete snapshot or none — never a torn one (and a torn rename survivor
 // would still be refused by Decode's CRCs; atomicity just preserves the
-// previous good snapshot in that case).
+// previous good snapshot in that case). The orphaned temp file a crash
+// leaves behind is inert: Load reads only the snapshot path itself, and
+// later saves pick fresh temp names.
 func Save(path string, f *File) error {
 	b := Encode(f)
 	dir := filepath.Dir(path)
@@ -19,7 +29,12 @@ func Save(path string, f *File) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: creating temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	crashed := false
+	defer func() {
+		if !crashed {
+			os.Remove(tmp.Name()) // no-op after a successful rename
+		}
+	}()
 	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		return fmt.Errorf("snapshot: writing %s: %w", tmp.Name(), err)
@@ -30,6 +45,12 @@ func Save(path string, f *File) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("snapshot: closing %s: %w", tmp.Name(), err)
+	}
+	if hook := BeforeRename; hook != nil {
+		if err := hook(tmp.Name()); err != nil {
+			crashed = true
+			return fmt.Errorf("snapshot: %w", err)
+		}
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("snapshot: renaming into place: %w", err)

@@ -1,0 +1,81 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSaveCrashBeforeRename is the crash-mid-checkpoint torture at the file
+// layer: a save killed between writing the temp file and renaming it into
+// place must leave the previous snapshot byte-for-byte intact — and the
+// orphaned temp file it drops must be inert, neither confusing Load nor a
+// later Save.
+func TestSaveCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nemo.snap")
+
+	// First checkpoint lands normally.
+	first := sampleFile()
+	if err := Save(path, first); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second checkpoint crashes at the injection point.
+	second := sampleFile()
+	second.Writes = first.Writes + 1000
+	crash := errors.New("crash injected before rename")
+	var tmpPath string
+	BeforeRename = func(p string) error { tmpPath = p; return crash }
+	defer func() { BeforeRename = nil }()
+	if err := Save(path, second); !errors.Is(err, crash) {
+		t.Fatalf("crashed save returned %v, want the injected crash", err)
+	}
+	BeforeRename = nil
+
+	// The crash's droppings: the temp file is still on disk, fully written.
+	if tmpPath == "" {
+		t.Fatal("hook never ran")
+	}
+	if _, err := os.Stat(tmpPath); err != nil {
+		t.Fatalf("orphan temp file missing after crash: %v", err)
+	}
+
+	// The previous snapshot is untouched and still loads.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("snapshot bytes changed across a crashed save")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load after crashed save: %v", err)
+	}
+	if got.Writes != first.Writes {
+		t.Fatalf("loaded Writes = %d, want the pre-crash %d", got.Writes, first.Writes)
+	}
+
+	// A later save succeeds with the orphan still sitting beside it, and
+	// Load then returns the new snapshot.
+	if err := Save(path, second); err != nil {
+		t.Fatalf("save after crash: %v", err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Writes != second.Writes {
+		t.Fatalf("loaded Writes = %d, want %d", got.Writes, second.Writes)
+	}
+	if _, err := os.Stat(tmpPath); err != nil {
+		t.Fatalf("recovery save disturbed the orphan temp file: %v", err)
+	}
+}

@@ -144,6 +144,12 @@ const (
 	HintBypass  = cachelib.HintBypass
 )
 
+// ErrDegraded is returned by writes (Set/SetAsync/SetMany/Delete) while a
+// shard's device-fault circuit breaker is open (Config.BreakerThreshold):
+// the shard keeps serving reads but fast-rejects writes until a recovery
+// probe succeeds. Match with errors.Is.
+var ErrDegraded = cachelib.ErrDegraded
+
 // Stats is the common engine counter set with the paper's
 // write-amplification and miss-ratio definitions.
 type Stats = cachelib.Stats
