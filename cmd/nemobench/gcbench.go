@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"nemo/internal/backend"
+	"nemo/internal/gcbench"
+)
+
+// gcBenchOptions carries the -gcbench flag set.
+type gcBenchOptions struct {
+	shardList string       // comma-separated shard counts
+	keys      int          // resident keys per configuration (0 = 1M)
+	ops       int          // GETs issued under churn (0 = harness default)
+	device    backend.Spec // device backend the rows run on
+	jsonPath  string       // output path for the machine-readable baseline
+}
+
+// gcBenchRow is one measured configuration, serialized to BENCH_gc.json so
+// CI runs accumulate a comparable trajectory for the cache's DRAM and GC
+// cost: live heap objects and bytes attributable to the cache at the
+// resident-key count, bytes/key, and GET throughput plus total pause while
+// collections are forced back to back.
+type gcBenchRow struct {
+	Shards         int     `json:"shards"`
+	Keys           int     `json:"keys"`
+	HeapObjects    uint64  `json:"heapobjs"`
+	HeapBytes      uint64  `json:"heap_bytes"`
+	BytesPerKey    float64 `json:"bytes_per_key"`
+	GCPauseTotalNs uint64  `json:"gc_pause_total_ns"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GetOpsPerSec   float64 `json:"get_ops_per_sec"`
+	HitRatio       float64 `json:"hit_ratio"`
+	NumCPU         int     `json:"num_cpu"`
+	Device         string  `json:"device"`
+}
+
+// runGCBench measures the cache's GC footprint at each shard count: the
+// internal/gcbench harness populates the target key count, settles the heap,
+// and reports the live-object/byte delta plus GET throughput under forced
+// collections. The table and BENCH_gc.json are the repo's regression pin for
+// the off-heap index layout — heapobjs growing with keys again means a
+// pointer-dense structure crept back into the steady state.
+func runGCBench(out io.Writer, o gcBenchOptions) error {
+	shardCounts, err := parseShardList(o.shardList)
+	if err != nil {
+		return err
+	}
+
+	var rows []gcBenchRow
+	fmt.Fprintf(out, "%-7s %-9s %-10s %-11s %-9s %-11s %-9s %-12s %-7s\n",
+		"shards", "keys", "heapobjs", "heapbytes", "b/key", "gcpause_ms", "gccycles", "get_ops/s", "hit%")
+	for _, shards := range shardCounts {
+		res, err := gcbench.Run(gcbench.Options{
+			Device: o.device,
+			Shards: shards,
+			Keys:   o.keys,
+			GetOps: o.ops,
+		})
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		row := gcBenchRow{
+			Shards:         res.Shards,
+			Keys:           res.Keys,
+			HeapObjects:    res.HeapObjects,
+			HeapBytes:      res.HeapBytes,
+			BytesPerKey:    res.BytesPerKey,
+			GCPauseTotalNs: res.GCPauseTotalNs,
+			GCCycles:       res.GCCycles,
+			GetOpsPerSec:   res.GetOpsPerSec,
+			HitRatio:       res.HitRatio,
+			NumCPU:         runtime.NumCPU(),
+			Device:         o.device.String(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "%-7d %-9d %-10d %-11d %-9.1f %-11.2f %-9d %-12.0f %-7.2f\n",
+			row.Shards, row.Keys, row.HeapObjects, row.HeapBytes, row.BytesPerKey,
+			float64(row.GCPauseTotalNs)/1e6, row.GCCycles, row.GetOpsPerSec, row.HitRatio*100)
+	}
+
+	if o.jsonPath != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.jsonPath)
+	}
+	return nil
+}

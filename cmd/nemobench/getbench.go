@@ -27,6 +27,7 @@ type getBenchRow struct {
 	Ops         int     `json:"ops"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	HeapObjects uint64  `json:"heapobjs"` // live heap objects after the measured pass
 	HitRatio    float64 `json:"hit_ratio"`
 	NumCPU      int     `json:"num_cpu"`
 	Device      string  `json:"device"`
@@ -50,8 +51,8 @@ func runGetBench(out io.Writer, o getBenchOptions) error {
 	}
 
 	var rows []getBenchRow
-	fmt.Fprintf(out, "%-7s %-11s %-10s %-12s %-10s %-7s\n",
-		"shards", "goroutines", "ops", "ops/s", "allocs/op", "hit%")
+	fmt.Fprintf(out, "%-7s %-11s %-10s %-12s %-10s %-10s %-7s\n",
+		"shards", "goroutines", "ops", "ops/s", "allocs/op", "heapobjs", "hit%")
 	for _, shards := range shardCounts {
 		if getbench.Zones%shards != 0 {
 			fmt.Fprintf(out, "%-7d skipped: %d data zones not divisible\n", shards, getbench.Zones)
@@ -71,20 +72,26 @@ func runGetBench(out io.Writer, o getBenchOptions) error {
 			runtime.ReadMemStats(&ms1)
 			after := cache.Stats()
 			delta := after.Gets - before.Gets
+			// Live-object count after the measured pass: collect first so
+			// the gauge reports retained objects, not transient garbage.
+			runtime.GC()
+			var msLive runtime.MemStats
+			runtime.ReadMemStats(&msLive)
 			row := getBenchRow{
 				Shards:      shards,
 				Goroutines:  gs,
 				Ops:         int(delta),
 				OpsPerSec:   float64(delta) / elapsed.Seconds(),
 				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(delta),
+				HeapObjects: msLive.HeapObjects,
 				HitRatio:    float64(after.Hits-before.Hits) / float64(delta),
 				NumCPU:      runtime.NumCPU(),
 				Device:      o.device.String(),
 			}
 			rows = append(rows, row)
-			fmt.Fprintf(out, "%-7d %-11d %-10d %-12.0f %-10.2f %-7.2f\n",
+			fmt.Fprintf(out, "%-7d %-11d %-10d %-12.0f %-10.2f %-10d %-7.2f\n",
 				row.Shards, row.Goroutines, row.Ops, row.OpsPerSec,
-				row.AllocsPerOp, row.HitRatio*100)
+				row.AllocsPerOp, row.HeapObjects, row.HitRatio*100)
 		}
 		if err := cache.Close(); err != nil {
 			dev.Close()

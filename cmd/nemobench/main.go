@@ -12,6 +12,7 @@
 //	nemobench -compare [-shards 1,2,4] [-engines nemo,log,set,kg,fw]
 //	          [-parallel] [-notime] [-scale small|medium|large] [...]
 //	nemobench -getbench [-shards 1,8] [-ops N] [-json BENCH_get.json]
+//	nemobench -gcbench [-shards 1,8] [-keys N] [-ops N] [-json BENCH_gc.json]
 //	nemobench -setbench [-shards 1,8] [-ops N] [-flushers K] [-json BENCH_set.json]
 //	nemobench -servebench [-shards 1,8] [-conns K] [-pipeline P] [-ops N]
 //	          [-flushers K] [-json BENCH_serve.json]
@@ -41,6 +42,13 @@
 // and per-op allocations at 1/4/8 goroutines per shard count, written to
 // -json (default BENCH_get.json) so CI keeps a machine-readable perf
 // baseline for the read path.
+//
+// -gcbench measures the cache's GC footprint: populate -keys resident keys
+// (default 1M; the harness retains nothing per key), settle the heap, and
+// report live HeapObjects/bytes attributable to the cache, DRAM bytes/key,
+// and GET throughput plus total pause while collections are forced back to
+// back (default BENCH_gc.json). This is the regression pin for the off-heap
+// index-cache arena and slab-backed set pages.
 //
 // -setbench is the write-path mirror: parallel SET throughput, per-call
 // p50/p99 latency, and ALWA at 1/4/8 goroutines per shard count, in both
@@ -106,6 +114,8 @@ func run() int {
 		parallel  = flag.Bool("parallel", false, "-compare: replay the engines of one shard count concurrently")
 		noTime    = flag.Bool("notime", false, "-compare: omit wall-clock columns (byte-deterministic table)")
 		getbench  = flag.Bool("getbench", false, "run the parallel GET-path benchmark")
+		gcb       = flag.Bool("gcbench", false, "run the GC-pressure benchmark (heap footprint + GETs under forced GC)")
+		keys      = flag.Int("keys", 0, "-gcbench: resident key count per configuration (0 = 1M)")
 		setbench  = flag.Bool("setbench", false, "run the parallel SET-path (flush pipeline) benchmark")
 		srvbench  = flag.Bool("servebench", false, "run the end-to-end serving-layer (loopback memcached protocol) benchmark")
 		chaosRun  = flag.Bool("chaos", false, "run the chaos-injection harness: fault scenarios against the breaker-enabled serving stack")
@@ -171,6 +181,25 @@ func run() int {
 		}
 		err := runGetBench(os.Stdout, getBenchOptions{
 			shardList: *shards,
+			ops:       *ops,
+			device:    deviceSpec,
+			jsonPath:  path,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *gcb {
+		path := *jsonOut
+		if !jsonExplicit {
+			path = "BENCH_gc.json"
+		}
+		err := runGCBench(os.Stdout, gcBenchOptions{
+			shardList: *shards,
+			keys:      *keys,
 			ops:       *ops,
 			device:    deviceSpec,
 			jsonPath:  path,

@@ -123,6 +123,49 @@
 // the wrerr column in the -replay/-compare tables) as well as in the Set
 // error (sync) or Drain/Close error (async).
 //
+// # Memory layout
+//
+// At the ROADMAP's production scale the Go GC is a metadata tax: hundreds
+// of millions of resident fingerprints mean the collector re-scans every
+// pointer the index holds, on every cycle. The steady-state in-memory
+// layer is therefore arena-backed — a fixed set of large, pointer-free
+// allocations the GC traverses in a handful of steps, regardless of how
+// many objects the cache holds:
+//
+//   - The PBFG index cache is a flat open-addressing table (packed
+//     (group,set) uint64 keys, ≤50% load, sized once at construction)
+//     whose values index page-size slots carved from large []byte slabs.
+//     There are no per-page allocations and no map[...]... anywhere on the
+//     hot path; FIFO eviction, the stale-queue compaction, and the
+//     lookup/miss counters behave exactly as the map-based layout did.
+//   - flashSG structs live in fixed-size chunks, and each SG's per-set
+//     object counts, prefix-sum bases, and hotness bits pack into one
+//     contiguous []uint32 run carved at flush commit (or snapshot
+//     restore) — which is also when the prefix sums are computed, once,
+//     instead of lazily on every probe.
+//   - Every setblock page — the in-memory SG sets, the flush victim
+//     read-back scratch, the unsealed groups' Bloom-filter buffers — is a
+//     carve of a per-shard or per-group slab, recycled whole when its SG
+//     flushes or its group seals.
+//
+// The ownership rule that makes immediate recycling safe under the
+// optimistic read protocol: arena memory is only ever dereferenced while
+// holding the shard lock. A read's plan phase copies the Bloom-filter
+// bytes it will test into per-goroutine scratch and precomputes its
+// candidate page addresses; the unlocked I/O phase touches only that
+// scratch and its own pooled buffers, and the commit phase re-validates
+// the SG epoch before touching any SG — an epoch match proves no flush or
+// eviction recycled anything the plan referenced. Freed slots therefore go
+// straight back to their free lists, with no deferred reclamation, and the
+// arena leak test pins slot accounting plus process HeapObjects flat over
+// fill→evict→refill churn. `nemobench -gcbench` (BENCH_gc.json in CI)
+// measures the result — live heap objects, GC pause totals, DRAM
+// bytes/key, and GET throughput under forced GC churn at 1M+ resident
+// keys; landing this layout cut HeapObjects at 1M keys from 1585 to 74 at
+// one shard (21×) and from 3435 to 322 at eight. The snapshot format is
+// unaffected: checkpoint bytes are pinned identical to the map-based
+// layout's, so warm restart crosses the layout change in either direction.
+//
 // EngineV2 bundles the core and all three extensions. Cache and
 // ShardedCache implement it natively;
 // Adapt upgrades any plain Engine (the four paper baselines) by delegating

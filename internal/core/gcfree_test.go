@@ -1,0 +1,201 @@
+package core
+
+// Tests for the GC-free hot path: arena stability under fill→evict→refill
+// churn, allocation pins on the remaining mutating entry points (Delete,
+// batched SetMany), and a layout-independence pin proving the arena-backed
+// in-memory layout produces checkpoint bytes identical to the map-based
+// layout it replaced.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"nemo/internal/flashsim"
+	"nemo/internal/snapshot"
+)
+
+// TestArenaFlatOverChurn is the arena leak test: after the pool reaches
+// steady state, further fill→evict→refill cycles must not grow any arena —
+// no new page slabs, no new SG chunks, no table growth — and the process
+// HeapObjects gauge must stay flat. A slot leaked per flush (the premature-
+// recycle bug class this PR's design invites) shows up here as monotonic
+// slab or heap-object growth.
+func TestArenaFlatOverChurn(t *testing.T) {
+	c := testCache(t, nil)
+
+	const perCycle = 600
+	cycle := func(base int) {
+		for i := 0; i < perCycle; i++ {
+			k, v := kv(base + i)
+			if err := c.Set(k, v); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				c.Get(k) // hotness bits + index-cache traffic
+			}
+		}
+	}
+	// Warm up until every arena has seen its high-water mark: the 8-zone
+	// pool cycles completely several times over.
+	for r := 0; r < 4; r++ {
+		cycle(r * perCycle)
+	}
+
+	type arenaShape struct {
+		pageSlabs, tableSize, sgChunks int
+	}
+	snap := func() arenaShape {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return arenaShape{
+			pageSlabs: len(c.icache.arena.slabs),
+			tableSize: len(c.icache.keys),
+			sgChunks:  len(c.sgAlloc.chunks),
+		}
+	}
+	checkAccounting := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		total := len(c.icache.arena.slabs) * pageSlabPages
+		free := len(c.icache.arena.free)
+		if free != total-c.icache.count {
+			t.Errorf("page arena leak: %d slots allocated, %d live, %d free (want %d)",
+				total, c.icache.count, free, total-c.icache.count)
+		}
+	}
+
+	before := snap()
+	checkAccounting()
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	for r := 4; r < 12; r++ {
+		cycle(r * perCycle)
+	}
+
+	after := snap()
+	checkAccounting()
+	runtime.GC()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
+	if before != after {
+		t.Errorf("arenas grew under steady-state churn: before %+v, after %+v", before, after)
+	}
+	if grow := int64(ms1.HeapObjects) - int64(ms0.HeapObjects); grow > 300 {
+		t.Errorf("HeapObjects grew by %d over 8 churn cycles, want ~flat", grow)
+	}
+}
+
+// TestDeleteAllocationsSteadyState extends the allocation pins to the
+// DELETE path: a steady-state delete — Bloom-positive against flash, so it
+// re-places a tombstone over its own previous tombstone — allocates
+// nothing. (The filter probes, the cached PBFG page, and the tombstone's
+// set-block slot all come from per-shard scratch and arenas.)
+func TestDeleteAllocationsSteadyState(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	c := testCache(t, nil)
+	for i := 0; i < 300; i++ {
+		k, v := kv(i)
+		if err := c.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, _ := kv(7)
+	if err := c.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(300, func() {
+		if err := c.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("steady-state Delete allocates %.2f times per op, want 0", got)
+	}
+}
+
+// TestSetManyAllocationsSteadyState extends the allocation pins to the
+// batched insert path: a steady-state SetMany round (in-place overwrites,
+// no flush) allocates nothing per op, same budget as serial Set.
+func TestSetManyAllocationsSteadyState(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	c := testCache(t, nil)
+	const n = 16
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i], vals[i] = kv(i)
+	}
+	if err := c.SetMany(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(300, func() {
+		if err := c.SetMany(keys, vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perOp := got / n; perOp > 0 {
+		t.Errorf("steady-state SetMany allocates %.2f times per op, want 0", perOp)
+	}
+}
+
+// snapGoldenSHA256 is the SHA-256 of the checkpoint the map-based (pre-
+// arena) in-memory layout wrote for the deterministic trace below, recorded
+// before this layout change landed. The arena-backed layout must produce
+// the identical NEMO1 bytes: the snapshot format is a device-state
+// description, not an in-memory-layout dump, and warm restart across the
+// layout change depends on that.
+const snapGoldenSHA256 = "f9ce9fd25e1dd58e1949b5f0f4be2da445f1bec8af6b899b85b8d46f006345f5"
+
+// TestSnapshotBytesMatchMapLayout runs a deterministic mixed trace on the
+// simulated device — sealed groups, dead SGs, hot bits, cached PBFG pages,
+// tombstones all populated — checkpoints, and pins the bytes against the
+// map-based layout's recorded golden hash.
+func TestSnapshotBytesMatchMapLayout(t *testing.T) {
+	dev := flashsim.New(flashsim.Config{
+		PageSize:     snapGeometry(snapShards).PageSize,
+		PagesPerZone: snapGeometry(snapShards).PagesPerZone,
+		Zones:        snapGeometry(snapShards).Zones,
+	})
+	cache, err := NewSharded(snapConfig(dev, snapShards, 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applySnapTrace(t, cache, snapTrace(25000), false)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := cache.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	// The device Boot stamp is process-unique by design (it is the warm-
+	// restart validity anchor, not state). Canonicalize it to zero and
+	// re-encode; every other byte of the snapshot must be deterministic.
+	f, err := snapshot.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Boot = 0
+	canon := filepath.Join(dir, "canon")
+	if err := snapshot.Save(canon, f); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(blob)
+	got := hex.EncodeToString(sum[:])
+	if got != snapGoldenSHA256 {
+		t.Errorf("checkpoint bytes diverged from the map-based layout's:\n got %s\nwant %s", got, snapGoldenSHA256)
+	}
+}

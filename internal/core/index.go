@@ -2,77 +2,209 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"nemo/internal/bloom"
 )
 
+// This file holds the steady-state in-memory index layer, laid out to be
+// nearly invisible to the garbage collector (see doc.go, "Memory layout").
+// Three arenas replace what used to be thousands of small heap objects:
+//
+//   - sgArena: flashSG structs live in fixed-size chunks, each chunk carrying
+//     one backing array for its slots' zone lists. Retired structs are
+//     recycled when their index group is dropped.
+//   - metaArena: each SG's per-set metadata — set counts, slot-base prefix
+//     sums, and the hotness bitmap — is ONE []uint32 carved from shared
+//     slabs at flush commit (or restore), when the object count is known.
+//   - pageArena (inside pbfgCache): cached PBFG pages are page-size slots of
+//     large slabs, indexed by a flat open-addressing table keyed by a packed
+//     (group,set) uint64. put copies the page bytes in; no per-page objects.
+//
+// Recycling is immediate: freed slots go straight back to the free lists.
+// That is safe because the concurrent read path never dereferences arena
+// memory outside the lock — its plan phase copies the filter bytes it will
+// test and precomputes the page addresses it will read while still holding
+// the lock (readpath.go), so a slot reused mid-attempt can corrupt nothing
+// the attempt still looks at (stale attempts are discarded by the epoch
+// check regardless).
+
 // flashSG describes one immutable on-flash Set-Group in the FIFO pool.
+// Structs are allocated from the cache's sgArena; zones aliases the chunk's
+// zone backing and meta is carved from the metaArena at flush commit.
 type flashSG struct {
 	id    uint64 // monotonically increasing flush sequence number
 	zones []int  // data zones holding the SG (len == Config.ZonesPerSG)
 	group *idxGroup
 	slot  int // position of this SG's filters within the group
 
-	setCounts []uint16 // objects per set at flush time
-	slotBase  []uint32 // prefix sums over setCounts (len SetsPerSG+1)
-	objCount  int
-	fill      float64 // aggregate fill rate at flush
-	dead      bool
+	// meta packs the SG's per-set metadata into one carve:
+	//
+	//	[0:n]        objects per set at flush time (was setCounts []uint16)
+	//	[n:2n+1]     prefix sums over the counts (was slotBase []uint32)
+	//	[2n+1:]      1-bit-per-object hotness bitmap as uint32 words, sized
+	//	             2*ceil(objCount/64) so snapshot conversion to the NEMO1
+	//	             []uint64 encoding is a word-pair repack (was bits)
+	//
+	// where n == nsets. The bitmap region is always materialized; hasBits
+	// preserves the old "allocated lazily on first setBit" observable state
+	// (bit() is false and cooling is a no-op until then, and checkpoints
+	// emit a Bits section only for SGs that were ever marked).
+	meta    []uint32
+	nsets   int
+	hasBits bool
 
-	// bits is the 1-bit-per-object hotness bitmap, allocated lazily once
-	// the SG enters the tracked tail of the pool (§4.4).
-	bits []uint64
+	objCount int
+	fill     float64 // aggregate fill rate at flush
+	dead     bool
 }
 
-func (sg *flashSG) ensureBases() {
-	if sg.slotBase != nil {
-		return
-	}
-	sg.slotBase = make([]uint32, len(sg.setCounts)+1)
-	var run uint32
-	for i, c := range sg.setCounts {
-		sg.slotBase[i] = run
-		run += uint32(c)
-	}
-	sg.slotBase[len(sg.setCounts)] = run
-}
+// setCount returns the number of objects flushed into set o.
+func (sg *flashSG) setCount(o int) int { return int(sg.meta[o]) }
+
+// base returns the bitmap position of set o's first slot; base(nsets) is the
+// object count. The prefix sums are computed when meta is carved (flush
+// commit or snapshot restore), never lazily on the probe path.
+func (sg *flashSG) base(o int) uint32 { return sg.meta[sg.nsets+o] }
 
 // bitIndex returns the bitmap position of (set o, slot s).
-func (sg *flashSG) bitIndex(o, s int) uint32 {
-	sg.ensureBases()
-	return sg.slotBase[o] + uint32(s)
-}
-
-func (sg *flashSG) ensureBits() {
-	if sg.bits == nil {
-		sg.bits = make([]uint64, (sg.objCount+63)/64)
-	}
-}
+func (sg *flashSG) bitIndex(o, s int) uint32 { return sg.base(o) + uint32(s) }
 
 func (sg *flashSG) setBit(o, s int) {
-	sg.ensureBits()
+	sg.hasBits = true
 	i := sg.bitIndex(o, s)
-	sg.bits[i>>6] |= 1 << (i & 63)
+	sg.meta[2*sg.nsets+1+int(i>>5)] |= 1 << (i & 31)
 }
 
 func (sg *flashSG) bit(o, s int) bool {
-	if sg.bits == nil {
+	if !sg.hasBits {
 		return false
 	}
 	i := sg.bitIndex(o, s)
-	return sg.bits[i>>6]&(1<<(i&63)) != 0
+	return sg.meta[2*sg.nsets+1+int(i>>5)]&(1<<(i&31)) != 0
 }
 
 // clearSet clears all hotness bits of set o (cooling, §4.4).
 func (sg *flashSG) clearSet(o int) {
-	if sg.bits == nil {
+	if !sg.hasBits {
 		return
 	}
-	sg.ensureBases()
-	for i := sg.slotBase[o]; i < sg.slotBase[o+1]; i++ {
-		sg.bits[i>>6] &^= 1 << (i & 63)
+	hot := sg.meta[2*sg.nsets+1:]
+	for i := sg.base(o); i < sg.base(o+1); i++ {
+		hot[i>>5] &^= 1 << (i & 31)
 	}
+}
+
+// hotWords returns the bitmap region of meta (2*ceil(objCount/64) words).
+func (sg *flashSG) hotWords() []uint32 { return sg.meta[2*sg.nsets+1:] }
+
+// metaWords returns the carve size for an SG with the given geometry.
+func metaWords(nsets, objCount int) int {
+	return 2*nsets + 1 + 2*((objCount+63)/64)
+}
+
+// carveMeta allocates sg.meta for its final objCount, fills the set counts
+// from counts (len nsets) and computes the prefix sums. The hotness region
+// starts zeroed. Called at flush commit and snapshot restore — the two
+// places an SG's counts become final.
+func (c *Cache) carveMeta(sg *flashSG, counts []uint32) {
+	m := c.metaAlloc.alloc(metaWords(sg.nsets, sg.objCount))
+	copy(m, counts[:sg.nsets])
+	var run uint32
+	for i := 0; i < sg.nsets; i++ {
+		m[sg.nsets+i] = run
+		run += m[i]
+	}
+	m[2*sg.nsets] = run
+	sg.meta = m
+}
+
+// sgChunkSize is the flashSG arena granularity: structs per chunk.
+const sgChunkSize = 64
+
+// sgChunk is one allocation of flashSG slots plus the zone-list backing all
+// of its slots' zones slices are carved from (slot i owns ints
+// [i*zps, (i+1)*zps), so a recycled slot keeps its carve).
+type sgChunk struct {
+	sgs   [sgChunkSize]flashSG
+	zones []int
+}
+
+// sgArena allocates flashSG structs from chunks. Slots are recycled when a
+// dead index group is dropped and zeroed on the next alloc (at seal, under
+// the lock), never on release.
+type sgArena struct {
+	zps    int // Config.ZonesPerSG
+	chunks []*sgChunk
+	free   []*flashSG
+}
+
+func (a *sgArena) alloc() *flashSG {
+	if len(a.free) == 0 {
+		ch := &sgChunk{zones: make([]int, sgChunkSize*a.zps)}
+		a.chunks = append(a.chunks, ch)
+		for i := sgChunkSize - 1; i >= 0; i-- {
+			sg := &ch.sgs[i]
+			sg.zones = ch.zones[i*a.zps : i*a.zps : (i+1)*a.zps]
+			a.free = append(a.free, sg)
+		}
+	}
+	sg := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	z := sg.zones[:0]
+	*sg = flashSG{zones: z}
+	return sg
+}
+
+func (a *sgArena) release(sg *flashSG) {
+	a.free = append(a.free, sg)
+}
+
+// metaBucketWords rounds meta carves so freed carves are reusable across
+// SGs with nearby object counts (the free lists are per rounded size).
+const metaBucketWords = 128
+
+// metaSlabWords is the allocation unit carves are cut from (256 KiB).
+const metaSlabWords = 1 << 16
+
+// metaArena carves []uint32 runs from large slabs with size-bucketed free
+// lists. Carves are recycled when their SG's group is dropped.
+type metaArena struct {
+	slab []uint32 // bump-allocation tail of the current slab
+	free map[int][][]uint32
+}
+
+func (a *metaArena) alloc(words int) []uint32 {
+	r := (words + metaBucketWords - 1) / metaBucketWords * metaBucketWords
+	if fl := a.free[r]; len(fl) > 0 {
+		m := fl[len(fl)-1]
+		a.free[r] = fl[:len(fl)-1]
+		m = m[:words]
+		for i := range m {
+			m[i] = 0
+		}
+		return m
+	}
+	if r > metaSlabWords {
+		return make([]uint32, words, r)
+	}
+	if len(a.slab)+r > cap(a.slab) {
+		a.slab = make([]uint32, 0, metaSlabWords)
+	}
+	off := len(a.slab)
+	a.slab = a.slab[:off+r]
+	return a.slab[off : off+words : off+r]
+}
+
+func (a *metaArena) release(m []uint32) {
+	if m == nil {
+		return
+	}
+	if a.free == nil {
+		a.free = make(map[int][][]uint32)
+	}
+	a.free[cap(m)] = append(a.free[cap(m)], m)
 }
 
 // idxGroup aggregates the set-level Bloom filters of up to SGsPerIndexGroup
@@ -91,8 +223,13 @@ type idxGroup struct {
 	// for offset o is assembled at seal time (writepath.go buildAndAppend)
 	// by gathering slice o from every member. Each member's slice is
 	// immutable once appended, which is what lets the unlocked build phase
-	// assemble PBFG pages from a seal-phase snapshot of this list.
-	slotBF [][]byte
+	// assemble PBFG pages from a seal-phase snapshot of this list. All
+	// slices are carves of bfBacking (one allocation per group, slot s
+	// owning bytes [s*slotBytes, (s+1)*slotBytes)), dropped wholesale at
+	// seal; the flush owner writes its own slot's carve unlocked while
+	// readers probe other slots' — disjoint regions of the same backing.
+	slotBF    [][]byte
+	bfBacking []byte
 }
 
 // pbfgKey identifies one PBFG page: the filters of intra-SG offset Set
@@ -102,23 +239,74 @@ type pbfgKey struct {
 	set   int
 }
 
+// packed encodes the key for the flat table: (group+1)<<32 | set, so a zero
+// word is never a valid key (the table's empty sentinel).
+func (k pbfgKey) packed() uint64 {
+	return (uint64(k.group)+1)<<32 | uint64(uint32(k.set))
+}
+
+func unpackPBFG(p uint64) pbfgKey {
+	return pbfgKey{group: int(p>>32) - 1, set: int(uint32(p))}
+}
+
+// pageSlabPages is the page-arena allocation granularity.
+const pageSlabPages = 64
+
+// pageArena stores cached PBFG pages as fixed slots of large slabs. Slots
+// are identified by index and recycled immediately on release: readers copy
+// the filter bytes they need out of a page while still holding the lock
+// (readpath.go planGetLocked), so no slice into a slot ever outlives the
+// critical section that looked it up.
+type pageArena struct {
+	pageSize int
+	slabs    [][]byte
+	free     []int32
+}
+
+func (a *pageArena) alloc() int32 {
+	if len(a.free) == 0 {
+		base := int32(len(a.slabs) * pageSlabPages)
+		a.slabs = append(a.slabs, make([]byte, pageSlabPages*a.pageSize))
+		for i := pageSlabPages - 1; i >= 0; i-- {
+			a.free = append(a.free, base+int32(i))
+		}
+	}
+	s := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	return s
+}
+
+func (a *pageArena) page(slot int32) []byte {
+	off := int(slot%pageSlabPages) * a.pageSize
+	return a.slabs[slot/pageSlabPages][off : off+a.pageSize : off+a.pageSize]
+}
+
+func (a *pageArena) release(slot int32) {
+	a.free = append(a.free, slot)
+}
+
 // pbfgCache is the FIFO in-memory index cache (§5.1: "The index cache is
 // FIFO-style, which reduces lock contention ... compared to LRU").
 //
-// Cached pages are immutable: once put, a page's bytes are never modified
-// or recycled, so the concurrent read path may Bloom-test a page slice it
-// snapshotted under the lock after releasing it (readpath.go). Eviction
-// and dropGroup only drop references; a reader still holding one keeps the
-// page alive.
+// Pages live in the arena; put copies the caller's page bytes into a slot,
+// and page slices handed out by get are valid only under the lock (slots
+// recycle on eviction — the concurrent read path copies what it needs at
+// plan time, readpath.go). Lookup is a flat open-addressing table (linear
+// probing, backward-shift deletion, load ≤ ½) over packed keys: no map, no
+// per-page heap objects.
 type pbfgCache struct {
-	capacity int
-	queue    []pbfgKey
-	head     int // index of the oldest entry within queue
-	pages    map[pbfgKey][]byte
+	capacity  int
+	setsPerSG int
 
-	// byGroup indexes the cached set offsets per group so dropGroup is
-	// O(pages-in-group) instead of a scan over the whole page map.
-	byGroup map[int]map[int]struct{}
+	keys  []uint64 // packed keys; 0 = empty slot
+	vals  []int32  // arena slot per key
+	shift uint     // 64 - log2(len(keys))
+	count int
+
+	arena pageArena
+
+	queue []uint64 // FIFO of packed keys; eviction order
+	head  int      // index of the oldest entry within queue
 
 	// droppedUpTo is the dead-group watermark: SG pools retire index
 	// groups strictly in id order (the pool is FIFO and ids are dense), so
@@ -133,63 +321,145 @@ type pbfgCache struct {
 	misses  uint64 // queries requiring a flash fetch
 }
 
-func newPBFGCache(capacity int) *pbfgCache {
+// newPBFGCache sizes the table for the capacity at ≤ 50% load, so it never
+// grows. pageSize fixes the arena slot size (put copies exactly that many
+// bytes); setsPerSG bounds the set offsets dropGroup probes.
+func newPBFGCache(capacity, pageSize, setsPerSG int) *pbfgCache {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &pbfgCache{
+	pc := &pbfgCache{
 		capacity:    capacity,
-		pages:       make(map[pbfgKey][]byte),
-		byGroup:     make(map[int]map[int]struct{}),
+		setsPerSG:   setsPerSG,
+		arena:       pageArena{pageSize: pageSize},
 		queued:      make(map[int]int),
 		droppedUpTo: -1,
+	}
+	if capacity > 0 {
+		size := 8
+		for size < 2*capacity {
+			size <<= 1
+		}
+		pc.keys = make([]uint64, size)
+		pc.vals = make([]int32, size)
+		pc.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	}
+	return pc
+}
+
+func (pc *pbfgCache) slotOf(p uint64) int {
+	return int((p * 0x9E3779B97F4A7C15) >> pc.shift)
+}
+
+// find returns the table index holding p, or the empty index its probe
+// chain ended at (ok=false).
+func (pc *pbfgCache) find(p uint64) (int, bool) {
+	if pc.capacity == 0 {
+		return 0, false
+	}
+	mask := len(pc.keys) - 1
+	for i := pc.slotOf(p); ; i = (i + 1) & mask {
+		switch pc.keys[i] {
+		case p:
+			return i, true
+		case 0:
+			return i, false
+		}
+	}
+}
+
+func (pc *pbfgCache) tableInsert(p uint64, slot int32) {
+	i, ok := pc.find(p)
+	if ok {
+		panic("pbfgCache: duplicate insert")
+	}
+	pc.keys[i] = p
+	pc.vals[i] = slot
+	pc.count++
+}
+
+// tableDel removes p, releasing its arena slot, and repairs the probe
+// chains by backward shifting (no tombstones, so the table never degrades).
+func (pc *pbfgCache) tableDel(p uint64) bool {
+	i, ok := pc.find(p)
+	if !ok {
+		return false
+	}
+	pc.arena.release(pc.vals[i])
+	mask := len(pc.keys) - 1
+	j := i
+	for {
+		pc.keys[j] = 0
+		k := j
+		for {
+			k = (k + 1) & mask
+			if pc.keys[k] == 0 {
+				pc.count--
+				return true
+			}
+			// The entry at k can fill the hole at j iff j lies on its
+			// probe path: its displacement from home reaches back to j.
+			if (k-pc.slotOf(pc.keys[k]))&mask >= (k-j)&mask {
+				break
+			}
+		}
+		pc.keys[j] = pc.keys[k]
+		pc.vals[j] = pc.vals[k]
+		j = k
 	}
 }
 
 func (pc *pbfgCache) has(k pbfgKey) bool {
-	_, ok := pc.pages[k]
+	_, ok := pc.find(k.packed())
 	return ok
 }
 
 func (pc *pbfgCache) get(k pbfgKey) ([]byte, bool) {
-	p, ok := pc.pages[k]
-	return p, ok
+	i, ok := pc.find(k.packed())
+	if !ok {
+		return nil, false
+	}
+	return pc.arena.page(pc.vals[i]), true
 }
 
+// put caches a copy of page (pageSize bytes) under k, evicting FIFO as
+// needed. A key already present is left untouched.
 func (pc *pbfgCache) put(k pbfgKey, page []byte) {
 	if pc.capacity == 0 {
 		return
 	}
-	if _, ok := pc.pages[k]; ok {
+	p := k.packed()
+	if _, ok := pc.find(p); ok {
 		return
 	}
-	for len(pc.pages) >= pc.capacity {
+	for pc.count >= pc.capacity {
 		old := pc.queue[pc.head]
 		pc.head++
-		pc.popQueued(old.group)
-		if _, ok := pc.pages[old]; ok {
-			delete(pc.pages, old)
-			pc.forget(old)
-		}
+		pc.popQueued(int(old>>32) - 1)
+		pc.tableDel(old)
 		pc.maybeCompact()
 	}
-	pc.pages[k] = page
-	pc.queue = append(pc.queue, k)
+	slot := pc.arena.alloc()
+	copy(pc.arena.page(slot), page)
+	pc.tableInsert(p, slot)
+	pc.queue = append(pc.queue, p)
 	pc.queued[k.group]++
-	sets := pc.byGroup[k.group]
-	if sets == nil {
-		sets = make(map[int]struct{})
-		pc.byGroup[k.group] = sets
-	}
-	sets[k.set] = struct{}{}
 }
 
-// forget removes k from the per-group index after its page left the map.
-func (pc *pbfgCache) forget(k pbfgKey) {
-	if sets := pc.byGroup[k.group]; sets != nil {
-		delete(sets, k.set)
-		if len(sets) == 0 {
-			delete(pc.byGroup, k.group)
+// insertRestored adds k without touching the FIFO queue (snapshot restore
+// rebuilds the queue separately) and returns the arena buffer for the
+// caller to fill with the page bytes.
+func (pc *pbfgCache) insertRestored(k pbfgKey) []byte {
+	slot := pc.arena.alloc()
+	pc.tableInsert(k.packed(), slot)
+	return pc.arena.page(slot)
+}
+
+// forEachKey calls fn for every cached page key, in table order.
+func (pc *pbfgCache) forEachKey(fn func(k pbfgKey)) {
+	for _, p := range pc.keys {
+		if p != 0 {
+			fn(unpackPBFG(p))
 		}
 	}
 }
@@ -208,14 +478,16 @@ func (pc *pbfgCache) popQueued(group int) {
 	}
 }
 
-// dropGroup purges a dead group's pages — O(pages cached for the group) via
-// the per-group index — and schedules the queue entries it strands for
-// compaction once they dominate the queue.
+// dropGroup purges a dead group's pages — probing the table at each of the
+// group's possible set offsets, O(SetsPerSG) — and schedules the queue
+// entries it strands for compaction once they dominate the queue.
 func (pc *pbfgCache) dropGroup(group int) {
-	for set := range pc.byGroup[group] {
-		delete(pc.pages, pbfgKey{group: group, set: set})
+	if pc.count > 0 {
+		base := (uint64(group) + 1) << 32
+		for s := 0; s < pc.setsPerSG; s++ {
+			pc.tableDel(base | uint64(s))
+		}
 	}
-	delete(pc.byGroup, group)
 	if group > pc.droppedUpTo {
 		pc.droppedUpTo = group
 	}
@@ -236,9 +508,9 @@ func (pc *pbfgCache) compactStale() {
 		return
 	}
 	kept := pc.queue[:0]
-	for _, k := range pc.queue[pc.head:] {
-		if k.group > pc.droppedUpTo {
-			kept = append(kept, k)
+	for _, p := range pc.queue[pc.head:] {
+		if int(p>>32)-1 > pc.droppedUpTo {
+			kept = append(kept, p)
 		}
 	}
 	pc.queue = kept
@@ -248,7 +520,8 @@ func (pc *pbfgCache) compactStale() {
 
 func (pc *pbfgCache) maybeCompact() {
 	if pc.head > len(pc.queue)/2 && pc.head > 1024 {
-		pc.queue = append([]pbfgKey(nil), pc.queue[pc.head:]...)
+		n := copy(pc.queue, pc.queue[pc.head:])
+		pc.queue = pc.queue[:n]
 		pc.head = 0
 	}
 }
@@ -258,6 +531,8 @@ func (pc *pbfgCache) maybeCompact() {
 // cache or flash. Flash reads are still accounted, but not as index-cache
 // traffic — the Figure 19b miss ratio counts only lookup-path queries,
 // which the read path charges itself during its plan phase (readpath.go).
+// A flash fetch lands in c.fetchBuf (mu-guarded scratch); the returned
+// slice is valid until the next fetchPBFG call.
 func (c *Cache) fetchPBFG(g *idxGroup, o int) (raw []byte, done time.Duration, err error) {
 	if !g.sealed {
 		return nil, 0, nil // caller tests unsealed filters per slot
@@ -266,15 +541,14 @@ func (c *Cache) fetchPBFG(g *idxGroup, o int) (raw []byte, done time.Duration, e
 	if page, ok := c.icache.get(k); ok {
 		return page, 0, nil
 	}
-	page := make([]byte, c.pageSize)
-	d, err := c.dev.ReadPage(c.pageAddrIn(g.zones, o), page)
+	d, err := c.dev.ReadPage(c.pageAddrIn(g.zones, o), c.fetchBuf)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: reading PBFG page: %w", err)
 	}
 	c.stats.FlashReadOps++
 	c.stats.FlashBytesRead += uint64(c.pageSize)
-	c.icache.put(k, page)
-	return page, d, nil
+	c.icache.put(k, c.fetchBuf)
+	return c.fetchBuf, d, nil
 }
 
 // pbfgResident reports whether the PBFG covering (group, set o) is in
@@ -295,4 +569,12 @@ func (c *Cache) testMember(g *idxGroup, page []byte, s, o int, ps *bloom.ProbeSe
 	}
 	bf := g.slotBF[s]
 	return bloom.TestRaw(bf[o*c.bfBytes:(o+1)*c.bfBytes], ps)
+}
+
+// releaseSG recycles a dead SG's struct and meta carve once its group is
+// dropped from the group list (no reader can plan against it afterwards).
+func (c *Cache) releaseSG(sg *flashSG) {
+	c.metaAlloc.release(sg.meta)
+	sg.meta = nil
+	c.sgAlloc.release(sg)
 }

@@ -4,9 +4,12 @@ import "nemo/internal/setblock"
 
 // memSG is a mutable in-memory Set-Group: SetsPerSG page-sized set blocks
 // aggregating incoming objects until flush (§4.1 "an SG begins as a mutable
-// in-memory structure").
+// in-memory structure"). The blocks are a value slice whose storage is
+// carved from one slab, so a memSG is three heap objects regardless of
+// SetsPerSG; flushed memSGs are recycled through Cache.memFree.
 type memSG struct {
-	sets []*setblock.Block
+	sets []setblock.Block
+	slab []byte // every set's backing, carved per slot
 	// newBytes counts user bytes inserted into this SG, including objects
 	// later sacrificed by delayed flushing (the paper's WA denominator,
 	// §5.2); writeback bytes are tracked separately and excluded.
@@ -18,13 +21,42 @@ type memSG struct {
 }
 
 func newMemSG(setsPerSG, setSize int) *memSG {
-	sg := &memSG{sets: make([]*setblock.Block, setsPerSG)}
+	per := setSize - setblock.HeaderSize
+	sg := &memSG{
+		sets: make([]setblock.Block, setsPerSG),
+		slab: make([]byte, setsPerSG*per),
+	}
 	for i := range sg.sets {
-		sg.sets[i] = setblock.New(setSize)
+		sg.sets[i].InitCarved(setSize, sg.slab[i*per:i*per:(i+1)*per])
 		sg.used += sg.sets[i].Used()
 	}
 	return sg
 }
+
+// reset returns the memSG to its freshly-built state, keeping the slab.
+func (sg *memSG) reset() {
+	sg.newBytes, sg.wbBytes, sg.newObjs, sg.wbObjs, sg.used = 0, 0, 0, 0, 0
+	for i := range sg.sets {
+		sg.sets[i].Reset()
+		sg.used += sg.sets[i].Used()
+	}
+}
+
+// takeMemSG reuses a flushed memSG or builds a fresh one.
+func (c *Cache) takeMemSG() *memSG {
+	if n := len(c.memFree); n > 0 {
+		sg := c.memFree[n-1]
+		c.memFree = c.memFree[:n-1]
+		sg.reset()
+		return sg
+	}
+	return newMemSG(c.setsPerSG, c.pageSize)
+}
+
+// putMemSG recycles a memSG whose contents reached flash (or were dropped);
+// no references to its blocks may outlive the call (readers copy values out
+// under the lock, and flush serialization completed before commit).
+func (c *Cache) putMemSG(sg *memSG) { c.memFree = append(c.memFree, sg) }
 
 // fillRate returns the SG's aggregate fill rate in [0, 1].
 func (sg *memSG) fillRate() float64 {
@@ -52,7 +84,7 @@ const (
 // insert places the entry in set o if it fits, updating accounting per the
 // insert's class.
 func (sg *memSG) insert(o int, fp uint64, key, value []byte, class insClass) bool {
-	blk := sg.sets[o]
+	blk := &sg.sets[o]
 	before := blk.Used()
 	// A replace may free room even when CanFit on the raw size fails, so
 	// attempt the insert and let the block decide.
@@ -75,7 +107,7 @@ func (sg *memSG) insert(o int, fp uint64, key, value []byte, class insClass) boo
 // canFit reports whether set o can accept the entry, accounting for an
 // existing version that an insert would replace.
 func (sg *memSG) canFit(o int, fp uint64, key []byte, valLen int) bool {
-	blk := sg.sets[o]
+	blk := &sg.sets[o]
 	free := blk.Free()
 	if old, _, ok := blk.Lookup(fp, key); ok {
 		free += setblock.EntrySize(len(key), len(old))
@@ -85,7 +117,7 @@ func (sg *memSG) canFit(o int, fp uint64, key []byte, valLen int) bool {
 
 // remove deletes (fp, key) from set o if present.
 func (sg *memSG) remove(o int, fp uint64, key []byte) bool {
-	blk := sg.sets[o]
+	blk := &sg.sets[o]
 	before := blk.Used()
 	ok := blk.Remove(fp, key)
 	sg.used += blk.Used() - before
@@ -98,7 +130,7 @@ func (sg *memSG) remove(o int, fp uint64, key []byte) bool {
 // still-cached flash copy it shadows — so a tombstone-packed set may fail
 // to yield room (the caller then falls back to flushing).
 func (sg *memSG) sacrifice(o int, need int) int {
-	blk := sg.sets[o]
+	blk := &sg.sets[o]
 	n := 0
 	for blk.Free() < need {
 		before := blk.Used()
@@ -120,8 +152,8 @@ func (sg *memSG) lookup(o int, fp uint64, key []byte) ([]byte, bool) {
 // objCount returns the total number of entries across all sets.
 func (sg *memSG) objCount() int {
 	n := 0
-	for _, b := range sg.sets {
-		n += b.Count()
+	for i := range sg.sets {
+		n += sg.sets[i].Count()
 	}
 	return n
 }

@@ -59,6 +59,22 @@ type Cache struct {
 	nextGroup int
 	icache    *pbfgCache
 
+	// Arena allocators for the steady-state index layer (index.go): flashSG
+	// structs and their packed per-set metadata. Arena slots recycle
+	// immediately; the concurrent read path copies everything it tests
+	// outside the lock at plan time (readpath.go), so nothing dangles.
+	sgAlloc   sgArena
+	metaAlloc metaArena
+
+	// fetchBuf is the write-path PBFG fetch scratch (guarded by mu): a
+	// cache-miss fetch lands here and icache.put copies it into the arena.
+	fetchBuf []byte
+
+	// memFree recycles memSG slabs: a flushed front returns here at commit
+	// and the next seal's rear rotation reuses it, so steady-state flushing
+	// allocates no set-page buffers.
+	memFree []*memSG
+
 	freeDataZones  []int
 	freeIndexZones []int
 
@@ -138,6 +154,10 @@ func New(cfg Config) (*Cache, error) {
 		bfK:       bloom.NumHashes(cfg.BloomFPR),
 	}
 	c.fscratch.pageBuf = make([]byte, 0, dev.PageSize())
+	c.fscratch.counts = make([]uint32, c.setsPerSG)
+	c.fscratch.parseBlk = *setblock.New(c.pageSize)
+	c.fetchBuf = make([]byte, c.pageSize)
+	c.sgAlloc = sgArena{zps: cfg.ZonesPerSG}
 	c.flushCond = sync.NewCond(&c.mu)
 	c.probes = bloom.NewProbeSet(0, c.bfBits, c.bfK)
 	c.getPool.New = func() any {
@@ -157,7 +177,7 @@ func New(cfg Config) (*Cache, error) {
 	dataSGs := cfg.DataZones / cfg.ZonesPerSG
 	maxGroups := (dataSGs + cfg.SGsPerIndexGroup - 1) / cfg.SGsPerIndexGroup
 	capacity := int(cfg.CachedPBFGRatio * float64((maxGroups+1)*c.setsPerSG))
-	c.icache = newPBFGCache(capacity)
+	c.icache = newPBFGCache(capacity, c.pageSize, c.setsPerSG)
 	if cfg.Flushers > 0 {
 		c.flusher = newFlusherPool(cfg.Flushers, 1)
 		c.ownFlusher = true
@@ -174,12 +194,21 @@ func popZones(free *[]int, n int) []int {
 	if len(*free) < n {
 		return nil
 	}
-	out := make([]int, n)
+	return popZonesInto(free, make([]int, 0, n), n)
+}
+
+// popZonesInto is popZones appending into the caller's slice (an SG's
+// arena-backed zones carve); it returns nil without consuming zones when
+// fewer than n are available.
+func popZonesInto(free *[]int, dst []int, n int) []int {
+	if len(*free) < n {
+		return nil
+	}
 	for i := 0; i < n; i++ {
-		out[i] = (*free)[len(*free)-1]
+		dst = append(dst, (*free)[len(*free)-1])
 		*free = (*free)[:len(*free)-1]
 	}
-	return out
+	return dst
 }
 
 // pageAddrIn maps intra-SG offset o onto the SG's (or index group's) zone
@@ -397,7 +426,7 @@ func (c *Cache) mayExistOnFlashLocked(fp uint64, o int) (bool, error) {
 		}
 		for s := len(g.members) - 1; s >= 0; s-- {
 			m := g.members[s]
-			if m.dead || m.setCounts[o] == 0 {
+			if m.dead || m.setCount(o) == 0 {
 				continue
 			}
 			if c.testMember(g, page, s, o, c.probes) {
@@ -537,6 +566,9 @@ func (c *Cache) openGroup() *idxGroup {
 		return c.groups[n-1]
 	}
 	g := &idxGroup{id: c.nextGroup}
+	// One backing allocation carries all member filter buffers until seal;
+	// member slot s writes only its own carve (see idxGroup.slotBF).
+	g.bfBacking = make([]byte, c.cfg.SGsPerIndexGroup*c.setsPerSG*c.bfBytes)
 	c.nextGroup++
 	c.groups = append(c.groups, g)
 	return g
@@ -582,7 +614,7 @@ func (c *Cache) shadowedByNewer(fp uint64, o int, newerThan uint64, key []byte) 
 		}
 		for s := len(g.members) - 1; s >= 0; s-- {
 			m := g.members[s]
-			if m.dead || m.id <= newerThan || m.setCounts[o] == 0 {
+			if m.dead || m.id <= newerThan || m.setCount(o) == 0 {
 				continue
 			}
 			if c.testMember(g, page, s, o, c.probes) {
@@ -593,10 +625,14 @@ func (c *Cache) shadowedByNewer(fp uint64, o int, newerThan uint64, key []byte) 
 	return false, nil
 }
 
-// dropDeadGroups trims fully dead groups from the front of the group list.
+// dropDeadGroups trims fully dead groups from the front of the group list,
+// recycling their members' structs and meta carves into the arenas.
 func (c *Cache) dropDeadGroups() {
 	i := 0
 	for i < len(c.groups) && c.groups[i].sealed && c.groups[i].liveCount == 0 {
+		for _, m := range c.groups[i].members {
+			c.releaseSG(m)
+		}
 		i++
 	}
 	if i > 0 {
@@ -614,11 +650,11 @@ func (c *Cache) coolLocked() {
 	}
 	for i := 0; i < limit && i < len(c.pool); i++ {
 		sg := c.pool[i]
-		if sg.bits == nil {
+		if !sg.hasBits {
 			continue
 		}
 		for o := 0; o < c.setsPerSG; o++ {
-			if sg.setCounts[o] == 0 {
+			if sg.setCount(o) == 0 {
 				continue
 			}
 			if !c.pbfgResident(sg.group, o) {

@@ -6,11 +6,11 @@ package core
 //
 //   - plan (locked): fingerprint → set offset, probe the in-memory SGs, and
 //     — when the lookup must go to flash — snapshot everything the unlocked
-//     phase needs: the ordered member-filter probes (unsealed index-group
-//     buffers and cached PBFG pages are immutable once published, so their
-//     byte slices are safe to test after unlock) and the PBFG pages missing
-//     from the index cache, plus the SG epoch (pool head ID + flush
-//     sequence).
+//     phase needs: the ordered member-filter probes (the filter bytes are
+//     COPIED into the per-goroutine scratch and the candidate page addresses
+//     precomputed here, so the unlocked phase never touches the recycling
+//     index-cache/SG arenas) and the PBFG pages missing from the index
+//     cache, plus the SG epoch (pool head ID + flush sequence).
 //   - I/O (unlocked): fetch the missing PBFG pages, Bloom-test the probes
 //     newest-first, read the candidate set pages (pooled per-goroutine
 //     buffers via sync.Pool — never the mutex-guarded scratch the old path
@@ -62,19 +62,22 @@ import (
 const maxGetOptimistic = 3
 
 // probeEnt is one member-filter Bloom test queued by the plan phase, in
-// newest-first candidate order.
+// newest-first candidate order. The sg pointer is carried for the commit
+// phase only (markHot, under the lock after epoch validation); the unlocked
+// phase works from the copied filter bytes and the precomputed address.
 type probeEnt struct {
 	sg   *flashSG
-	bf   []byte // ready filter slice; nil = slice pends[pend].page at slot
-	pend int32  // index into the pend list when bf == nil
-	slot int32  // filter slot within the pending group's page
+	addr int   // flash address of the candidate set page, fixed at plan time
+	bfLo int32 // offset of the copied filter in sc.bfArena; -1 = pend-backed
+	pend int32 // index into the pend list when bfLo < 0
+	slot int32 // filter slot within the pending group's page
 }
 
 // pendFetch is one PBFG page the plan phase found missing from the index
-// cache. The I/O phase fetches it into a fresh page buffer (owned by the
-// attempt until the commit phase publishes it to the index cache, whose
-// pages are immutable and never recycled — that immutability is what makes
-// testing cached pages outside the lock safe).
+// cache. The I/O phase fetches it into a pooled page buffer owned by the
+// attempt; the commit phase publishes it to the index cache, whose put
+// copies the bytes into the cache's page arena, so the buffer recycles into
+// the scratch pool immediately after.
 type pendFetch struct {
 	key   pbfgKey
 	addr  int
@@ -90,16 +93,18 @@ type pendFetch struct {
 // allocates nothing beyond the returned value copy. The candidate read
 // buffers (bufs) are plain pooled pages — the device copies into them
 // synchronously and never retains them (the flashsim ReadPages ownership
-// contract), and they are recycled across Gets; PBFG pages headed for the
-// index cache are NOT drawn from here, because published icache pages must
-// stay immutable forever.
+// contract), and they are recycled across Gets. PBFG pages headed for the
+// index cache draw from their own free list (freePages): the index cache
+// copies on put, so the fetch buffer comes straight back.
 type getScratch struct {
-	probes *bloom.ProbeSet
-	ents   []probeEnt
-	pends  []pendFetch
-	cands  []*flashSG
-	addrs  []int
-	bufs   [][]byte
+	probes    *bloom.ProbeSet
+	ents      []probeEnt
+	pends     []pendFetch
+	bfArena   []byte // plan-phase copies of the filters to test, bfBytes each
+	cands     []*flashSG
+	addrs     []int
+	bufs      [][]byte
+	freePages [][]byte
 
 	// Batch-mode per-key state (see getBatch).
 	atts    []getAttempt
@@ -251,16 +256,23 @@ func (c *Cache) planGetLocked(sc *getScratch, att *getAttempt, key []byte, owner
 		}
 		for s := len(g.members) - 1; s >= 0; s-- {
 			m := g.members[s]
-			if m.dead || m.setCounts[o] == 0 {
+			if m.dead || m.setCount(o) == 0 {
 				continue
 			}
-			e := probeEnt{sg: m, pend: pend, slot: int32(s)}
+			// Copy the filter to test into the scratch now: arena slots and
+			// unsealed group buffers may be recycled or dropped the moment
+			// the lock is released, so the unlocked phase must own every
+			// byte it reads. The page address is fixed here for the same
+			// reason (m.zones aliases the recycling SG arena).
+			e := probeEnt{sg: m, addr: c.pageAddrIn(m.zones, o), bfLo: -1, pend: pend, slot: int32(s)}
 			switch {
 			case !g.sealed:
 				bf := g.slotBF[s]
-				e.bf = bf[o*c.bfBytes : (o+1)*c.bfBytes]
+				e.bfLo = int32(len(sc.bfArena))
+				sc.bfArena = append(sc.bfArena, bf[o*c.bfBytes:(o+1)*c.bfBytes]...)
 			case page != nil:
-				e.bf = page[int32(s)*int32(c.bfBytes) : (int32(s)+1)*int32(c.bfBytes)]
+				e.bfLo = int32(len(sc.bfArena))
+				sc.bfArena = append(sc.bfArena, page[s*c.bfBytes:(s+1)*c.bfBytes]...)
 			}
 			sc.ents = append(sc.ents, e)
 		}
@@ -283,16 +295,23 @@ func (sc *getScratch) findPend(k pbfgKey) int32 {
 }
 
 // fetchPend performs one pending PBFG fetch if it has not run yet,
-// accounting the read in r. The page buffer is freshly allocated — it is
-// destined for the index cache, whose pages must stay immutable — so a PBFG
-// miss is the one GET outcome that still allocates beyond the hit copy.
-func (c *Cache) fetchPend(p *pendFetch, r *getIOResult) {
+// accounting the read in r. The page buffer comes from the scratch's free
+// list (the index cache copies on put, so publication returns it), making
+// the steady-state PBFG miss allocation-free like every other GET outcome.
+func (c *Cache) fetchPend(sc *getScratch, p *pendFetch, r *getIOResult) {
 	if p.page != nil || p.err != nil {
 		return
 	}
-	page := make([]byte, c.pageSize)
+	var page []byte
+	if n := len(sc.freePages); n > 0 {
+		page = sc.freePages[n-1]
+		sc.freePages = sc.freePages[:n-1]
+	} else {
+		page = make([]byte, c.pageSize)
+	}
 	d, err := c.dev.ReadPage(p.addr, page)
 	if err != nil {
+		sc.freePages = append(sc.freePages, page)
 		p.err = err
 		return
 	}
@@ -312,7 +331,7 @@ func (c *Cache) getIO(sc *getScratch, att *getAttempt, key []byte, my int32) (r 
 		if p.owner != my {
 			continue
 		}
-		c.fetchPend(p, &r)
+		c.fetchPend(sc, p, &r)
 		if p.err != nil {
 			// Abort at the first failed index read, like the locked path:
 			// without the filters the candidate set is unknowable.
@@ -328,13 +347,15 @@ func (c *Cache) getIO(sc *getScratch, att *getAttempt, key []byte, my int32) (r 
 	cands := sc.cands[:0]
 	addrs := sc.addrs[:0]
 	for _, e := range sc.ents[att.entLo:att.entHi] {
-		bf := e.bf
-		if bf == nil {
+		var bf []byte
+		if e.bfLo >= 0 {
+			bf = sc.bfArena[e.bfLo : int(e.bfLo)+c.bfBytes]
+		} else {
 			p := &sc.pends[e.pend]
 			if p.page == nil {
 				// The owning key aborted before fetching this page (or the
 				// fetch itself failed): complete it on behalf of this key.
-				c.fetchPend(p, &r)
+				c.fetchPend(sc, p, &r)
 				if p.err == nil && p.done > r.maxDone {
 					r.maxDone = p.done
 				}
@@ -348,7 +369,7 @@ func (c *Cache) getIO(sc *getScratch, att *getAttempt, key []byte, my int32) (r 
 		}
 		if bloom.TestRaw(bf, sc.probes) {
 			cands = append(cands, e.sg)
-			addrs = append(addrs, c.pageAddrIn(e.sg.zones, att.o))
+			addrs = append(addrs, e.addr)
 		}
 	}
 	sc.cands, sc.addrs = cands, addrs
@@ -420,13 +441,14 @@ func (c *Cache) commitGetLocked(sc *getScratch, att *getAttempt, r *getIOResult,
 	}
 }
 
-// publishPendsLocked moves every fetched PBFG page into the index cache and
-// clears the pend list's page references. put deduplicates against racing
-// publishers of the same page.
+// publishPendsLocked copies every fetched PBFG page into the index cache
+// (put copies into the arena, deduplicating against racing publishers) and
+// recycles the fetch buffers into the scratch's free list.
 func (c *Cache) publishPendsLocked(sc *getScratch) {
 	for i := range sc.pends {
 		if p := &sc.pends[i]; p.page != nil {
 			c.icache.put(p.key, p.page)
+			sc.freePages = append(sc.freePages, p.page)
 			p.page = nil
 		}
 	}
@@ -441,6 +463,9 @@ func (c *Cache) abortGetLocked(sc *getScratch, r *getIOResult) {
 	c.stats.FlashBytesRead += r.readBytes
 	c.stats.ReadErrors += r.readErrs
 	for i := range sc.pends {
+		if p := &sc.pends[i]; p.page != nil {
+			sc.freePages = append(sc.freePages, p.page)
+		}
 		sc.pends[i].page = nil
 		sc.pends[i].err = nil
 	}
@@ -450,6 +475,7 @@ func (c *Cache) abortGetLocked(sc *getScratch, r *getIOResult) {
 func (sc *getScratch) resetPlan() {
 	sc.ents = sc.ents[:0]
 	sc.pends = sc.pends[:0]
+	sc.bfArena = sc.bfArena[:0]
 }
 
 // get is the single-key lookup path behind Get; the key is already
@@ -585,6 +611,9 @@ func (c *Cache) getBatch(fps []uint64, keys [][]byte, emit func(j int, val []byt
 			c.stats.ReadErrors += r.readErrs
 		}
 		for i := range sc.pends {
+			if p := &sc.pends[i]; p.page != nil {
+				sc.freePages = append(sc.freePages, p.page)
+			}
 			sc.pends[i].page, sc.pends[i].err = nil, nil
 		}
 		for j := range atts {

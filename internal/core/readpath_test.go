@@ -308,19 +308,19 @@ func TestConcurrentGetStress(t *testing.T) {
 // groups untouched, and the stranded queue entries are compacted away once
 // they dominate.
 func TestPBFGCacheDropGroupIndexed(t *testing.T) {
-	pc := newPBFGCache(256)
+	pc := newPBFGCache(256, 8, 100)
 	for g := 0; g < 2; g++ {
 		for s := 0; s < 100; s++ {
 			pc.put(pbfgKey{group: g, set: s}, []byte{byte(g), byte(s)})
 		}
 	}
-	if len(pc.pages) != 200 || len(pc.byGroup[0]) != 100 || len(pc.byGroup[1]) != 100 {
-		t.Fatalf("setup: %d pages, byGroup %d/%d", len(pc.pages), len(pc.byGroup[0]), len(pc.byGroup[1]))
+	if pc.count != 200 || pc.queued[0] != 100 || pc.queued[1] != 100 {
+		t.Fatalf("setup: %d pages, queued %d/%d", pc.count, pc.queued[0], pc.queued[1])
 	}
 
 	pc.dropGroup(0)
-	if _, ok := pc.byGroup[0]; ok {
-		t.Fatal("dropGroup left the group index behind")
+	if _, ok := pc.queued[0]; ok {
+		t.Fatal("dropGroup left the group's queue accounting behind")
 	}
 	for s := 0; s < 100; s++ {
 		if pc.has(pbfgKey{group: 0, set: s}) {
@@ -340,12 +340,12 @@ func TestPBFGCacheDropGroupIndexed(t *testing.T) {
 	if got := len(pc.queue) - pc.head; got != 0 {
 		t.Fatalf("queue holds %d entries after all groups died", got)
 	}
-	if pc.stale != 0 || len(pc.pages) != 0 {
-		t.Fatalf("compaction left stale=%d pages=%d", pc.stale, len(pc.pages))
+	if pc.stale != 0 || pc.count != 0 {
+		t.Fatalf("compaction left stale=%d pages=%d", pc.stale, pc.count)
 	}
 
 	// Re-put for a new group still works and evicts in FIFO order.
-	small := newPBFGCache(2)
+	small := newPBFGCache(2, 8, 2)
 	small.put(pbfgKey{group: 5, set: 0}, []byte{1})
 	small.put(pbfgKey{group: 5, set: 1}, []byte{2})
 	small.put(pbfgKey{group: 6, set: 0}, []byte{3})
@@ -355,8 +355,8 @@ func TestPBFGCacheDropGroupIndexed(t *testing.T) {
 	if !small.has(pbfgKey{group: 5, set: 1}) || !small.has(pbfgKey{group: 6, set: 0}) {
 		t.Fatal("eviction dropped the wrong page")
 	}
-	if len(small.byGroup[5]) != 1 {
-		t.Fatalf("byGroup not maintained through eviction: %v", small.byGroup)
+	if small.queued[5] != 1 {
+		t.Fatalf("queue accounting not maintained through eviction: %v", small.queued)
 	}
 }
 

@@ -26,7 +26,6 @@ import (
 
 	"nemo/internal/cachelib"
 	"nemo/internal/device"
-	"nemo/internal/setblock"
 	"nemo/internal/snapshot"
 )
 
@@ -123,12 +122,20 @@ func (c *Cache) captureLocked() snapshot.Shard {
 		}
 		for _, m := range g.members {
 			sm := snapshot.SG{
-				ID:        m.id,
-				Slot:      m.slot,
-				Dead:      m.dead,
-				ObjCount:  m.objCount,
-				Fill:      m.fill,
-				SetCounts: append([]uint16(nil), m.setCounts...),
+				ID:       m.id,
+				Slot:     m.slot,
+				Dead:     m.dead,
+				ObjCount: m.objCount,
+				Fill:     m.fill,
+			}
+			// The packed meta carve unpacks into the snapshot's historical
+			// field types, so the checkpoint bytes are identical to the
+			// map/slice-era layout's: uint16 set counts, uint64 hot words
+			// (the carve's hot region is u64-pair aligned exactly so this
+			// conversion is a bit-for-bit repack).
+			sm.SetCounts = make([]uint16, m.nsets)
+			for o := 0; o < m.nsets; o++ {
+				sm.SetCounts[o] = uint16(m.setCount(o))
 			}
 			// A dead SG's zones went back to the free list when it was
 			// evicted (writepath.go); the slice left on the struct is stale
@@ -136,8 +143,12 @@ func (c *Cache) captureLocked() snapshot.Shard {
 			if !m.dead {
 				sm.Zones = append([]int(nil), m.zones...)
 			}
-			if m.bits != nil {
-				sm.Bits = append(make([]uint64, 0, len(m.bits)), m.bits...)
+			if m.hasBits {
+				hw := m.hotWords()
+				sm.Bits = make([]uint64, (m.objCount+63)/64)
+				for w := range sm.Bits {
+					sm.Bits[w] = uint64(hw[2*w]) | uint64(hw[2*w+1])<<32
+				}
 			}
 			sg.Members = append(sg.Members, sm)
 		}
@@ -153,17 +164,18 @@ func (c *Cache) captureLocked() snapshot.Shard {
 			NewObjs:  m.newObjs,
 			WBObjs:   m.wbObjs,
 		}
-		for _, blk := range m.sets {
-			ms.Sets = append(ms.Sets, blk.AppendTo(nil))
+		for o := range m.sets {
+			ms.Sets = append(ms.Sets, m.sets[o].AppendTo(nil))
 		}
 		sh.MemQ = append(sh.MemQ, ms)
 	}
-	for _, k := range c.icache.queue[c.icache.head:] {
+	for _, p := range c.icache.queue[c.icache.head:] {
+		k := unpackPBFG(p)
 		sh.ICQueue = append(sh.ICQueue, snapshot.PBFGRef{Group: k.group, Set: k.set})
 	}
-	for k := range c.icache.pages {
+	c.icache.forEachKey(func(k pbfgKey) {
 		sh.ICPages = append(sh.ICPages, snapshot.PBFGRef{Group: k.group, Set: k.set})
-	}
+	})
 	// Map iteration is random; the snapshot is canonical, so order the page
 	// list deterministically (restore order does not matter — pages have no
 	// order in the live cache either).
@@ -239,6 +251,7 @@ func (c *Cache) tryRestore(path string) (bool, error) {
 type restoredState struct {
 	memq           []*memSG
 	sacCount       int
+	sgs            []*flashSG // every arena-allocated SG, for discardRestore
 	pool           []*flashSG
 	nextSGID       uint64
 	groups         []*idxGroup
@@ -289,6 +302,18 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 		extra:          nemoStatsOf(sh.Extra),
 	}
 
+	// SG structs and their meta come out of this cache's arenas; an
+	// abandoned restore releases them so a refused snapshot leaves the cold
+	// cache's arenas exactly as New built them.
+	built := false
+	defer func() {
+		if !built {
+			for _, m := range st.sgs {
+				c.releaseSG(m)
+			}
+		}
+	}()
+
 	// In-memory SG queue: parse every set's page image back into a block.
 	if len(sh.MemQ) != cfg.InMemSGs {
 		return nil, cfgErr("%d buffered SGs for InMemSGs=%d", len(sh.MemQ), cfg.InMemSGs)
@@ -298,23 +323,18 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 		if len(ms.Sets) != c.setsPerSG {
 			return nil, cfgErr("buffered SG %d has %d sets, want %d", i, len(ms.Sets), c.setsPerSG)
 		}
-		m := &memSG{
-			sets:     make([]*setblock.Block, c.setsPerSG),
-			newBytes: ms.NewBytes,
-			wbBytes:  ms.WBBytes,
-			newObjs:  ms.NewObjs,
-			wbObjs:   ms.WBObjs,
-		}
+		m := newMemSG(c.setsPerSG, c.pageSize)
+		m.newBytes, m.wbBytes = ms.NewBytes, ms.WBBytes
+		m.newObjs, m.wbObjs = ms.NewObjs, ms.WBObjs
+		m.used = 0
 		for o, page := range ms.Sets {
 			if len(page) != c.pageSize {
 				return nil, cfgErr("buffered SG %d set %d is %d bytes, want %d", i, o, len(page), c.pageSize)
 			}
-			blk, err := setblock.Parse(page, c.pageSize)
-			if err != nil {
+			if err := m.sets[o].DecodeFrom(page); err != nil {
 				return nil, cfgErr("buffered SG %d set %d: %v", i, o, err)
 			}
-			m.sets[o] = blk
-			m.used += blk.Used()
+			m.used += m.sets[o].Used()
 		}
 		st.memq = append(st.memq, m)
 	}
@@ -361,11 +381,18 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 			if len(sg.SlotBF) != len(sg.Members) {
 				return nil, cfgErr("unsealed group %d has %d filter buffers for %d members", sg.ID, len(sg.SlotBF), len(sg.Members))
 			}
+			// Future members flush their filters into this group's backing
+			// slab (writepath.go), so rebuild it and carve the checkpointed
+			// buffers back into their slots.
+			slotBytes := c.setsPerSG * c.bfBytes
+			g.bfBacking = make([]byte, cfg.SGsPerIndexGroup*slotBytes)
 			for s, bf := range sg.SlotBF {
-				if len(bf) != c.setsPerSG*c.bfBytes {
-					return nil, cfgErr("group %d filter buffer %d is %d bytes, want %d", sg.ID, s, len(bf), c.setsPerSG*c.bfBytes)
+				if len(bf) != slotBytes {
+					return nil, cfgErr("group %d filter buffer %d is %d bytes, want %d", sg.ID, s, len(bf), slotBytes)
 				}
-				g.slotBF = append(g.slotBF, append([]byte(nil), bf...))
+				carve := g.bfBacking[s*slotBytes : (s+1)*slotBytes : (s+1)*slotBytes]
+				copy(carve, bf)
+				g.slotBF = append(g.slotBF, carve)
 			}
 		}
 		for s := range sg.Members {
@@ -400,20 +427,33 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 			if sm.Bits != nil && len(sm.Bits) != (sm.ObjCount+63)/64 {
 				return nil, cfgErr("SG %d bitmap of %d words for %d objects", sm.ID, len(sm.Bits), sm.ObjCount)
 			}
-			m := &flashSG{
-				id:        sm.ID,
-				group:     g,
-				slot:      s,
-				setCounts: append([]uint16(nil), sm.SetCounts...),
-				objCount:  sm.ObjCount,
-				fill:      sm.Fill,
-				dead:      sm.Dead,
-			}
+			m := c.sgAlloc.alloc()
+			st.sgs = append(st.sgs, m)
+			m.id = sm.ID
+			m.group = g
+			m.slot = s
+			m.nsets = c.setsPerSG
+			m.objCount = sm.ObjCount
+			m.fill = sm.Fill
+			m.dead = sm.Dead
 			if !sm.Dead {
-				m.zones = append([]int(nil), sm.Zones...)
+				m.zones = append(m.zones, sm.Zones...)
 			}
+			// Carve the packed meta: counts (via the flush scratch — the
+			// restore runs pre-publish, single-threaded), prefix sums, and
+			// the zeroed hot region, then unpack the checkpointed hot words
+			// into it (the inverse of captureLocked's repack).
+			for o, n := range sm.SetCounts {
+				c.fscratch.counts[o] = uint32(n)
+			}
+			c.carveMeta(m, c.fscratch.counts)
 			if sm.Bits != nil {
-				m.bits = append(make([]uint64, 0, len(sm.Bits)), sm.Bits...)
+				hw := m.hotWords()
+				for w, v := range sm.Bits {
+					hw[2*w] = uint32(v)
+					hw[2*w+1] = uint32(v >> 32)
+				}
+				m.hasBits = true
 			}
 			g.members = append(g.members, m)
 			if !m.dead {
@@ -474,7 +514,7 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 	// PBFG index cache: the FIFO queue restores verbatim; cached pages are
 	// re-read from the (validated identical) index zones, so the snapshot
 	// never stores index bytes it would then have to trust.
-	ic := newPBFGCache(c.icache.capacity)
+	ic := newPBFGCache(c.icache.capacity, c.pageSize, c.setsPerSG)
 	ic.lookups, ic.misses = sh.ICLookups, sh.ICMisses
 	ic.droppedUpTo = sh.ICDroppedUpTo
 	if ic.capacity == 0 && (len(sh.ICQueue) != 0 || len(sh.ICPages) != 0) {
@@ -498,7 +538,7 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 			ic.stale++
 		}
 		queued[ref]++
-		ic.queue = append(ic.queue, pbfgKey{group: ref.Group, set: ref.Set})
+		ic.queue = append(ic.queue, pbfgKey{group: ref.Group, set: ref.Set}.packed())
 	}
 	for _, ref := range sh.ICPages {
 		g := groupByID[ref.Group]
@@ -509,20 +549,15 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 			return nil, cfgErr("cached PBFG page (%d,%d) absent from the FIFO queue", ref.Group, ref.Set)
 		}
 		k := pbfgKey{group: ref.Group, set: ref.Set}
-		if _, dup := ic.pages[k]; dup {
+		if ic.has(k) {
 			return nil, cfgErr("duplicate cached PBFG page (%d,%d)", ref.Group, ref.Set)
 		}
-		page := make([]byte, c.pageSize)
+		// insertRestored hands back the arena slot to read straight into; a
+		// failed read abandons ic wholesale (its arena is private to it).
+		page := ic.insertRestored(k)
 		if _, err := c.dev.ReadPage(c.pageAddrIn(g.zones, ref.Set), page); err != nil {
 			return nil, fmt.Errorf("core: re-reading PBFG page (%d,%d): %w", ref.Group, ref.Set, err)
 		}
-		ic.pages[k] = page
-		sets := ic.byGroup[ref.Group]
-		if sets == nil {
-			sets = make(map[int]struct{})
-			ic.byGroup[ref.Group] = sets
-		}
-		sets[ref.Set] = struct{}{}
 	}
 	st.icache = ic
 
@@ -535,7 +570,16 @@ func (c *Cache) buildRestore(sh *snapshot.Shard) (*restoredState, error) {
 			WBBytes:  rec.WBBytes,
 		})
 	}
+	built = true
 	return st, nil
+}
+
+// discardRestore releases a built-but-never-adopted state's arena
+// allocations (a sibling shard's defect abandons every shard's restore).
+func (c *Cache) discardRestore(st *restoredState) {
+	for _, m := range st.sgs {
+		c.releaseSG(m)
+	}
 }
 
 // checkZonePartition verifies free ∪ live == [base, base+n) with no overlap.
@@ -692,6 +736,9 @@ func (s *Sharded) tryRestore(path string) (bool, error) {
 	for i, c := range s.shards {
 		st, err := c.buildRestore(&f.Shards[i])
 		if err != nil {
+			for j := 0; j < i; j++ {
+				s.shards[j].discardRestore(states[j])
+			}
 			return false, fmt.Errorf("shard %d: %w", i, err)
 		}
 		states[i] = st

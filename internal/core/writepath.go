@@ -89,10 +89,14 @@ type sealedFlush struct {
 // flushes. Only one flush is ever in flight per cache (flushInFlight), so
 // the owner uses them without further locking.
 type flushScratch struct {
-	victimBufs [][]byte      // eviction read-back pages
+	victimBufs [][]byte      // eviction read-back pages (carves of victimSlab)
+	victimSlab []byte        // one allocation backing all read-back pages
 	pageBuf    []byte        // serialization / PBFG-assembly scratch
 	filter     *bloom.Filter // per-set filter builder
 	readSets   []int         // victim set offsets scheduled for read-back
+	counts     []uint32      // per-set object counts of the SG being built;
+	// copied into the SG's meta carve at commit
+	parseBlk setblock.Block // eviction read-back decode scratch
 }
 
 // evictPlan is the seal phase's snapshot of one eviction: which victim set
@@ -170,25 +174,25 @@ func (c *Cache) flushOwner() error {
 			return err
 		}
 	}
-	zones := popZones(&c.freeDataZones, c.cfg.ZonesPerSG)
-	if zones == nil {
+	if len(c.freeDataZones) < c.cfg.ZonesPerSG {
 		c.abortEvictLocked(ev)
 		c.eraseLocked(ev, nil, nil)
 		return fmt.Errorf("core: no free data zones after eviction")
 	}
 	g := c.openGroup()
-	sg := &flashSG{
-		id:        c.nextSGID,
-		zones:     zones,
-		group:     g,
-		slot:      len(g.members),
-		setCounts: make([]uint16, c.setsPerSG),
-	}
+	sg := c.sgAlloc.alloc()
+	sg.id = c.nextSGID
+	sg.group = g
+	sg.slot = len(g.members)
+	sg.nsets = c.setsPerSG
+	sg.zones = popZonesInto(&c.freeDataZones, sg.zones, c.cfg.ZonesPerSG)
+	zones := sg.zones
 	willSeal := len(g.members)+1 == c.cfg.SGsPerIndexGroup
 	var idxZones []int
 	if willSeal {
 		if idxZones = popZones(&c.freeIndexZones, c.cfg.ZonesPerSG); idxZones == nil {
 			c.freeDataZones = append(c.freeDataZones, zones...)
+			c.sgAlloc.release(sg)
 			c.abortEvictLocked(ev)
 			c.eraseLocked(ev, nil, nil)
 			return fmt.Errorf("core: no free index zones to seal group %d", g.id)
@@ -198,7 +202,7 @@ func (c *Cache) flushOwner() error {
 	memberBF := g.slotBF // existing member filters; immutable, appended to only at commit
 	c.sealed = &sealedFlush{mem: front}
 	copy(c.memq, c.memq[1:])
-	c.memq[len(c.memq)-1] = newMemSG(c.setsPerSG, c.pageSize)
+	c.memq[len(c.memq)-1] = c.takeMemSG()
 	c.sacCount = 0
 
 	// ---- Phase 2a: eviction read-back (unlocked) + liveness filter (locked) ----
@@ -211,7 +215,7 @@ func (c *Cache) flushOwner() error {
 			c.relockAfterBuild()
 		}
 		if err := c.evictFilterLocked(ev, front, nRead, readErr); err != nil {
-			return c.recoverFailedFlushLocked(ev, front, zones, idxZones, err)
+			return c.recoverFailedFlushLocked(ev, front, sg, zones, idxZones, err)
 		}
 	}
 	fill := front.fillRate() // writeback survivors included, as in the locked path
@@ -221,10 +225,14 @@ func (c *Cache) flushOwner() error {
 	bfs, buildErr := c.buildAndAppend(ev, front, sg, zones, idxZones, willSeal, memberBF)
 	c.relockAfterBuild()
 	if buildErr != nil {
-		return c.recoverFailedFlushLocked(ev, front, zones, idxZones, buildErr)
+		return c.recoverFailedFlushLocked(ev, front, sg, zones, idxZones, buildErr)
 	}
 
 	// ---- Phase 3: commit (locked) ----
+	// The SG's counts are final: carve its packed meta (counts, slot bases,
+	// hotness region) from the arena. Readers never probe an SG before this
+	// publish, so the prefix sums are always ready on the probe path.
+	c.carveMeta(sg, c.fscratch.counts)
 	sg.fill = fill
 	zoneBytes := uint64(c.setsPerSG * c.pageSize)
 	c.stats.FlashBytesWritten += zoneBytes
@@ -256,7 +264,8 @@ func (c *Cache) flushOwner() error {
 		c.extra.IndexBytesWritten += zoneBytes
 		g.zones = idxZones
 		g.sealed = true
-		g.slotBF = nil // buffer released; filters now live in the index pool
+		g.slotBF = nil    // buffer released; filters now live in the index pool
+		g.bfBacking = nil // the slab behind those slices goes with them
 	}
 	if c.bytesSinceCool >= uint64(c.cfg.CoolingWriteRatio*float64(c.poolCapacityBytes())) {
 		c.coolLocked()
@@ -265,6 +274,12 @@ func (c *Cache) flushOwner() error {
 	// A committed flush is proof the device writes: end any failure run and
 	// close a degraded window (health.go).
 	c.breakerFlushOKLocked()
+	// The flushed front's contents are on flash and published; recycle its
+	// slab for the next seal's rear rotation. Readers hold no references —
+	// value copies are taken under the lock — and this runs in the same
+	// critical section that clears c.sealed.
+	c.sealed = nil
+	c.putMemSG(front)
 	return nil
 }
 
@@ -293,10 +308,10 @@ func (c *Cache) sealEvictLocked() (*evictPlan, error) {
 	if c.cfg.Writeback && victim.objCount > 0 {
 		sets := c.fscratch.readSets[:0]
 		for o := 0; o < c.setsPerSG; o++ {
-			if victim.setCounts[o] == 0 {
+			if victim.setCount(o) == 0 {
 				continue
 			}
-			if victim.bits == nil && !c.pbfgResident(victim.group, o) {
+			if !victim.hasBits && !c.pbfgResident(victim.group, o) {
 				continue
 			}
 			sets = append(sets, o)
@@ -336,8 +351,13 @@ func (c *Cache) abortEvictLocked(ev *evictPlan) {
 // device error, and reports how many reads completed.
 func (c *Cache) readVictimPages(ev *evictPlan) (int, error) {
 	sc := &c.fscratch
+	if sc.victimSlab == nil {
+		// At most one page per set; one slab backs every read-back buffer.
+		sc.victimSlab = make([]byte, c.setsPerSG*c.pageSize)
+	}
 	for len(sc.victimBufs) < len(ev.readSets) {
-		sc.victimBufs = append(sc.victimBufs, make([]byte, c.pageSize))
+		i := len(sc.victimBufs)
+		sc.victimBufs = append(sc.victimBufs, sc.victimSlab[i*c.pageSize:(i+1)*c.pageSize:(i+1)*c.pageSize])
 	}
 	for i, o := range ev.readSets {
 		if _, err := c.dev.ReadPage(c.pageAddrIn(ev.victim.zones, o), sc.victimBufs[i]); err != nil {
@@ -375,13 +395,13 @@ func (c *Cache) evictFilterLocked(ev *evictPlan, dst *memSG, nRead int, readErr 
 	if c.cfg.Writeback && victim.objCount > 0 {
 		ri := 0
 		for o := 0; o < c.setsPerSG; o++ {
-			if victim.setCounts[o] == 0 {
+			if victim.setCount(o) == 0 {
 				continue
 			}
 			if ri >= len(ev.readSets) || ev.readSets[ri] != o {
 				// Neither hotness signal could fire: no read-back happened.
-				c.stats.Evictions += uint64(victim.setCounts[o])
-				resolved += int(victim.setCounts[o])
+				c.stats.Evictions += uint64(victim.setCount(o))
+				resolved += victim.setCount(o)
 				continue
 			}
 			if ri >= nRead {
@@ -392,8 +412,8 @@ func (c *Cache) evictFilterLocked(ev *evictPlan, dst *memSG, nRead int, readErr 
 			buf := c.fscratch.victimBufs[ri]
 			ri++
 			resident := c.pbfgResident(victim.group, o)
-			blk, err := setblock.Parse(buf, c.pageSize)
-			if err != nil {
+			blk := &c.fscratch.parseBlk
+			if err := blk.DecodeFrom(buf); err != nil {
 				return finish(fmt.Errorf("core: parsing evicted set: %w", err))
 			}
 			var wbErr error
@@ -464,13 +484,20 @@ func (c *Cache) buildAndAppend(ev *evictPlan, front *memSG, sg *flashSG, zones, 
 		sc.filter = bloom.New(c.cfg.TargetObjsPerSet, c.cfg.BloomFPR)
 	}
 	ppz := c.dev.PagesPerZone()
-	bfs := make([]byte, c.setsPerSG*c.bfBytes)
-	for o, blk := range front.sets {
+	// The SG's filters live in its slot's carve of the group backing; the
+	// owner writes only this slot, so concurrent readers probing other
+	// members' carves see disjoint bytes. Set counts accumulate in the
+	// owner's scratch — the SG's meta carve happens at commit, when the
+	// final object count is known.
+	slotBytes := c.setsPerSG * c.bfBytes
+	bfs := sg.group.bfBacking[sg.slot*slotBytes : (sg.slot+1)*slotBytes : (sg.slot+1)*slotBytes]
+	for o := range front.sets {
+		blk := &front.sets[o]
 		sc.pageBuf = blk.AppendTo(sc.pageBuf[:0])
 		if _, _, err := c.appendPageRetry(zones[o/ppz], sc.pageBuf); err != nil {
 			return nil, fmt.Errorf("core: flushing SG: %w", err)
 		}
-		sg.setCounts[o] = uint16(blk.Count())
+		sc.counts[o] = uint32(blk.Count())
 		sg.objCount += blk.Count()
 		sc.filter.Reset()
 		blk.Range(func(_ int, e setblock.Entry) bool {
@@ -503,11 +530,14 @@ func (c *Cache) buildAndAppend(ev *evictPlan, front *memSG, sg *flashSG, zones, 
 // count as evictions. This is strictly saner than the historical locked
 // path, which left partially written zones claimed and the front SG queued
 // for a doomed re-flush. Called and returns with c.mu held.
-func (c *Cache) recoverFailedFlushLocked(ev *evictPlan, front *memSG, zones, idxZones []int, cause error) error {
+func (c *Cache) recoverFailedFlushLocked(ev *evictPlan, front *memSG, sg *flashSG, zones, idxZones []int, cause error) error {
 	c.eraseLocked(ev, zones, idxZones)
 	c.freeDataZones = append(c.freeDataZones, zones...)
 	c.freeIndexZones = append(c.freeIndexZones, idxZones...)
+	c.releaseSG(sg) // never published: no meta carved, no reader can hold it
 	c.stats.Evictions += uint64(front.objCount())
+	c.sealed = nil
+	c.putMemSG(front)
 	// Every path through here was killed by a device failure (a read-back,
 	// parse, shadow-fetch, reset, or append error); seal-phase
 	// zone-exhaustion errors — configuration conditions, not hardware —

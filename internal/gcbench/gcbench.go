@@ -1,0 +1,234 @@
+// Package gcbench is the GC-pressure benchmark harness behind
+// `nemobench -gcbench` (the BENCH_gc.json CI baseline). It populates a
+// sharded cache to a target resident-key count, measures the live heap the
+// cache costs (objects and bytes, settled by a double GC), then drives the
+// GET path under forced GC churn to price the collector's scan work against
+// throughput. Unlike getbench, the harness retains nothing per key — keys
+// and values are regenerated into reusable buffers — so the measured heap
+// delta is attributable to the cache alone (the flashsim backend adds one
+// slab per zone, a few hundred objects at most).
+package gcbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nemo/internal/backend"
+	"nemo/internal/core"
+	"nemo/internal/device"
+)
+
+// pagesPerZone is the benchmark geometry's zone size — the getbench shape,
+// small enough that a 1M-key pool spans hundreds of SGs (several sealed
+// index groups, a busy index cache).
+const pagesPerZone = 64
+
+// plannedObjsPerSet sizes the pool: Table 3's TargetObjsPerSet, the density
+// DefaultConfig tunes the Bloom filters for. Populating one key per planned
+// slot fills sets to roughly their design point without mass eviction.
+const plannedObjsPerSet = 40
+
+// Options configures one gcbench measurement.
+type Options struct {
+	Device     backend.Spec
+	Shards     int
+	Keys       int // resident keys to populate (0 = 1M)
+	GetOps     int // GETs issued under churn (0 = 200k)
+	Goroutines int // GET workers (0 = 4)
+}
+
+// Result is one measured configuration. The cache's footprint is isolated
+// from the device's by closing the cache (device left open) after the GET
+// phase and re-measuring: HeapObjects/HeapBytes are what Close released —
+// the engine's own structures, excluding the simulated flash (flashsim
+// keeps one slab per written zone, hundreds of objects at this geometry).
+type Result struct {
+	Shards         int
+	Keys           int
+	HeapObjects    uint64  // live heap objects the cache costs (post-GC, device excluded)
+	HeapBytes      uint64  // live heap bytes the cache costs (post-GC, device excluded)
+	BytesPerKey    float64 // HeapBytes / Keys — the DRAM index tax
+	GetOpsPerSec   float64 // GET throughput with a GC forced in a loop
+	HitRatio       float64
+	GCPauseTotalNs uint64 // total stop-the-world pause during the GET phase
+	GCCycles       uint32 // collections forced during the GET phase
+}
+
+// AppendKey appends the deterministic benchmark key for index i to dst —
+// fixed width, no fmt, so regenerating keys charges nothing to the heap.
+func AppendKey(dst []byte, i int) []byte {
+	dst = append(dst, "gc-key-"...)
+	dst = appendPad8(dst, i)
+	return append(dst, "-padpadpad"...)
+}
+
+// AppendValue appends the deterministic benchmark value for index i to dst.
+func AppendValue(dst []byte, i int) []byte {
+	dst = append(dst, "gc-value-"...)
+	dst = appendPad8(dst, i)
+	return append(dst, "-payload-payload-payload"...)
+}
+
+// appendPad8 appends i as 8 zero-padded decimal digits (i < 10^8).
+func appendPad8(dst []byte, i int) []byte {
+	var d [8]byte
+	for p := 7; p >= 0; p-- {
+		d[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(dst, d[:]...)
+}
+
+// zonesFor sizes the data pool so keys fill sets to plannedObjsPerSet,
+// rounded up to a shard-divisible count with at least two SGs per shard.
+func zonesFor(keys, shards int) int {
+	objsPerZone := pagesPerZone * plannedObjsPerSet
+	z := (keys + objsPerZone - 1) / objsPerZone
+	if z < 2*shards {
+		z = 2 * shards
+	}
+	if r := z % shards; r != 0 {
+		z += shards - r
+	}
+	return z
+}
+
+// Run executes one full measurement: baseline heap snapshot, build and
+// populate, settled heap delta, then the GET phase racing a goroutine that
+// forces back-to-back collections.
+func Run(o Options) (Result, error) {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Keys <= 0 {
+		o.Keys = 1_000_000
+	}
+	if o.GetOps <= 0 {
+		o.GetOps = 200_000
+	}
+	if o.Goroutines <= 0 {
+		o.Goroutines = 4
+	}
+
+	var ms1, ms2, msWarm, ms3 runtime.MemStats
+
+	dataZones := zonesFor(o.Keys, o.Shards)
+	perData := dataZones / o.Shards
+	perIdx := core.IndexZonesFor(perData, core.DefaultSGsPerIndexGroup)
+	dev, err := o.Device.Open(device.Geometry{PagesPerZone: pagesPerZone, Zones: o.Shards * (perData + perIdx)})
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := core.DefaultConfig(dev, dataZones)
+	cfg.Shards = o.Shards
+	cache, err := core.NewSharded(cfg)
+	if err != nil {
+		dev.Close()
+		return Result{}, err
+	}
+	defer dev.Close()
+	// The deferred cleanup must not keep the cache reachable after the
+	// measured Close below — it pins the variable, so Close nils it out.
+	defer func() {
+		if cache != nil {
+			cache.Close()
+		}
+	}()
+
+	kbuf := make([]byte, 0, 64)
+	vbuf := make([]byte, 0, 64)
+	for i := 0; i < o.Keys; i++ {
+		kbuf = AppendKey(kbuf[:0], i)
+		vbuf = AppendValue(vbuf[:0], i)
+		if err := cache.Set(kbuf, vbuf); err != nil {
+			return Result{}, fmt.Errorf("populate key %d: %w", i, err)
+		}
+	}
+
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+
+	res := Result{Shards: o.Shards, Keys: o.Keys}
+
+	// GET phase: a churn goroutine forces back-to-back collections so the
+	// throughput and pause columns price exactly what the live heap makes
+	// the collector scan.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.GC()
+			}
+		}
+	}()
+
+	before := cache.Stats()
+	per := o.GetOps / o.Goroutines
+	if per < 1 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < o.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 64)
+			idx := g * 7919
+			for i := 0; i < per; i++ {
+				idx += 6007
+				buf = AppendKey(buf[:0], idx%o.Keys)
+				cache.Get(buf)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	churn.Wait()
+	runtime.ReadMemStats(&ms2)
+	after := cache.Stats()
+
+	done := after.Gets - before.Gets
+	res.GetOpsPerSec = float64(done) / elapsed.Seconds()
+	if done > 0 {
+		res.HitRatio = float64(after.Hits-before.Hits) / float64(done)
+	}
+	res.GCPauseTotalNs = sub64(ms2.PauseTotalNs, ms1.PauseTotalNs)
+	res.GCCycles = ms2.NumGC - ms1.NumGC
+
+	// Settle the warm heap (GETs grow lazily allocated state: fetched index
+	// pages, hotness bitmaps), then close the cache — the device stays open
+	// — and re-settle: what the close released is the cache's own footprint,
+	// with the device's zone slabs subtracted out.
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&msWarm)
+	if err := cache.Close(); err != nil {
+		return Result{}, err
+	}
+	cache = nil
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&ms3)
+	res.HeapObjects = sub64(msWarm.HeapObjects, ms3.HeapObjects)
+	res.HeapBytes = sub64(msWarm.HeapAlloc, ms3.HeapAlloc)
+	res.BytesPerKey = float64(res.HeapBytes) / float64(o.Keys)
+	return res, nil
+}
+
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

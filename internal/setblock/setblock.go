@@ -52,6 +52,24 @@ func New(size int) *Block {
 	return &Block{buf: make([]byte, 0, size-HeaderSize), size: size}
 }
 
+// InitCarved initializes b as an empty block whose storage is the caller's
+// backing slice instead of a private heap buffer — the slab-allocation hook
+// for engines that carve all of an SG's set pages from one contiguous
+// allocation. backing must have capacity ≥ size-HeaderSize; the block never
+// grows past that budget (every append is fit-checked), so the carve is
+// stable for the block's lifetime.
+func (b *Block) InitCarved(size int, backing []byte) {
+	if size <= HeaderSize {
+		panic(fmt.Sprintf("setblock: size %d too small", size))
+	}
+	if cap(backing) < size-HeaderSize {
+		panic(fmt.Sprintf("setblock: backing cap %d short of %d", cap(backing), size-HeaderSize))
+	}
+	b.buf = backing[: 0 : size-HeaderSize]
+	b.size = size
+	b.count = 0
+}
+
 // Reset clears the block to empty without releasing its buffer.
 func (b *Block) Reset() {
 	b.buf = b.buf[:0]
@@ -235,32 +253,47 @@ func (b *Block) AppendTo(dst []byte) []byte {
 // Parse decodes a serialized page into a fresh block with the given size
 // budget, validating all entry bounds.
 func Parse(page []byte, size int) (*Block, error) {
+	b := New(size)
+	if err := b.DecodeFrom(page); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// DecodeFrom decodes a serialized page into b, reusing b's existing storage
+// (from New or InitCarved; the size budget is b's). On error b is left empty.
+func (b *Block) DecodeFrom(page []byte) error {
+	b.Reset()
 	if len(page) < HeaderSize {
-		return nil, fmt.Errorf("setblock: page shorter than header")
+		return fmt.Errorf("setblock: page shorter than header")
 	}
 	count := int(binary.LittleEndian.Uint16(page[0:]))
 	used := int(binary.LittleEndian.Uint16(page[2:]))
-	if HeaderSize+used > len(page) || HeaderSize+used > size {
-		return nil, fmt.Errorf("setblock: used %d exceeds page", used)
+	if HeaderSize+used > len(page) || HeaderSize+used > b.size {
+		return fmt.Errorf("setblock: used %d exceeds page", used)
 	}
-	b := &Block{buf: append(make([]byte, 0, size-HeaderSize), page[HeaderSize:HeaderSize+used]...), size: size, count: count}
+	b.buf = append(b.buf[:0], page[HeaderSize:HeaderSize+used]...)
 	// Validate by walking all entries.
 	off := 0
 	for i := 0; i < count; i++ {
 		if off+EntryOverhead > used {
-			return nil, fmt.Errorf("setblock: entry %d header out of bounds", i)
+			b.Reset()
+			return fmt.Errorf("setblock: entry %d header out of bounds", i)
 		}
 		kl := int(b.buf[off+8])
 		vl := int(binary.LittleEndian.Uint16(b.buf[off+9:]))
 		off += EntryOverhead + kl + vl
 		if off > used {
-			return nil, fmt.Errorf("setblock: entry %d payload out of bounds", i)
+			b.Reset()
+			return fmt.Errorf("setblock: entry %d payload out of bounds", i)
 		}
 	}
 	if off != used {
-		return nil, fmt.Errorf("setblock: trailing %d bytes after %d entries", used-off, count)
+		b.Reset()
+		return fmt.Errorf("setblock: trailing %d bytes after %d entries", used-off, count)
 	}
-	return b, nil
+	b.count = count
+	return nil
 }
 
 // FingerprintOf is a convenience wrapper so callers do not need to import
